@@ -1,0 +1,51 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-short generate check-generated experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure, plus substrate
+# micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-short:
+	$(GO) test -short -bench=. -benchmem ./...
+
+# Regenerate the specialized checkpoint routines (cmd/ckptgen) and the
+# derived protocol for the derive test workload (cmd/ckptderive).
+generate:
+	$(GO) run ./cmd/ckptgen -root .
+	$(GO) run ./cmd/ckptderive -dir internal/derivetest -exported
+
+check-generated:
+	$(GO) run ./cmd/ckptgen -root . -check
+	$(GO) run ./cmd/ckptderive -dir internal/derivetest -exported -check
+
+# Paper-scale evaluation: prints every table/figure and writes CSVs.
+experiments:
+	$(GO) run ./cmd/ckptbench -experiment all -n 20000 -scale 4 -reps 7 -warmup 2 -csv results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/editor
+	$(GO) run ./examples/specialize
+	$(GO) run ./examples/analysisengine
+
+clean:
+	rm -rf results

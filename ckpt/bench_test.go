@@ -1,0 +1,132 @@
+package ckpt_test
+
+import (
+	"testing"
+
+	"ickpt/ckpt"
+)
+
+// benchChain builds a box with a 64-element list.
+func benchChain(b *testing.B) (*ckpt.Writer, *box) {
+	b.Helper()
+	d := ckpt.NewDomain()
+	root := buildChain(d, 64)
+	return ckpt.NewWriter(), root
+}
+
+// BenchmarkWriterFull measures the generic driver recording everything.
+func BenchmarkWriterFull(b *testing.B) {
+	w, root := benchChain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Start(ckpt.Full)
+		if err := w.Checkpoint(root); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriterQuiescent measures pure traversal: incremental mode with
+// no modified objects — the cost specialization removes.
+func BenchmarkWriterQuiescent(b *testing.B) {
+	w, root := benchChain(b)
+	w.Start(ckpt.Incremental)
+	if err := w.Checkpoint(root); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := w.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Start(ckpt.Incremental)
+		if err := w.Checkpoint(root); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriterOneDirty measures an incremental checkpoint with a single
+// modified object in the chain.
+func BenchmarkWriterOneDirty(b *testing.B) {
+	w, root := benchChain(b)
+	w.Start(ckpt.Incremental)
+	if err := w.Checkpoint(root); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := w.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	mid := root.head
+	for i := 0; i < 32; i++ {
+		mid = mid.next
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mid.x++
+		mid.info.SetModified()
+		w.Start(ckpt.Incremental)
+		if err := w.Checkpoint(root); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriterCycleCheck measures the overhead of the traversal-stack
+// guard.
+func BenchmarkWriterCycleCheck(b *testing.B) {
+	d := ckpt.NewDomain()
+	root := buildChain(d, 64)
+	w := ckpt.NewWriter(ckpt.WithCycleCheck())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Start(ckpt.Full)
+		if err := w.Checkpoint(root); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRebuild measures reconstructing 65 objects from a body.
+func BenchmarkRebuild(b *testing.B) {
+	d := ckpt.NewDomain()
+	root := buildChain(d, 64)
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Full)
+	if err := w.Checkpoint(root); err != nil {
+		b.Fatal(err)
+	}
+	body, _, err := w.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodyCopy := append([]byte(nil), body...)
+	reg := testRegistryQuick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb := ckpt.NewRebuilder(reg)
+		if err := rb.Apply(bodyCopy); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rb.Build(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package ckpt implements language-level incremental checkpointing of object
+// graphs, following the discipline of Lawall & Muller, "Efficient Incremental
+// Checkpointing of Java Programs" (DSN 2000).
+//
+// # Model
+//
+// A checkpointable object carries an [Info]: a unique identifier issued by a
+// [Domain], and a modified flag. Objects implement [Checkpointable]:
+//
+//   - CheckpointInfo returns the object's Info,
+//   - Record writes the object's local state — scalar fields plus the ids of
+//     its checkpointable children — to a wire.Encoder,
+//   - Fold recursively applies the checkpoint writer to the children.
+//
+// A [Writer] drives checkpointing. In [Full] mode every visited object is
+// recorded. In [Incremental] mode only objects whose modified flag is set are
+// recorded; the flag is reset as the object is recorded, so the next
+// incremental checkpoint captures only subsequent mutations. Either way the
+// whole reachable structure is traversed (the traversal itself is the cost
+// that the spec package's program specialization removes).
+//
+// # Checkpoint bodies
+//
+// A checkpoint body is a byte slice: a small header (format version, mode,
+// epoch) followed by framed object records. Bodies are self-describing and
+// can be persisted with package stablelog. A [Rebuilder] folds a base full
+// checkpoint plus any number of subsequent incremental bodies into the most
+// recent state, then materializes the object graph through a [Registry] of
+// type factories.
+//
+// # Mutation tracking
+//
+// Go has no write barriers, so the modified flag is maintained at the
+// language level, exactly as in the paper: either call Info.SetModified in
+// your setters, or wrap fields in [Cell], whose Set method marks the owning
+// Info.
+//
+// The writer, infos and cells are not safe for concurrent use; checkpointing
+// uses a blocking protocol (mutators must be quiescent during a checkpoint),
+// matching the paper's assumptions.
+package ckpt

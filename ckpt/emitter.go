@@ -1,0 +1,169 @@
+package ckpt
+
+import "ickpt/wire"
+
+// Checkpoint body layout:
+//
+//	header:  version byte, mode byte, epoch uvarint
+//	records: (id uvarint, typeID uvarint, payloadLen uvarint, payload)*
+//
+// The payload of a record is exactly what the object's Record method wrote.
+const bodyVersion = 1
+
+// Stats accumulates counters for one checkpoint.
+type Stats struct {
+	// Visited counts objects traversed (recorded or not).
+	Visited int
+	// Recorded counts objects whose state was written.
+	Recorded int
+	// Skipped counts objects whose modified flag was tested and found
+	// clear.
+	Skipped int
+	// Bytes is the total body size, including header and framing.
+	Bytes int
+}
+
+// Emitter frames object records into a checkpoint body. It is the shared
+// low-level sink used by the generic Writer, by compiled specialization
+// plans, and by generated specialized checkpoint functions, guaranteeing
+// that all of them produce byte-identical streams.
+type Emitter struct {
+	dst     *wire.Encoder
+	scratch wire.Encoder
+	stats   Stats
+
+	curID   uint64
+	curType TypeID
+	open    bool
+}
+
+// Reset points the emitter at dst, writes the body header, and clears the
+// statistics.
+func (em *Emitter) Reset(dst *wire.Encoder, mode Mode, epoch uint64) {
+	em.dst = dst
+	em.stats = Stats{}
+	em.open = false
+	dst.Byte(bodyVersion)
+	dst.Byte(byte(mode))
+	dst.Uvarint(epoch)
+}
+
+// Begin starts the record for one object and returns the encoder into which
+// the object's payload (its Record output) must be written. Each Begin must
+// be paired with End before the next Begin.
+func (em *Emitter) Begin(info *Info, t TypeID) *wire.Encoder {
+	em.curID = info.ID()
+	em.curType = t
+	em.open = true
+	em.scratch.Reset()
+	return &em.scratch
+}
+
+// End frames the payload started by Begin into the destination stream.
+func (em *Emitter) End() {
+	em.dst.Uvarint(em.curID)
+	em.dst.Uvarint(uint64(em.curType))
+	em.dst.Uvarint(uint64(em.scratch.Len()))
+	em.dst.Raw(em.scratch.Bytes())
+	em.stats.Recorded++
+	em.open = false
+}
+
+// Emit records o unconditionally: Begin, o.Record, End, and clears the
+// modified flag.
+func (em *Emitter) Emit(o Checkpointable) {
+	info := o.CheckpointInfo()
+	p := em.Begin(info, o.CheckpointTypeID())
+	o.Record(p)
+	em.End()
+	info.ResetModified()
+}
+
+// EmitIfModified records o only if its modified flag is set, and reports
+// whether it did.
+func (em *Emitter) EmitIfModified(o Checkpointable) bool {
+	info := o.CheckpointInfo()
+	if !info.Modified() {
+		em.stats.Skipped++
+		return false
+	}
+	p := em.Begin(info, o.CheckpointTypeID())
+	o.Record(p)
+	em.End()
+	info.ResetModified()
+	return true
+}
+
+// Visit counts a traversed object. Callers that use Emit/EmitIfModified
+// should call Visit once per object for accurate statistics.
+func (em *Emitter) Visit() { em.stats.Visited++ }
+
+// Skip counts an object whose modified flag was tested and found clear, for
+// callers that perform the test themselves (specialized plans).
+func (em *Emitter) Skip() { em.stats.Skipped++ }
+
+// Stats returns the counters accumulated since Reset, with Bytes set to the
+// destination length so far.
+func (em *Emitter) Stats() Stats {
+	s := em.stats
+	if em.dst != nil {
+		s.Bytes = em.dst.Len()
+	}
+	return s
+}
+
+// bodyHeader is the decoded checkpoint body header.
+type bodyHeader struct {
+	version byte
+	mode    Mode
+	epoch   uint64
+}
+
+// record is one framed object record within a body. The payload aliases the
+// body buffer.
+type record struct {
+	id      uint64
+	typeID  TypeID
+	payload []byte
+}
+
+// parseBodyHeader reads the header and leaves d positioned at the first
+// record.
+func parseBodyHeader(d *wire.Decoder) (bodyHeader, error) {
+	var h bodyHeader
+	h.version = d.Byte()
+	h.mode = Mode(d.Byte())
+	h.epoch = d.Uvarint()
+	if err := d.Err(); err != nil {
+		return h, err
+	}
+	if h.version != bodyVersion {
+		return h, ErrBadBody
+	}
+	if h.mode != Full && h.mode != Incremental {
+		return h, ErrBadBody
+	}
+	return h, nil
+}
+
+// nextRecord reads one framed record. It returns ok=false at a clean end of
+// body.
+func nextRecord(d *wire.Decoder) (rec record, ok bool, err error) {
+	if d.Len() == 0 {
+		return record{}, false, nil
+	}
+	rec.id = d.Uvarint()
+	rec.typeID = TypeID(d.Uvarint())
+	n := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return record{}, false, err
+	}
+	if n > uint64(d.Len()) {
+		return record{}, false, ErrBadBody
+	}
+	rec.payload = d.Raw(int(n))
+	if err := d.Err(); err != nil {
+		return record{}, false, err
+	}
+	return rec, true, nil
+}

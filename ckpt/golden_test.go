@@ -1,0 +1,66 @@
+package ckpt_test
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// TestWireGoldenBytes pins the scalar encodings documented in
+// docs/FORMAT.md. A failure means the wire format changed: that is an
+// incompatible change and requires a version bump, not a golden update.
+func TestWireGoldenBytes(t *testing.T) {
+	var e wire.Encoder
+	e.Uvarint(0)
+	e.Uvarint(300)
+	e.Varint(-2)
+	e.Float64(1.5)
+	e.Bool(true)
+	e.String("hi")
+	e.BytesField([]byte{0xaa})
+
+	const want = "00" + // uvarint 0
+		"ac02" + // uvarint 300
+		"03" + // zig-zag -2
+		"000000000000f83f" + // float64 1.5 LE
+		"01" + // bool true
+		"026869" + // len 2, "hi"
+		"01aa" // len 1, 0xaa
+	if got := hex.EncodeToString(e.Bytes()); got != want {
+		t.Errorf("wire golden mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestBodyGoldenBytes pins the checkpoint body framing: header, record
+// framing, traversal order.
+func TestBodyGoldenBytes(t *testing.T) {
+	d := ckpt.NewDomain()
+	b := newBox(d, 7) // id 1
+	p := newPoint(d, 1, -1, "z")
+	b.head = p // id 2
+
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.Checkpoint(b); err != nil {
+		t.Fatal(err)
+	}
+	body, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const want = "01" + // body version
+		"02" + // mode incremental
+		"01" + // epoch 1
+		// record: id=1 (box), typeID uvarint (FNV-1a of
+		// "ckpttest.box"), len=2, payload{varint 7 = 0x0e, child id 2}
+		"01" + "c0ddd7920c" + "02" + "0e02" +
+		// record: id=2 (point), typeID uvarint, len=5, payload
+		// {varint 1 = 0x02, varint -1 = 0x01, "z" = 0x01 0x7a, nil next}
+		"02" + "f7c6918308" + "05" + "0201017a00"
+	if got := hex.EncodeToString(body); got != want {
+		t.Errorf("body golden mismatch:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,94 @@
+package ckpt
+
+// NilID is the reserved object id meaning "no object". Child references
+// encode NilID for nil pointers; Domains never issue it.
+const NilID uint64 = 0
+
+// Info holds the per-object checkpoint metadata: a unique identifier and the
+// modified flag used by incremental checkpointing.
+//
+// Info corresponds to the paper's CheckpointInfo class. A new object's flag
+// starts set, so the object is captured by the next incremental checkpoint.
+// Info is not safe for concurrent use.
+type Info struct {
+	id       uint64
+	modified bool
+}
+
+// NewInfo issues a fresh identifier from d and returns an Info with the
+// modified flag set.
+func NewInfo(d *Domain) Info {
+	return Info{id: d.next(), modified: true}
+}
+
+// RestoredInfo returns an Info carrying a previously-issued identifier, for
+// use by Registry factories when rebuilding objects from a checkpoint. The
+// modified flag starts clear: restored state is by definition already
+// captured.
+func RestoredInfo(id uint64) Info {
+	return Info{id: id}
+}
+
+// ID returns the object's unique identifier.
+func (i *Info) ID() uint64 { return i.id }
+
+// Modified reports whether the object has been modified since it was last
+// recorded in a checkpoint.
+func (i *Info) Modified() bool { return i.modified }
+
+// SetModified marks the object as modified.
+func (i *Info) SetModified() { i.modified = true }
+
+// ResetModified clears the modified flag. The Writer calls this as it
+// records an object; user code rarely needs it.
+func (i *Info) ResetModified() { i.modified = false }
+
+// Domain issues unique object identifiers. The paper uses a static counter;
+// a Domain scopes the counter to one checkpointed universe so that programs
+// and tests can run several universes independently.
+//
+// Domain is not safe for concurrent use.
+type Domain struct {
+	last uint64
+}
+
+// NewDomain returns a Domain whose first issued id is 1 (NilID is reserved).
+func NewDomain() *Domain { return &Domain{} }
+
+func (d *Domain) next() uint64 {
+	d.last++
+	return d.last
+}
+
+// Last returns the most recently issued id, or NilID if none has been issued.
+func (d *Domain) Last() uint64 { return d.last }
+
+// Advance ensures that future ids are strictly greater than id. It is used
+// after rebuilding state from a checkpoint so that newly allocated objects do
+// not collide with restored ones.
+func (d *Domain) Advance(id uint64) {
+	if id > d.last {
+		d.last = id
+	}
+}
+
+// Cell is a tracked field: a value whose Set marks the owning object's Info
+// as modified. It stands in for the write barriers that the paper's
+// preprocessor would insert into Java setters.
+//
+// Read with Get (or the exported V field); write with Set so the dirty bit
+// is maintained.
+type Cell[T any] struct {
+	// V is the current value. Prefer Set for writes; direct assignment
+	// bypasses modification tracking.
+	V T
+}
+
+// Get returns the current value.
+func (c *Cell[T]) Get() T { return c.V }
+
+// Set stores v and marks owner as modified.
+func (c *Cell[T]) Set(owner *Info, v T) {
+	c.V = v
+	owner.SetModified()
+}

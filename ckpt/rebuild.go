@@ -1,0 +1,185 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"ickpt/wire"
+)
+
+// Rebuilder reconstructs object state from a sequence of checkpoint bodies:
+// one base full checkpoint followed by any number of incremental bodies, in
+// the order they were taken. It keeps, per object id, the most recent record
+// payload; Build then materializes the object graph through a Registry.
+//
+// Rebuilder is not safe for concurrent use.
+type Rebuilder struct {
+	reg    *Registry
+	latest map[uint64]record
+	bodies [][]byte // retained so record payloads stay valid
+	maxID  uint64
+	seen   int // bodies applied
+}
+
+// NewRebuilder returns a Rebuilder resolving types through reg.
+func NewRebuilder(reg *Registry) *Rebuilder {
+	return &Rebuilder{
+		reg:    reg,
+		latest: make(map[uint64]record),
+	}
+}
+
+// Apply folds one checkpoint body into the rebuilder. The body is retained
+// (not copied); it must not be mutated afterwards.
+//
+// A Full body resets the state: objects absent from a full checkpoint are
+// dead and must not resurface from older incrementals. The first body
+// applied must be Full.
+func (rb *Rebuilder) Apply(body []byte) error {
+	d := wire.NewDecoder(body)
+	h, err := parseBodyHeader(d)
+	if err != nil {
+		return fmt.Errorf("apply body: %w", err)
+	}
+	if rb.seen == 0 && h.mode != Full {
+		return fmt.Errorf("%w: first body must be a full checkpoint", ErrBadBody)
+	}
+	if h.mode == Full {
+		clear(rb.latest)
+		rb.bodies = rb.bodies[:0]
+		rb.maxID = 0
+	}
+	rb.bodies = append(rb.bodies, body)
+	for {
+		rec, ok, err := nextRecord(d)
+		if err != nil {
+			return fmt.Errorf("apply body: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if rec.id == NilID {
+			return fmt.Errorf("%w: record with nil id", ErrBadBody)
+		}
+		if prev, ok := rb.latest[rec.id]; ok && prev.typeID != rec.typeID {
+			return fmt.Errorf("%w: object %d recorded as %q then %q",
+				ErrTypeConflict, rec.id, rb.reg.Name(prev.typeID), rb.reg.Name(rec.typeID))
+		}
+		rb.latest[rec.id] = rec
+		if rec.id > rb.maxID {
+			rb.maxID = rec.id
+		}
+	}
+	rb.seen++
+	return nil
+}
+
+// Objects returns the number of distinct object ids currently known.
+func (rb *Rebuilder) Objects() int { return len(rb.latest) }
+
+// MaxID returns the largest object id seen, for Domain.Advance.
+func (rb *Rebuilder) MaxID() uint64 { return rb.maxID }
+
+// Build materializes every known object: it creates a shell per id via the
+// registered factories, then restores each shell's state, resolving child
+// references through a Resolver. If d is non-nil it is advanced past the
+// largest restored id.
+//
+// The returned map is keyed by object id.
+func (rb *Rebuilder) Build(d *Domain) (map[uint64]Restorable, error) {
+	objs := make(map[uint64]Restorable, len(rb.latest))
+	for id, rec := range rb.latest {
+		f, ok := rb.reg.factory(rec.typeID)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d (object %d)", ErrUnknownType, rec.typeID, id)
+		}
+		o := f(id)
+		if got := o.CheckpointInfo().ID(); got != id {
+			return nil, fmt.Errorf("%w: factory for %q built object with id %d, want %d",
+				ErrTypeConflict, rb.reg.Name(rec.typeID), got, id)
+		}
+		objs[id] = o
+	}
+	res := &Resolver{objects: objs}
+	for id, rec := range rb.latest {
+		dec := wire.NewDecoder(rec.payload)
+		if err := objs[id].Restore(dec, res); err != nil {
+			return nil, fmt.Errorf("restore object %d (%s): %w", id, rb.reg.Name(rec.typeID), err)
+		}
+		if err := dec.Err(); err != nil {
+			return nil, fmt.Errorf("restore object %d (%s): %w", id, rb.reg.Name(rec.typeID), err)
+		}
+	}
+	if d != nil {
+		d.Advance(rb.maxID)
+	}
+	return objs, nil
+}
+
+// Resolver resolves child ids to rebuilt objects during Restore.
+type Resolver struct {
+	objects map[uint64]Restorable
+}
+
+// Lookup returns the object with the given id. Looking up NilID returns
+// (nil, nil): a recorded nil child reference.
+func (r *Resolver) Lookup(id uint64) (Restorable, error) {
+	if id == NilID {
+		return nil, nil
+	}
+	o, ok := r.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	return o, nil
+}
+
+// ResolveAs looks up id and asserts the result to T. A nil id yields the
+// zero T (a typed nil pointer) and no error.
+func ResolveAs[T Restorable](r *Resolver, id uint64) (T, error) {
+	var zero T
+	o, err := r.Lookup(id)
+	if err != nil || o == nil {
+		return zero, err
+	}
+	v, ok := o.(T)
+	if !ok {
+		return zero, fmt.Errorf("%w: object %d has type %T", ErrTypeConflict, id, o)
+	}
+	return v, nil
+}
+
+// BodyInfo describes a parsed checkpoint body header; it is exposed for
+// inspection tools.
+type BodyInfo struct {
+	Version byte
+	Mode    Mode
+	Epoch   uint64
+	Records int
+	Bytes   int
+}
+
+// InspectBody parses a body and returns its header information and a
+// callback-driven record walk. fn may be nil to collect counts only.
+func InspectBody(body []byte, fn func(id uint64, t TypeID, payload []byte) error) (BodyInfo, error) {
+	d := wire.NewDecoder(body)
+	h, err := parseBodyHeader(d)
+	if err != nil {
+		return BodyInfo{}, err
+	}
+	info := BodyInfo{Version: h.version, Mode: h.mode, Epoch: h.epoch, Bytes: len(body)}
+	for {
+		rec, ok, err := nextRecord(d)
+		if err != nil {
+			return info, err
+		}
+		if !ok {
+			return info, nil
+		}
+		info.Records++
+		if fn != nil {
+			if err := fn(rec.id, rec.typeID, rec.payload); err != nil {
+				return info, err
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"ickpt/wire"
+)
+
+// Writer is the generic checkpoint driver: the paper's Checkpoint class. It
+// traverses checkpointable structures through the Checkpointable interface
+// (virtual dispatch), testing the modified flag of each object in
+// Incremental mode.
+//
+// Usage:
+//
+//	w := ckpt.NewWriter()
+//	w.Start(ckpt.Incremental)
+//	for _, root := range roots {
+//		if err := w.Checkpoint(root); err != nil { ... }
+//	}
+//	body, stats, err := w.Finish()
+//
+// The writer is reusable: Start begins a new body and bumps the epoch.
+// Writer is not safe for concurrent use.
+type Writer struct {
+	emitter Emitter
+	enc     wire.Encoder
+	mode    Mode
+	epoch   uint64
+	started bool
+
+	cycleCheck bool
+	onStack    map[uint64]struct{}
+}
+
+// WriterOption configures a Writer.
+type WriterOption interface {
+	apply(*Writer)
+}
+
+type writerOptionFunc func(*Writer)
+
+func (f writerOptionFunc) apply(w *Writer) { f(w) }
+
+// WithCycleCheck makes the writer track the traversal stack and return
+// ErrCycle if a checkpointable object is reached from within its own
+// traversal. The paper assumes acyclic structures; this option trades a map
+// operation per object for a guarantee.
+func WithCycleCheck() WriterOption {
+	return writerOptionFunc(func(w *Writer) { w.cycleCheck = true })
+}
+
+// NewWriter returns a Writer.
+func NewWriter(opts ...WriterOption) *Writer {
+	w := &Writer{}
+	for _, o := range opts {
+		o.apply(w)
+	}
+	if w.cycleCheck {
+		w.onStack = make(map[uint64]struct{})
+	}
+	return w
+}
+
+// Start begins a new checkpoint body in the given mode. Any body in progress
+// is discarded. The writer's epoch is incremented; the first checkpoint has
+// epoch 1.
+func (w *Writer) Start(mode Mode) {
+	w.epoch++
+	w.enc.Reset()
+	w.emitter.Reset(&w.enc, mode, w.epoch)
+	w.mode = mode
+	w.started = true
+	clear(w.onStack)
+}
+
+// Checkpoint traverses the structure rooted at o, recording objects
+// according to the writer's mode. It corresponds to the paper's
+// Checkpoint.checkpoint method: in Incremental mode, record o if its
+// modified flag is set (clearing the flag), then fold over its children; in
+// Full mode, record o unconditionally, then fold.
+func (w *Writer) Checkpoint(o Checkpointable) error {
+	if !w.started {
+		return ErrNotStarted
+	}
+	return w.visit(o)
+}
+
+func (w *Writer) visit(o Checkpointable) error {
+	w.emitter.Visit()
+	if w.cycleCheck {
+		id := o.CheckpointInfo().ID()
+		if _, ok := w.onStack[id]; ok {
+			return fmt.Errorf("%w: object id %d revisited", ErrCycle, id)
+		}
+		w.onStack[id] = struct{}{}
+		defer delete(w.onStack, id)
+	}
+	if w.mode == Full {
+		w.emitter.Emit(o)
+	} else {
+		w.emitter.EmitIfModified(o)
+	}
+	return o.Fold(w)
+}
+
+// Finish completes the body and returns it along with traversal statistics.
+// The returned slice aliases the writer's buffer and is invalidated by the
+// next Start; copy it if it must outlive the writer's reuse.
+func (w *Writer) Finish() ([]byte, Stats, error) {
+	if !w.started {
+		return nil, Stats{}, ErrNotStarted
+	}
+	w.started = false
+	return w.enc.Bytes(), w.emitter.Stats(), nil
+}
+
+// Epoch returns the epoch of the checkpoint in progress (or the last
+// completed one).
+func (w *Writer) Epoch() uint64 { return w.epoch }
+
+// Mode returns the mode of the checkpoint in progress (or the last completed
+// one).
+func (w *Writer) Mode() Mode { return w.mode }
+
+// Emitter exposes the writer's low-level sink. It is used by compiled
+// specialization plans and generated specialized functions so that they
+// write into the same body with the same framing as the generic driver. The
+// emitter is only valid between Start and Finish.
+func (w *Writer) Emitter() *Emitter { return &w.emitter }

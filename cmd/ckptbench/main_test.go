@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ickpt/internal/harness"
+)
+
+// tinyOpts keeps CLI tests fast.
+func tinyOpts() harness.Options {
+	return harness.Options{Structures: 20, Repetitions: 1, Warmup: 0, Seed: 1}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	if err := run("fig7", tinyOpts(), 1, "image", ""); err != nil {
+		t.Fatalf("run(fig7): %v", err)
+	}
+}
+
+func TestRunDSPWorkload(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run("table1", tinyOpts(), 1, "dsp", ""); err != nil {
+		t.Fatalf("run(table1, dsp): %v", err)
+	}
+	if err := run("table1", tinyOpts(), 1, "nope", ""); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", tinyOpts(), 1, "image", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	dir := t.TempDir()
+	if err := run("fig8", tinyOpts(), 1, "image", dir); err != nil {
+		t.Fatalf("run(fig8): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+// Command ckptderive generates the checkpoint protocol for the annotated
+// structs of a package: CheckpointInfo/CheckpointTypeID/Record/Fold/Restore
+// methods, a restore registry, and the spec specialization catalog — the
+// paper's "preprocessor" path to systematic checkpointing code.
+//
+// Usage:
+//
+//	ckptderive -dir PKGDIR [-out FILE] [-types A,B] [-prefix P] [-exported] [-check]
+//
+// The output defaults to zz_derived_ckpt.go inside the package directory.
+// With -check, ckptderive verifies the file is up to date instead of
+// writing it.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ickpt/derive"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "package directory to scan (required)")
+		out      = flag.String("out", "", "output file (default DIR/zz_derived_ckpt.go)")
+		types    = flag.String("types", "", "comma-separated struct names (default: all annotated)")
+		prefix   = flag.String("prefix", "", "registered type-name prefix (default: package name + \".\")")
+		exported = flag.Bool("exported", false, "export the registry/catalog functions")
+		check    = flag.Bool("check", false, "verify the output is up to date instead of writing")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: ckptderive -dir PKGDIR [-out FILE] [-types A,B] [-prefix P] [-exported] [-check]")
+		os.Exit(2)
+	}
+	if err := run(*dir, *out, *types, *prefix, *exported, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptderive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, out, typeList, prefix string, exported, check bool) error {
+	opts := derive.Options{Dir: dir, Prefix: prefix, Exported: exported}
+	if typeList != "" {
+		opts.TypeNames = strings.Split(typeList, ",")
+	}
+	src, err := derive.Generate(opts)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = filepath.Join(dir, "zz_derived_ckpt.go")
+	}
+	if check {
+		prev, err := os.ReadFile(out)
+		if err != nil || !bytes.Equal(prev, src) {
+			return fmt.Errorf("%s is out of date; re-run ckptderive", out)
+		}
+		return nil
+	}
+	if err := os.WriteFile(out, src, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, len(src))
+	return nil
+}

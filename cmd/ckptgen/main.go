@@ -1,0 +1,89 @@
+// Command ckptgen is the specializer compiler: the analog of the paper's
+// JSCC → Tempo → Assirah pipeline. It compiles the specialization classes
+// and phase patterns registered by the workload packages into dedicated Go
+// checkpoint routines and writes them as zz_gen_*.go files.
+//
+// Usage:
+//
+//	ckptgen [-root DIR] [-check] [-list]
+//
+// With -check, ckptgen verifies that the on-disk generated files match what
+// it would generate (exit status 1 otherwise) without writing anything.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ickpt/internal/analysis"
+	"ickpt/internal/synth"
+	"ickpt/spec"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root the target paths are relative to")
+	check := flag.Bool("check", false, "verify generated files are up to date instead of writing")
+	list := flag.Bool("list", false, "list generation targets and exit")
+	flag.Parse()
+
+	if err := run(*root, *check, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(root string, check, list bool) error {
+	targets, err := collectTargets()
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, t := range targets {
+			fmt.Printf("%-60s %s\n", t.File, t.Config.FuncName)
+		}
+		return nil
+	}
+
+	stale := 0
+	for _, t := range targets {
+		src, err := spec.GenerateGo(t.Plan, t.Config)
+		if err != nil {
+			return fmt.Errorf("generate %s: %w", t.File, err)
+		}
+		path := filepath.Join(root, filepath.FromSlash(t.File))
+		if check {
+			prev, err := os.ReadFile(path)
+			if err != nil || !bytes.Equal(prev, src) {
+				fmt.Fprintf(os.Stderr, "stale: %s\n", t.File)
+				stale++
+			}
+			continue
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", t.File, err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", t.File, len(src))
+	}
+	if stale > 0 {
+		return fmt.Errorf("%d generated file(s) out of date; re-run ckptgen", stale)
+	}
+	return nil
+}
+
+func collectTargets() ([]spec.GenTarget, error) {
+	var targets []spec.GenTarget
+	st, err := synth.GenTargets()
+	if err != nil {
+		return nil, fmt.Errorf("synth targets: %w", err)
+	}
+	targets = append(targets, st...)
+	at, err := analysis.GenTargets()
+	if err != nil {
+		return nil, fmt.Errorf("analysis targets: %w", err)
+	}
+	targets = append(targets, at...)
+	return targets, nil
+}

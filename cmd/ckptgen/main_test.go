@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestCollectTargets(t *testing.T) {
+	targets, err := collectTargets()
+	if err != nil {
+		t.Fatalf("collectTargets: %v", err)
+	}
+	if len(targets) != 18 { // 14 synth + 4 analysis
+		t.Errorf("targets = %d, want 18", len(targets))
+	}
+	seen := make(map[string]bool)
+	for _, tgt := range targets {
+		if seen[tgt.File] {
+			t.Errorf("duplicate target file %s", tgt.File)
+		}
+		seen[tgt.File] = true
+		if !strings.HasPrefix(filepath.Base(tgt.File), "zz_gen_") {
+			t.Errorf("target %s not named zz_gen_*", tgt.File)
+		}
+	}
+}
+
+func TestRunCheckAgainstRepo(t *testing.T) {
+	silenceStdout(t)
+	// Tests execute in cmd/ckptgen; the repo root is two levels up.
+	if err := run("../..", true /* check */, false); err != nil {
+		t.Errorf("checked-in generated files are stale: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	silenceStdout(t)
+	if err := run(".", false, true /* list */); err != nil {
+		t.Errorf("run -list: %v", err)
+	}
+}
+
+func TestRunWritesToRoot(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	// Writing fails unless the target directories exist; create them.
+	for _, sub := range []string{"internal/synth", "internal/analysis"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(dir, false, false); err != nil {
+		t.Fatalf("run(write): %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "internal/synth"))
+	if err != nil || len(entries) != 14 {
+		t.Errorf("wrote %d synth files (err=%v), want 14", len(entries), err)
+	}
+}

@@ -1,0 +1,203 @@
+// Command ckptinspect dumps and verifies a stablelog checkpoint log.
+//
+// Usage:
+//
+//	ckptinspect [-records] [-types] [-diff A,B] LOGFILE
+//
+// It lists every segment (sequence number, mode, epoch, size, CRC status)
+// and the recovery run. With -records it dumps each object record; with
+// -types it prints a per-type size breakdown using the registered workload
+// type names; with -diff it compares the object records of two segments.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ickpt/ckpt"
+	"ickpt/internal/analysis"
+	"ickpt/internal/synth"
+	"ickpt/stablelog"
+)
+
+func main() {
+	records := flag.Bool("records", false, "dump every object record")
+	types := flag.Bool("types", false, "print per-type size breakdown")
+	diff := flag.String("diff", "", "compare two segments by sequence number, e.g. -diff 1,3")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ckptinspect [-records] [-types] [-diff A,B] LOGFILE")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *records, *types, *diff); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptinspect:", err)
+		os.Exit(1)
+	}
+}
+
+// typeNames resolves known workload type ids to names.
+func typeNames() map[ckpt.TypeID]string {
+	names := make(map[ckpt.TypeID]string)
+	for _, n := range []string{
+		synth.TypeNameStructure1, synth.TypeNameElement1,
+		synth.TypeNameStructure10, synth.TypeNameElement10,
+		analysis.TypeNameAttributes, analysis.TypeNameSEEntry,
+		analysis.TypeNameBTEntry, analysis.TypeNameETEntry,
+		analysis.TypeNameBT, analysis.TypeNameET,
+	} {
+		names[ckpt.TypeIDOf(n)] = n
+	}
+	return names
+}
+
+func run(path string, records, types bool, diff string) error {
+	log, err := stablelog.Open(path)
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+
+	if diff != "" {
+		return diffSegments(log, diff)
+	}
+
+	names := typeNames()
+	name := func(t ckpt.TypeID) string {
+		if n, ok := names[t]; ok {
+			return n
+		}
+		return fmt.Sprintf("type:%#x", uint32(t))
+	}
+
+	segs := log.Segments()
+	fmt.Printf("%s: %d segments\n", path, len(segs))
+	typeBytes := make(map[ckpt.TypeID]int)
+	typeCount := make(map[ckpt.TypeID]int)
+	for _, seg := range segs {
+		body, err := log.Read(seg.Seq)
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", seg.Seq, err)
+		}
+		info, err := ckpt.InspectBody(body, func(id uint64, t ckpt.TypeID, payload []byte) error {
+			if records {
+				fmt.Printf("    obj %-8d %-24s %4d bytes\n", id, name(t), len(payload))
+			}
+			typeBytes[t] += len(payload)
+			typeCount[t]++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", seg.Seq, err)
+		}
+		fmt.Printf("  seq %-4d %-11s epoch %-4d %8d bytes  %5d records  crc ok\n",
+			seg.Seq, seg.Mode, seg.Epoch, seg.Length, info.Records)
+	}
+
+	if run, err := log.RecoveryRun(); err == nil {
+		fmt.Printf("recovery run: segments %d..%d (%d bodies)\n",
+			run[0].Seq, run[len(run)-1].Seq, len(run))
+	} else {
+		fmt.Printf("recovery run: %v\n", err)
+	}
+
+	if types {
+		printTypeBreakdown(typeBytes, typeCount, name)
+	}
+	return nil
+}
+
+func printTypeBreakdown(typeBytes map[ckpt.TypeID]int, typeCount map[ckpt.TypeID]int, name func(ckpt.TypeID) string) {
+	{
+		ids := make([]ckpt.TypeID, 0, len(typeBytes))
+		for t := range typeBytes {
+			ids = append(ids, t)
+		}
+		sort.Slice(ids, func(i, j int) bool { return typeBytes[ids[i]] > typeBytes[ids[j]] })
+		fmt.Println("per-type payload totals:")
+		for _, t := range ids {
+			fmt.Printf("  %-28s %8d bytes in %6d records\n", name(t), typeBytes[t], typeCount[t])
+		}
+	}
+}
+
+// diffSegments compares the object records of two segments.
+func diffSegments(log *stablelog.Log, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("bad -diff %q: want A,B", spec)
+	}
+	seqA, errA := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+	seqB, errB := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if errA != nil || errB != nil {
+		return fmt.Errorf("bad -diff %q: want numeric A,B", spec)
+	}
+	load := func(seq uint64) (map[uint64][]byte, error) {
+		body, err := log.Read(seq)
+		if err != nil {
+			return nil, err
+		}
+		recs := make(map[uint64][]byte)
+		if _, err := ckpt.InspectBody(body, func(id uint64, _ ckpt.TypeID, payload []byte) error {
+			recs[id] = append([]byte(nil), payload...)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return recs, nil
+	}
+	a, err := load(seqA)
+	if err != nil {
+		return err
+	}
+	b, err := load(seqB)
+	if err != nil {
+		return err
+	}
+
+	var onlyA, onlyB, changed, same []uint64
+	for id, pa := range a {
+		pb, ok := b[id]
+		switch {
+		case !ok:
+			onlyA = append(onlyA, id)
+		case !bytes.Equal(pa, pb):
+			changed = append(changed, id)
+		default:
+			same = append(same, id)
+		}
+	}
+	for id := range b {
+		if _, ok := a[id]; !ok {
+			onlyB = append(onlyB, id)
+		}
+	}
+	for _, s := range [][]uint64{onlyA, onlyB, changed} {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	fmt.Printf("diff of segments %d and %d:\n", seqA, seqB)
+	fmt.Printf("  %d records only in %d, %d only in %d, %d changed, %d identical\n",
+		len(onlyA), seqA, len(onlyB), seqB, len(changed), len(same))
+	printIDs := func(label string, ids []uint64) {
+		if len(ids) == 0 {
+			return
+		}
+		fmt.Printf("  %s:", label)
+		for i, id := range ids {
+			if i == 20 {
+				fmt.Printf(" ... (+%d)", len(ids)-i)
+				break
+			}
+			fmt.Printf(" %d", id)
+		}
+		fmt.Println()
+	}
+	printIDs(fmt.Sprintf("only in %d", seqA), onlyA)
+	printIDs(fmt.Sprintf("only in %d", seqB), onlyB)
+	printIDs("changed", changed)
+	return nil
+}

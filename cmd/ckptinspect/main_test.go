@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/synth"
+	"ickpt/stablelog"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+// buildLog writes a small synthetic log: one full + two incrementals.
+func buildLog(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inspect.log")
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+
+	w := synth.Build(synth.Shape{Structures: 4, ListLen: 2, Kind: synth.Ints1})
+	wr := ckpt.NewWriter()
+	add := func(mode ckpt.Mode) {
+		wr.Start(mode)
+		if err := w.CheckpointGeneric(wr); err != nil {
+			t.Fatal(err)
+		}
+		body, _, err := wr.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lg.Append(mode, wr.Epoch(), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(ckpt.Full)
+	w.TouchAll()
+	add(ckpt.Incremental)
+	add(ckpt.Incremental) // quiescent: zero records
+	return path
+}
+
+func TestInspectBasicAndOptions(t *testing.T) {
+	silence(t)
+	path := buildLog(t)
+	if err := run(path, false, false, ""); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := run(path, true, true, ""); err != nil {
+		t.Errorf("run -records -types: %v", err)
+	}
+}
+
+func TestInspectDiff(t *testing.T) {
+	silence(t)
+	path := buildLog(t)
+	if err := run(path, false, false, "1,2"); err != nil {
+		t.Errorf("diff 1,2: %v", err)
+	}
+	if err := run(path, false, false, "2,3"); err != nil {
+		t.Errorf("diff 2,3: %v", err)
+	}
+	for _, bad := range []string{"1", "a,b", "1,99"} {
+		if err := run(path, false, false, bad); err == nil {
+			t.Errorf("diff %q accepted", bad)
+		}
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.log"), false, false, ""); err == nil {
+		t.Error("missing log accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ickpt/internal/harness"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunAndResumeEmbeddedFixture(t *testing.T) {
+	silence(t)
+	for _, strategy := range []string{harness.StrategyFull, harness.StrategyIncr, harness.StrategySpec} {
+		t.Run(strategy, func(t *testing.T) {
+			log := filepath.Join(t.TempDir(), "a.log")
+			if err := run(log, strategy, 1, "image", false, false, ""); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := run(log, strategy, 1, "image", false, true, ""); err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunExternalFile(t *testing.T) {
+	silence(t)
+	src := `
+int data[4];
+int total = 0;
+
+int main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        data[i] = i;
+        total = total + data[i];
+    }
+    return total;
+}
+`
+	dir := t.TempDir()
+	file := filepath.Join(dir, "prog.mc")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log := filepath.Join(dir, "prog.log")
+	if err := run(log, harness.StrategyIncr, 1, "image", true /* sync */, false, file); err != nil {
+		t.Fatalf("run external: %v", err)
+	}
+	if err := run(log, harness.StrategyIncr, 1, "image", false, true, file); err != nil {
+		t.Fatalf("resume external: %v", err)
+	}
+}
+
+func TestRunDSPWorkloadFixture(t *testing.T) {
+	silence(t)
+	log := filepath.Join(t.TempDir(), "dsp.log")
+	if err := run(log, harness.StrategySpec, 1, "dsp", false, false, ""); err != nil {
+		t.Fatalf("run dsp: %v", err)
+	}
+	if err := run(log, harness.StrategySpec, 1, "dsp", false, true, ""); err != nil {
+		t.Fatalf("resume dsp: %v", err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "x.log"), harness.StrategyIncr, 1, "image", false, false,
+		filepath.Join(dir, "missing.mc")); err == nil {
+		t.Error("missing source file accepted")
+	}
+	// Resume from a missing log fails.
+	if err := run(filepath.Join(dir, "absent.log"), harness.StrategyIncr, 1, "image", false, true, ""); err == nil {
+		t.Error("resume from missing log accepted")
+	}
+	// A second run over an existing log fails (Create is exclusive).
+	log := filepath.Join(dir, "dup.log")
+	if err := run(log, harness.StrategyIncr, 1, "image", false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(log, harness.StrategyIncr, 1, "image", false, false, ""); err == nil {
+		t.Error("overwriting an existing log accepted")
+	}
+}

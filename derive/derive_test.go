@@ -1,0 +1,230 @@
+package derive_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ickpt/derive"
+)
+
+// writePkg lays out a temp package directory.
+func writePkg(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goodPkg = `
+package sample
+
+import "ickpt/ckpt"
+
+type Node struct {
+	Info ckpt.Info
+	V    int64 ` + "`ckpt:\"field\"`" + `
+	Next *Node ` + "`ckpt:\"next\"`" + `
+}
+
+type Root struct {
+	Info ckpt.Info
+	Tag  string ` + "`ckpt:\"field\"`" + `
+	Head *Node  ` + "`ckpt:\"list\"`" + `
+}
+
+// Plain types without Info are ignored.
+type helper struct{ x int }
+`
+
+func TestGenerateBasics(t *testing.T) {
+	dir := writePkg(t, map[string]string{"types.go": goodPkg})
+	src, err := derive.Generate(derive.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := string(src)
+	for _, want := range []string{
+		"package sample",
+		`ckpt.TypeIDOf("sample.Node")`,
+		"func (x *Root) Record(e *wire.Encoder)",
+		"func (x *Node) Restore(d *wire.Decoder, res *ckpt.Resolver) error",
+		"func derivedRegistry() *ckpt.Registry",
+		"func derivedCatalog() *spec.Catalog",
+		"NextChild: 0,",  // Node's next pointer
+		"NextChild: -1,", // Root
+		"List: true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	if strings.Contains(s, "helper") {
+		t.Error("non-checkpointable type leaked into generated code")
+	}
+}
+
+func TestGenerateExportedAndPrefix(t *testing.T) {
+	dir := writePkg(t, map[string]string{"types.go": goodPkg})
+	src, err := derive.Generate(derive.Options{Dir: dir, Exported: true, Prefix: "custom."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(src)
+	if !strings.Contains(s, "func DerivedRegistry()") || !strings.Contains(s, "func DerivedCatalog()") {
+		t.Error("exported functions missing")
+	}
+	if !strings.Contains(s, `ckpt.TypeIDOf("custom.Root")`) {
+		t.Error("prefix not applied")
+	}
+}
+
+func TestGenerateTypeFilter(t *testing.T) {
+	dir := writePkg(t, map[string]string{"types.go": goodPkg})
+	// Selecting only Root must fail validation: it references Node.
+	if _, err := derive.Generate(derive.Options{Dir: dir, TypeNames: []string{"Root"}}); !errors.Is(err, derive.ErrDerive) {
+		t.Errorf("dangling child reference = %v, want ErrDerive", err)
+	}
+	// Selecting only Node succeeds (self-contained).
+	if _, err := derive.Generate(derive.Options{Dir: dir, TypeNames: []string{"Node"}}); err != nil {
+		t.Errorf("Generate(Node) = %v", err)
+	}
+	// Unknown name errors.
+	if _, err := derive.Generate(derive.Options{Dir: dir, TypeNames: []string{"Nope"}}); !errors.Is(err, derive.ErrDerive) {
+		t.Errorf("unknown type = %v, want ErrDerive", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown tag", `
+package p
+import "ickpt/ckpt"
+type T struct {
+	Info ckpt.Info
+	V    int64 ` + "`ckpt:\"bogus\"`" + `
+}`},
+		{"unsupported type", `
+package p
+import "ickpt/ckpt"
+type T struct {
+	Info ckpt.Info
+	V    complex128 ` + "`ckpt:\"field\"`" + `
+}`},
+		{"non-pointer child", `
+package p
+import "ickpt/ckpt"
+type T struct {
+	Info ckpt.Info
+	C    T ` + "`ckpt:\"child\"`" + `
+}`},
+		{"next not last", `
+package p
+import "ickpt/ckpt"
+type T struct {
+	Info ckpt.Info
+	Next *T ` + "`ckpt:\"next\"`" + `
+	C    *T ` + "`ckpt:\"child\"`" + `
+}`},
+		{"next wrong type", `
+package p
+import "ickpt/ckpt"
+type U struct {
+	Info ckpt.Info
+}
+type T struct {
+	Info ckpt.Info
+	Next *U ` + "`ckpt:\"next\"`" + `
+}`},
+		{"list of non-element", `
+package p
+import "ickpt/ckpt"
+type U struct {
+	Info ckpt.Info
+}
+type T struct {
+	Info ckpt.Info
+	L    *U ` + "`ckpt:\"list\"`" + `
+}`},
+		{"int slice field", `
+package p
+import "ickpt/ckpt"
+type T struct {
+	Info ckpt.Info
+	V    []int64 ` + "`ckpt:\"field\"`" + `
+}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writePkg(t, map[string]string{"types.go": tc.src})
+			if _, err := derive.Generate(derive.Options{Dir: dir}); !errors.Is(err, derive.ErrDerive) {
+				t.Errorf("Generate = %v, want ErrDerive", err)
+			}
+		})
+	}
+}
+
+func TestGenerateNoPackage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := derive.Generate(derive.Options{Dir: dir}); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestGenerateNoAnnotatedTypes(t *testing.T) {
+	dir := writePkg(t, map[string]string{"types.go": "package p\n\ntype X struct{ A int }\n"})
+	if _, err := derive.Generate(derive.Options{Dir: dir}); !errors.Is(err, derive.ErrDerive) {
+		t.Errorf("Generate = %v, want ErrDerive", err)
+	}
+}
+
+func TestGenerateSkipsTestAndGeneratedFiles(t *testing.T) {
+	dir := writePkg(t, map[string]string{
+		"types.go":      goodPkg,
+		"zz_old.go":     "package sample\n\nfunc stale() {}\n",
+		"extra_test.go": "package sample\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	if _, err := derive.Generate(derive.Options{Dir: dir}); err != nil {
+		t.Errorf("Generate with zz_/test files = %v", err)
+	}
+}
+
+func TestGenerateCellVariants(t *testing.T) {
+	dir := writePkg(t, map[string]string{"types.go": `
+package p
+import "ickpt/ckpt"
+type T struct {
+	Info ckpt.Info
+	A    ckpt.Cell[int32]   ` + "`ckpt:\"field\"`" + `
+	B    ckpt.Cell[string]  ` + "`ckpt:\"field\"`" + `
+	C    ckpt.Cell[float32] ` + "`ckpt:\"field\"`" + `
+	D    []byte             ` + "`ckpt:\"field\"`" + `
+	E    uint8              ` + "`ckpt:\"field\"`" + `
+}`})
+	src, err := derive.Generate(derive.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := string(src)
+	wants := []string{
+		"x.A.V = int32(d.Varint())",
+		"x.B.V = d.String()",
+		"x.C.V = float32(d.Float64())",
+		"x.D = d.BytesField()",
+		"x.E = uint8(d.Uvarint())",
+	}
+	for _, want := range wants {
+		if !strings.Contains(s, want) {
+			t.Errorf("generated source missing %q\n%s", want, s)
+		}
+	}
+}

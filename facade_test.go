@@ -1,0 +1,31 @@
+package ickpt_test
+
+import (
+	"testing"
+
+	"ickpt"
+	"ickpt/ckpt"
+)
+
+// TestFacadeAliases checks that the root package's re-exports are usable
+// and interoperate with the subpackages.
+func TestFacadeAliases(t *testing.T) {
+	d := ickpt.NewDomain()
+	info := ckpt.NewInfo(d) // alias types must be identical
+	var _ ickpt.Info = info
+
+	w := ickpt.NewWriter()
+	w.Start(ickpt.Incremental)
+	if _, _, err := w.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if ickpt.Full != ckpt.Full || ickpt.Incremental != ckpt.Incremental {
+		t.Error("mode constants diverge")
+	}
+
+	reg := ickpt.NewRegistry()
+	rb := ickpt.NewRebuilder(reg)
+	if rb.Objects() != 0 {
+		t.Error("fresh rebuilder not empty")
+	}
+}

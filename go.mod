@@ -1,0 +1,3 @@
+module ickpt
+
+go 1.22

@@ -1,0 +1,68 @@
+// Package ickpt is an incremental checkpointing library for Go object
+// graphs, with program specialization of the checkpointing process — a
+// from-scratch reproduction of Lawall & Muller, "Efficient Incremental
+// Checkpointing of Java Programs" (DSN 2000).
+//
+// The implementation lives in focused subpackages; this root package
+// re-exports the core types so simple programs need one import:
+//
+//	ckpt       — the checkpointing protocol: Info, Domain, Writer,
+//	             Checkpointable/Restorable, Registry, Rebuilder, Cell
+//	spec       — specialization classes, modification patterns, the plan
+//	             compiler/executor, and the Go code generator
+//	reflectckpt— run-time-reflection generic checkpointing
+//	stablelog  — durable CRC-framed checkpoint logs with torn-tail
+//	             recovery, async writes and compaction
+//	wire       — the binary encoding
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced evaluation.
+package ickpt
+
+import (
+	"ickpt/ckpt"
+)
+
+// Core protocol re-exports.
+type (
+	// Checkpointable is the per-object checkpoint protocol.
+	Checkpointable = ckpt.Checkpointable
+	// Restorable adds the decode side of the protocol.
+	Restorable = ckpt.Restorable
+	// Info is per-object checkpoint metadata (id + modified flag).
+	Info = ckpt.Info
+	// Domain issues unique object ids.
+	Domain = ckpt.Domain
+	// Writer is the generic checkpoint driver.
+	Writer = ckpt.Writer
+	// Mode selects full or incremental checkpointing.
+	Mode = ckpt.Mode
+	// Stats are per-checkpoint traversal counters.
+	Stats = ckpt.Stats
+	// Registry maps type names to restore factories.
+	Registry = ckpt.Registry
+	// Rebuilder reconstructs state from checkpoint bodies.
+	Rebuilder = ckpt.Rebuilder
+	// Resolver resolves child ids during restore.
+	Resolver = ckpt.Resolver
+)
+
+// Checkpoint modes.
+const (
+	// Full records every visited object.
+	Full = ckpt.Full
+	// Incremental records only modified objects.
+	Incremental = ckpt.Incremental
+)
+
+// NewDomain returns a fresh id domain.
+func NewDomain() *Domain { return ckpt.NewDomain() }
+
+// NewWriter returns a generic checkpoint writer.
+func NewWriter(opts ...ckpt.WriterOption) *Writer { return ckpt.NewWriter(opts...) }
+
+// NewRegistry returns an empty restore registry.
+func NewRegistry() *Registry { return ckpt.NewRegistry() }
+
+// NewRebuilder returns a rebuilder resolving types through reg.
+func NewRebuilder(reg *Registry) *Rebuilder { return ckpt.NewRebuilder(reg) }

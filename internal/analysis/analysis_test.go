@@ -1,0 +1,559 @@
+package analysis_test
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/analysis"
+	"ickpt/internal/fixtures"
+	"ickpt/internal/minic"
+	"ickpt/spec"
+)
+
+const tinyProgram = `
+int n = 10;
+int data[8];
+int total = 0;
+
+int scale(int v) {
+    return v * n;
+}
+
+void load(int v) {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        data[i] = v + i;
+    }
+}
+
+int main() {
+    int i;
+    load(5);
+    for (i = 0; i < 8; i = i + 1) {
+        total = total + scale(data[i]);
+    }
+    return total;
+}
+`
+
+func newEngine(t *testing.T, src string) *analysis.Engine {
+	t.Helper()
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	e, err := analysis.NewEngine(f)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+// stmtByPrint finds the statement whose printed form contains the marker.
+func stmtByPrint(t *testing.T, e *analysis.Engine, marker string) minic.Stmt {
+	t.Helper()
+	for _, s := range e.Statements() {
+		var b strings.Builder
+		// Print the enclosing structure and match per statement via
+		// type+position: cheaper to match on a re-print of the single
+		// statement; reuse the file printer through a tiny block.
+		_ = b
+		if strings.Contains(printStmt(s), marker) {
+			return s
+		}
+	}
+	t.Fatalf("no statement matches %q", marker)
+	return nil
+}
+
+// printStmt renders one statement through the file printer by wrapping it.
+func printStmt(s minic.Stmt) string {
+	switch x := s.(type) {
+	case *minic.ExprStmt:
+		var b strings.Builder
+		exprString(&b, x.X)
+		return b.String()
+	case *minic.VarDecl:
+		var b strings.Builder
+		b.WriteString(x.Name)
+		if x.Init != nil {
+			b.WriteString(" = ")
+			exprString(&b, x.Init)
+		}
+		return b.String()
+	case *minic.ReturnStmt:
+		var b strings.Builder
+		b.WriteString("return ")
+		if x.X != nil {
+			exprString(&b, x.X)
+		}
+		return b.String()
+	default:
+		return ""
+	}
+}
+
+func exprString(b *strings.Builder, e minic.Expr) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		b.WriteString(x.Name)
+	case *minic.IntLit:
+		b.WriteString("int")
+	case *minic.AssignExpr:
+		exprString(b, x.LHS)
+		b.WriteString(" = ")
+		exprString(b, x.RHS)
+	case *minic.BinaryExpr:
+		exprString(b, x.X)
+		b.WriteString(" " + x.Op + " ")
+		exprString(b, x.Y)
+	case *minic.CallExpr:
+		b.WriteString(x.Name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			exprString(b, a)
+		}
+		b.WriteString(")")
+	case *minic.IndexExpr:
+		b.WriteString(x.Name + "[")
+		exprString(b, x.Index)
+		b.WriteString("]")
+	case *minic.UnaryExpr:
+		b.WriteString(x.Op)
+		exprString(b, x.X)
+	case *minic.FloatLit:
+		b.WriteString("float")
+	}
+}
+
+func TestEngineAllocatesAttributes(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	stmts := e.Statements()
+	if len(stmts) == 0 {
+		t.Fatal("no statements")
+	}
+	if len(e.Roots()) != len(stmts) {
+		t.Errorf("roots = %d, statements = %d", len(e.Roots()), len(stmts))
+	}
+	if e.Objects() != 6*len(stmts) {
+		t.Errorf("Objects = %d, want %d", e.Objects(), 6*len(stmts))
+	}
+	for _, s := range stmts {
+		a := e.Attr(s)
+		if a == nil || a.SE == nil || a.BT == nil || a.BT.BT == nil || a.ET == nil || a.ET.ET == nil {
+			t.Fatalf("incomplete Attributes for statement %d", s.NodeID())
+		}
+	}
+}
+
+func TestSEComputesReadWriteSets(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	stats, err := e.RunSE(nil)
+	if err != nil {
+		t.Fatalf("RunSE: %v", err)
+	}
+	if len(stats) < 2 {
+		t.Errorf("SE converged in %d iterations, want >= 2", len(stats))
+	}
+	if last := stats[len(stats)-1]; last.Changed != 0 {
+		t.Errorf("last SE iteration still changed %d", last.Changed)
+	}
+
+	// total = total + scale(data[i]) reads total, data, n (via scale) and
+	// writes total.
+	s := stmtByPrint(t, e, "total = total + scale(data[")
+	se := e.Attr(s).SE
+	reads := setNames(e, se.Reads)
+	writes := setNames(e, se.Writes)
+	sort.Strings(reads)
+	wantReads := []string{"data", "n", "total"}
+	if strings.Join(reads, ",") != strings.Join(wantReads, ",") {
+		t.Errorf("reads = %v, want %v", reads, wantReads)
+	}
+	if strings.Join(writes, ",") != "total" {
+		t.Errorf("writes = %v, want [total]", writes)
+	}
+
+	// load writes data (via array param aliasing and direct global use).
+	s = stmtByPrint(t, e, "load(int)")
+	se = e.Attr(s).SE
+	if !contains(setNames(e, se.Writes), "data") {
+		t.Errorf("load call writes = %v, want data", setNames(e, se.Writes))
+	}
+}
+
+func TestBTADivision(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	div := analysis.Division{
+		Entry:   "main",
+		Globals: map[string]uint64{"data": analysis.BTDynamic, "total": analysis.BTDynamic},
+	}
+	stats, err := e.RunBTA(div, nil)
+	if err != nil {
+		t.Fatalf("RunBTA: %v", err)
+	}
+	if len(stats) < 2 {
+		t.Errorf("BTA converged in %d iterations, want >= 2", len(stats))
+	}
+
+	// n is static: "return v * n" inside scale is dynamic only because v
+	// flows from dynamic data.
+	s := stmtByPrint(t, e, "return v * n")
+	if got := e.Attr(s).BT.BT.Ann; got != analysis.BTDynamic {
+		t.Errorf("scale return ann = %d, want dynamic", got)
+	}
+	// The pure loop "for i" decl is static.
+	static := e.StaticGlobals()
+	if !static["n"] {
+		t.Error("n should stay static")
+	}
+	if static["data"] || static["total"] {
+		t.Errorf("data/total should be dynamic: %v", static)
+	}
+}
+
+func TestETARequiresPriorPhases(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	if _, err := e.RunETA(nil); err == nil {
+		t.Error("RunETA without BTA succeeded")
+	}
+}
+
+func TestRunAllPhasesOnImageProgram(t *testing.T) {
+	f, err := minic.Parse(fixtures.ImageMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := analysis.NewEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	div := ImageDivision()
+	var phaseIters = map[string]int{}
+	stats, err := e.RunAll(div, func(phase string, iter int) error {
+		phaseIters[phase] = iter
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if phaseIters[analysis.PhaseSE] < 2 || phaseIters[analysis.PhaseBTA] < 2 || phaseIters[analysis.PhaseETA] < 2 {
+		t.Errorf("iterations = %v, want >= 2 each", phaseIters)
+	}
+	// Convergence: the last iteration of each phase changed nothing.
+	last := map[string]int{}
+	for _, st := range stats {
+		last[st.Phase] = st.Changed
+	}
+	for phase, changed := range last {
+		if changed != 0 {
+			t.Errorf("phase %s ended with %d changes", phase, changed)
+		}
+	}
+
+	// Every statement is annotated by all three phases.
+	for _, s := range e.Statements() {
+		a := e.Attr(s)
+		if a.BT.BT.Ann == analysis.BTUnknown {
+			t.Fatalf("statement %d missing BT annotation", s.NodeID())
+		}
+		if a.ET.ET.Ann == analysis.ETUnknown {
+			t.Fatalf("statement %d missing ET annotation", s.NodeID())
+		}
+	}
+
+	// There must be a real mixture of static and dynamic statements, or
+	// the workload is degenerate.
+	var static, dynamic int
+	for _, s := range e.Statements() {
+		if e.Attr(s).BT.BT.Ann == analysis.BTStatic {
+			static++
+		} else {
+			dynamic++
+		}
+	}
+	if static == 0 || dynamic == 0 {
+		t.Errorf("degenerate division: %d static, %d dynamic", static, dynamic)
+	}
+}
+
+// ImageDivision is the standard division for image.mc: image data and the
+// RNG state are dynamic (run-time inputs), dimensions and kernels static.
+func ImageDivision() analysis.Division {
+	return analysis.Division{
+		Entry: "main",
+		Globals: map[string]uint64{
+			"img":    analysis.BTDynamic,
+			"tmp":    analysis.BTDynamic,
+			"out2":   analysis.BTDynamic,
+			"edge":   analysis.BTDynamic,
+			"hist":   analysis.BTDynamic,
+			"cdf":    analysis.BTDynamic,
+			"seed":   analysis.BTDynamic,
+			"passes": analysis.BTDynamic,
+		},
+	}
+}
+
+func TestPhaseCheckpointsRespectDeclaredPatterns(t *testing.T) {
+	// Running each phase under its specialized plan in verify mode
+	// proves the declared per-phase modification patterns are sound.
+	f, err := minic.Parse(fixtures.ImageMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := analysis.NewEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain creation flags with one throwaway incremental checkpoint.
+	drain := func() {
+		w := ckpt.NewWriter()
+		w.Start(ckpt.Incremental)
+		for _, r := range e.Roots() {
+			if err := w.Checkpoint(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain()
+
+	plans := map[string]*spec.Plan{}
+	for phase, pat := range map[string]*spec.Pattern{
+		analysis.PhaseSE:  analysis.PatternSE(),
+		analysis.PhaseBTA: analysis.PatternBTA(),
+		analysis.PhaseETA: analysis.PatternETA(),
+	} {
+		p, err := analysis.CompilePlan(pat, spec.WithVerify())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[phase] = p
+	}
+
+	ck := func(phase string, iter int) error {
+		w := ckpt.NewWriter()
+		w.Start(ckpt.Incremental)
+		for _, r := range e.Roots() {
+			if err := plans[phase].Execute(w, r); err != nil {
+				return err
+			}
+		}
+		_, _, err := w.Finish()
+		return err
+	}
+	if _, err := e.RunAll(ImageDivision(), ck); err != nil {
+		t.Fatalf("phase checkpoint violated its declared pattern: %v", err)
+	}
+}
+
+func TestSpecializedPhaseCheckpointMatchesGeneric(t *testing.T) {
+	// Twin engines: checkpoint one generically and one through the
+	// specialized plan after every iteration; the bodies must be
+	// byte-identical at each step.
+	build := func() *analysis.Engine {
+		f, err := minic.Parse(fixtures.ImageMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := analysis.NewEngine(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2 := build(), build()
+
+	// Baseline: a throwaway incremental checkpoint clears the creation
+	// flags. Phase-specialized checkpointing requires a baseline taken
+	// after setup (the harness takes a full checkpoint there).
+	for _, e := range []*analysis.Engine{e1, e2} {
+		w := ckpt.NewWriter()
+		w.Start(ckpt.Incremental)
+		for _, r := range e.Roots() {
+			if err := w.Checkpoint(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plans := map[string]*spec.Plan{}
+	for phase, pat := range map[string]*spec.Pattern{
+		analysis.PhaseSE:  analysis.PatternSE(),
+		analysis.PhaseBTA: analysis.PatternBTA(),
+		analysis.PhaseETA: analysis.PatternETA(),
+	} {
+		p, err := analysis.CompilePlan(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[phase] = p
+	}
+
+	w1 := ckpt.NewWriter()
+	w2 := ckpt.NewWriter()
+	var bodies1, bodies2 [][]byte
+	ck1 := func(phase string, iter int) error {
+		w1.Start(ckpt.Incremental)
+		for _, r := range e1.Roots() {
+			if err := w1.Checkpoint(r); err != nil {
+				return err
+			}
+		}
+		b, _, err := w1.Finish()
+		bodies1 = append(bodies1, append([]byte(nil), b...))
+		return err
+	}
+	ck2 := func(phase string, iter int) error {
+		w2.Start(ckpt.Incremental)
+		for _, r := range e2.Roots() {
+			if err := plans[phase].Execute(w2, r); err != nil {
+				return err
+			}
+		}
+		b, _, err := w2.Finish()
+		bodies2 = append(bodies2, append([]byte(nil), b...))
+		return err
+	}
+	if _, err := e1.RunAll(ImageDivision(), ck1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RunAll(ImageDivision(), ck2); err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies1) != len(bodies2) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(bodies1), len(bodies2))
+	}
+	for i := range bodies1 {
+		if !bytes.Equal(bodies1[i], bodies2[i]) {
+			t.Errorf("iteration %d: specialized body differs from generic", i)
+		}
+	}
+}
+
+func TestGeneratedPhaseRoutinesRegistered(t *testing.T) {
+	for _, key := range []string{"struct", "se", "bta", "eta"} {
+		if _, ok := analysis.Generated(key); !ok {
+			t.Errorf("generated routine %q missing", key)
+		}
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	if _, err := e.RunSE(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Full)
+	for _, r := range e.Roots() {
+		if err := w.Checkpoint(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rb := ckpt.NewRebuilder(analysis.Registry())
+	if err := rb.Apply(append([]byte(nil), body...)); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := rb.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != e.Objects() {
+		t.Fatalf("rebuilt %d objects, want %d", len(objs), e.Objects())
+	}
+	for _, s := range e.Statements() {
+		live := e.Attr(s)
+		got, ok := objs[live.Info.ID()].(*analysis.Attributes)
+		if !ok {
+			t.Fatalf("rebuilt object %d is %T", live.Info.ID(), objs[live.Info.ID()])
+		}
+		if !bytes.Equal(got.SE.Reads, live.SE.Reads) || !bytes.Equal(got.SE.Writes, live.SE.Writes) {
+			t.Errorf("statement %d: restored SE sets differ", s.NodeID())
+		}
+		if got.BT.BT.Ann != live.BT.BT.Ann || got.ET.ET.Ann != live.ET.ET.Ann {
+			t.Errorf("statement %d: restored annotations differ", s.NodeID())
+		}
+	}
+}
+
+func TestDuplicateDeclarationsRejected(t *testing.T) {
+	cases := []string{
+		"int x; int x;",
+		"int f() { return 0; } int f() { return 1; }",
+	}
+	for _, src := range cases {
+		f, err := minic.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := analysis.NewEngine(f); err == nil {
+			t.Errorf("NewEngine(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestBTAUnknownEntry(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	_, err := e.RunBTA(analysis.Division{Entry: "nope"}, nil)
+	if err == nil {
+		t.Error("RunBTA with unknown entry succeeded")
+	}
+}
+
+func TestCheckpointFnErrorPropagates(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	boom := errors.New("boom")
+	_, err := e.RunSE(func(string, int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("RunSE = %v, want boom", err)
+	}
+}
+
+// setNames returns the sorted global names in a bitset, via the engine's
+// global order (already sorted by declaration; tests sort for stability).
+func setNames(e *analysis.Engine, set []byte) []string {
+	var out []string
+	for i, name := range e.Globals() {
+		if bitHasTest(set, i) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func bitHasTest(set []byte, i int) bool {
+	if i/8 >= len(set) {
+		return false
+	}
+	return set[i/8]&(1<<(i%8)) != 0
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

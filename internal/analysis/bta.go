@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ickpt/internal/minic"
+)
+
+// Binding-time analysis (the paper's second phase): given a division of the
+// inputs into static (known at specialization time) and dynamic, compute
+// for every statement whether it can be evaluated by the specializer
+// (BTStatic) or must be residualized (BTDynamic). The lattice is
+// BTUnknown < BTStatic < BTDynamic; variable binding times, function
+// summaries and per-statement annotations all grow monotonically, and the
+// analysis iterates whole-program passes to a fixpoint — checkpointing
+// after each pass, with only the annotations that changed marked modified.
+
+// Division assigns binding times to the program's inputs.
+type Division struct {
+	// Entry is the entry function (its statements start in a static
+	// control context).
+	Entry string
+	// Params gives per-function parameter binding times (usually only
+	// the entry function's). Missing entries default to BTStatic.
+	Params map[string][]uint64
+	// Globals gives per-global binding times. Missing entries default to
+	// BTStatic.
+	Globals map[string]uint64
+}
+
+// varKey identifies a variable: fn=="" means global scope.
+type varKey struct {
+	fn   string
+	name string
+}
+
+// btaState carries the binding-time fixpoint.
+type btaState struct {
+	e       *Engine
+	div     Division
+	vars    map[varKey]uint64
+	ret     map[string]uint64
+	ctx     map[string]uint64
+	changed int
+	grew    bool
+}
+
+func btJoin(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newBTAState seeds the lattice from the division.
+func (e *Engine) newBTAState(div Division) (*btaState, error) {
+	if div.Entry != "" {
+		if _, ok := e.funcs[div.Entry]; !ok {
+			return nil, fmt.Errorf("analysis: unknown entry function %q", div.Entry)
+		}
+	}
+	st := &btaState{
+		e:    e,
+		div:  div,
+		vars: make(map[varKey]uint64),
+		ret:  make(map[string]uint64),
+		ctx:  make(map[string]uint64),
+	}
+	for _, g := range e.globals {
+		bt := BTStatic
+		if v, ok := div.Globals[g]; ok {
+			bt = v
+		}
+		st.vars[varKey{name: g}] = bt
+	}
+	for name, fn := range e.funcs {
+		for i, p := range fn.Params {
+			bt := BTStatic
+			if ps, ok := div.Params[name]; ok && i < len(ps) {
+				bt = ps[i]
+			}
+			st.setVar(varKey{fn: name, name: p.Name}, bt)
+		}
+	}
+	return st, nil
+}
+
+// setVar joins bt into the variable's binding time.
+func (st *btaState) setVar(k varKey, bt uint64) {
+	if cur := st.vars[k]; btJoin(cur, bt) != cur {
+		st.vars[k] = btJoin(cur, bt)
+		st.grew = true
+	}
+}
+
+// varBT reads a variable's binding time, resolving locals before globals.
+func (st *btaState) varBT(fn, name string) uint64 {
+	if fn != "" && st.e.localsOf[fn][name] {
+		return st.vars[varKey{fn: fn, name: name}]
+	}
+	if _, ok := st.e.globalIdx[name]; ok {
+		return st.vars[varKey{name: name}]
+	}
+	return st.vars[varKey{fn: fn, name: name}]
+}
+
+// setVarNamed joins bt into the variable name resolved in fn's scope.
+func (st *btaState) setVarNamed(fn, name string, bt uint64) {
+	if fn != "" && st.e.localsOf[fn][name] {
+		st.setVar(varKey{fn: fn, name: name}, bt)
+		return
+	}
+	if _, ok := st.e.globalIdx[name]; ok {
+		st.setVar(varKey{name: name}, bt)
+		return
+	}
+	st.setVar(varKey{fn: fn, name: name}, bt)
+}
+
+// btaIteration runs one whole-program pass; it returns the number of
+// statement annotations that changed.
+func (e *Engine) btaIteration(st *btaState) int {
+	st.changed = 0
+	st.grew = false
+	// Global initializers execute in a static context.
+	for _, g := range e.File.Globals {
+		ann := BTStatic
+		if g.Init != nil {
+			ann = btJoin(ann, st.evalExpr("", g.Init, BTStatic))
+		}
+		// The declared binding time of the global dominates: a dynamic
+		// input is dynamic even with a constant initializer.
+		ann = btJoin(ann, st.vars[varKey{name: g.Name}])
+		st.annotate(g, ann)
+	}
+	for _, fn := range e.File.Funcs {
+		ctl := btJoin(BTStatic, st.ctx[fn.Name])
+		st.walkStmt(fn.Name, fn.Body, ctl)
+	}
+	return st.changed
+}
+
+// annotate joins ann into the statement's BT annotation.
+func (st *btaState) annotate(s minic.Stmt, ann uint64) {
+	bt := st.e.attrs[s.NodeID()].BT.BT
+	if bt.Set(btJoin(bt.Ann, ann)) {
+		st.changed++
+	}
+}
+
+// walkStmt analyzes s under control context ctl.
+func (st *btaState) walkStmt(fn string, s minic.Stmt, ctl uint64) {
+	if s == nil {
+		return
+	}
+	switch x := s.(type) {
+	case *minic.VarDecl:
+		ann := btJoin(BTStatic, ctl)
+		if x.Init != nil {
+			v := st.evalExpr(fn, x.Init, ctl)
+			st.setVarNamed(fn, x.Name, btJoin(v, ctl))
+			ann = btJoin(ann, v)
+		}
+		st.annotate(s, ann)
+	case *minic.Block:
+		st.annotate(s, btJoin(BTStatic, ctl))
+		for _, sub := range x.Stmts {
+			st.walkStmt(fn, sub, ctl)
+		}
+	case *minic.ExprStmt:
+		st.annotate(s, btJoin(btJoin(BTStatic, ctl), st.evalExpr(fn, x.X, ctl)))
+	case *minic.IfStmt:
+		cond := st.evalExpr(fn, x.Cond, ctl)
+		st.annotate(s, btJoin(btJoin(BTStatic, ctl), cond))
+		inner := btJoin(ctl, cond)
+		st.walkStmt(fn, x.Then, inner)
+		st.walkStmt(fn, x.Else, inner)
+	case *minic.WhileStmt:
+		cond := st.evalExpr(fn, x.Cond, ctl)
+		st.annotate(s, btJoin(btJoin(BTStatic, ctl), cond))
+		st.walkStmt(fn, x.Body, btJoin(ctl, cond))
+	case *minic.ForStmt:
+		st.walkStmt(fn, x.Init, ctl)
+		cond := BTStatic
+		if x.Cond != nil {
+			cond = st.evalExpr(fn, x.Cond, ctl)
+		}
+		inner := btJoin(ctl, cond)
+		st.annotate(s, btJoin(btJoin(BTStatic, ctl), cond))
+		if x.Post != nil {
+			st.evalExprEffect(fn, x.Post, inner)
+		}
+		st.walkStmt(fn, x.Body, inner)
+	case *minic.ReturnStmt:
+		ann := btJoin(BTStatic, ctl)
+		if x.X != nil {
+			v := st.evalExpr(fn, x.X, ctl)
+			ann = btJoin(ann, v)
+			if cur := st.ret[fn]; btJoin(cur, ann) != cur {
+				st.ret[fn] = btJoin(cur, ann)
+				st.grew = true
+			}
+		}
+		st.annotate(s, ann)
+	case *minic.EmptyStmt:
+		st.annotate(s, btJoin(BTStatic, ctl))
+	}
+}
+
+// evalExprEffect evaluates for side effects only.
+func (st *btaState) evalExprEffect(fn string, x minic.Expr, ctl uint64) {
+	st.evalExpr(fn, x, ctl)
+}
+
+// evalExpr computes the binding time of an expression under ctl,
+// propagating assignments and call bindings.
+func (st *btaState) evalExpr(fn string, x minic.Expr, ctl uint64) uint64 {
+	switch e := x.(type) {
+	case nil:
+		return BTStatic
+	case *minic.IntLit, *minic.FloatLit:
+		return BTStatic
+	case *minic.Ident:
+		return btJoin(BTStatic, st.varBT(fn, e.Name))
+	case *minic.IndexExpr:
+		return btJoin(btJoin(BTStatic, st.varBT(fn, e.Name)), st.evalExpr(fn, e.Index, ctl))
+	case *minic.UnaryExpr:
+		return st.evalExpr(fn, e.X, ctl)
+	case *minic.BinaryExpr:
+		return btJoin(st.evalExpr(fn, e.X, ctl), st.evalExpr(fn, e.Y, ctl))
+	case *minic.AssignExpr:
+		v := btJoin(st.evalExpr(fn, e.RHS, ctl), btJoin(BTStatic, ctl))
+		switch lhs := e.LHS.(type) {
+		case *minic.Ident:
+			st.setVarNamed(fn, lhs.Name, v)
+		case *minic.IndexExpr:
+			v = btJoin(v, st.evalExpr(fn, lhs.Index, ctl))
+			st.setVarNamed(fn, lhs.Name, v)
+		}
+		return v
+	case *minic.CallExpr:
+		args := BTStatic
+		for _, a := range e.Args {
+			args = btJoin(args, st.evalExpr(fn, a, ctl))
+		}
+		if e.Name == "print" {
+			return args
+		}
+		callee, ok := st.e.funcs[e.Name]
+		if !ok {
+			return BTDynamic // unknown function: residualize
+		}
+		for i, p := range callee.Params {
+			abt := BTStatic
+			if i < len(e.Args) {
+				abt = st.evalExpr(fn, e.Args[i], ctl)
+			}
+			st.setVar(varKey{fn: callee.Name, name: p.Name}, btJoin(abt, ctl))
+			// Array arguments alias: the callee writing a dynamic value
+			// into the parameter dirties the argument variable too.
+			if p.IsArray {
+				if id, ok := e.Args[i].(*minic.Ident); ok {
+					st.setVarNamed(fn, id.Name, st.vars[varKey{fn: callee.Name, name: p.Name}])
+				}
+			}
+		}
+		if cur := st.ctx[callee.Name]; btJoin(cur, ctl) != cur {
+			st.ctx[callee.Name] = btJoin(cur, ctl)
+			st.grew = true
+		}
+		return btJoin(args, btJoin(BTStatic, st.ret[e.Name]))
+	default:
+		return BTDynamic
+	}
+}
+
+// StaticGlobals returns, after RunBTA, the globals whose binding time
+// remained static. RunETA uses this set.
+func (e *Engine) StaticGlobals() map[string]bool {
+	out := make(map[string]bool)
+	if e.bta == nil {
+		return out
+	}
+	for _, g := range e.globals {
+		if e.bta.vars[varKey{name: g}] <= BTStatic {
+			out[g] = true
+		}
+	}
+	return out
+}

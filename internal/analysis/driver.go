@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDiverged reports an analysis that failed to reach a fixpoint within
+// the iteration bound (a bug guard; the lattices are finite).
+var ErrDiverged = errors.New("analysis: fixpoint did not converge")
+
+// maxIterations bounds every phase's fixpoint loop.
+const maxIterations = 1000
+
+// Phase names, used in iteration stats and generated-routine keys.
+const (
+	PhaseSE  = "se"
+	PhaseBTA = "bta"
+	PhaseETA = "eta"
+)
+
+// CheckpointFn is called at the end of every analysis iteration — the
+// paper's "a checkpoint is taken for each iteration of the analyses". A nil
+// CheckpointFn disables checkpointing. The callback checkpoints the
+// engine's Roots with whatever strategy the caller measures.
+type CheckpointFn func(phase string, iteration int) error
+
+// IterationStat describes one analysis iteration.
+type IterationStat struct {
+	// Phase is PhaseSE, PhaseBTA or PhaseETA.
+	Phase string
+	// Iteration counts from 1 within the phase.
+	Iteration int
+	// Changed is the number of per-statement results that changed.
+	Changed int
+}
+
+// Engine phase state, retained across phases (ETA reads BTA's division
+// results).
+type phaseState struct {
+	se  *seState
+	bta *btaState
+	eta *etaState
+}
+
+// RunSE runs side-effect analysis to fixpoint, invoking ck after each
+// iteration.
+func (e *Engine) RunSE(ck CheckpointFn) ([]IterationStat, error) {
+	st := &seState{e: e, summaries: make(map[string]*seSummary)}
+	for _, fn := range e.File.Funcs {
+		st.summaries[fn.Name] = &seSummary{}
+	}
+	e.phases.se = st
+
+	var stats []IterationStat
+	for iter := 1; ; iter++ {
+		if iter > maxIterations {
+			return stats, fmt.Errorf("%w: side-effect analysis", ErrDiverged)
+		}
+		changed := e.seIteration(st)
+		stats = append(stats, IterationStat{Phase: PhaseSE, Iteration: iter, Changed: changed})
+		if ck != nil {
+			if err := ck(PhaseSE, iter); err != nil {
+				return stats, err
+			}
+		}
+		if changed == 0 {
+			return stats, nil
+		}
+	}
+}
+
+// RunBTA runs binding-time analysis to fixpoint under the division,
+// invoking ck after each iteration. It requires no prior phase, but the
+// engine retains its result for RunETA.
+func (e *Engine) RunBTA(div Division, ck CheckpointFn) ([]IterationStat, error) {
+	st, err := e.newBTAState(div)
+	if err != nil {
+		return nil, err
+	}
+	e.phases.bta = st
+	e.bta = st
+
+	var stats []IterationStat
+	for iter := 1; ; iter++ {
+		if iter > maxIterations {
+			return stats, fmt.Errorf("%w: binding-time analysis", ErrDiverged)
+		}
+		changed := e.btaIteration(st)
+		stats = append(stats, IterationStat{Phase: PhaseBTA, Iteration: iter, Changed: changed})
+		if ck != nil {
+			if err := ck(PhaseBTA, iter); err != nil {
+				return stats, err
+			}
+		}
+		if changed == 0 && !st.grew {
+			return stats, nil
+		}
+	}
+}
+
+// RunETA runs evaluation-time analysis to fixpoint, invoking ck after each
+// iteration. RunBTA must have run first (ETA reads the surviving static
+// division); RunSE must have run first too (ETA reads the per-statement
+// read/write sets).
+func (e *Engine) RunETA(ck CheckpointFn) ([]IterationStat, error) {
+	if e.bta == nil {
+		return nil, errors.New("analysis: RunETA requires RunBTA first")
+	}
+	if e.phases.se == nil {
+		return nil, errors.New("analysis: RunETA requires RunSE first")
+	}
+	st := e.newETAState()
+	e.phases.eta = st
+
+	var stats []IterationStat
+	for iter := 1; ; iter++ {
+		if iter > maxIterations {
+			return stats, fmt.Errorf("%w: evaluation-time analysis", ErrDiverged)
+		}
+		changed := e.etaIteration(st)
+		stats = append(stats, IterationStat{Phase: PhaseETA, Iteration: iter, Changed: changed})
+		if ck != nil {
+			if err := ck(PhaseETA, iter); err != nil {
+				return stats, err
+			}
+		}
+		if changed == 0 {
+			return stats, nil
+		}
+	}
+}
+
+// RunAll runs the three phases in order and returns the concatenated
+// iteration stats.
+func (e *Engine) RunAll(div Division, ck CheckpointFn) ([]IterationStat, error) {
+	se, err := e.RunSE(ck)
+	if err != nil {
+		return se, err
+	}
+	bta, err := e.RunBTA(div, ck)
+	se = append(se, bta...)
+	if err != nil {
+		return se, err
+	}
+	eta, err := e.RunETA(ck)
+	se = append(se, eta...)
+	return se, err
+}

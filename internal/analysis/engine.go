@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"ickpt/ckpt"
+	"ickpt/internal/minic"
+)
+
+// Engine runs the three analyses over one simplified-C program, storing
+// per-statement results in checkpointable Attributes and checkpointing at
+// the end of every analysis iteration, exactly as the paper's engine does.
+type Engine struct {
+	// File is the analyzed program.
+	File *minic.File
+	// Domain issued the Attributes object ids.
+	Domain *ckpt.Domain
+
+	stmts []minic.Stmt
+	attrs map[minic.NodeID]*Attributes
+	roots []ckpt.Checkpointable
+
+	globals   []string
+	globalIdx map[string]int
+	funcs     map[string]*minic.FuncDecl
+	// localsOf maps a function to its function-scoped names (parameters
+	// and all declared locals): the names that shadow globals.
+	localsOf map[string]map[string]bool
+
+	// bta retains the binding-time result for RunETA.
+	bta *btaState
+	// phases retains per-phase fixpoint state.
+	phases phaseState
+}
+
+// NewEngine validates f and allocates the per-statement Attributes trees.
+func NewEngine(f *minic.File) (*Engine, error) {
+	if err := minic.Check(f); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	e := &Engine{
+		File:      f,
+		Domain:    ckpt.NewDomain(),
+		attrs:     make(map[minic.NodeID]*Attributes),
+		globalIdx: make(map[string]int),
+		funcs:     make(map[string]*minic.FuncDecl),
+		localsOf:  make(map[string]map[string]bool),
+	}
+	e.stmts = f.Statements()
+	for _, s := range e.stmts {
+		a := NewAttributes(e.Domain)
+		e.attrs[s.NodeID()] = a
+		e.roots = append(e.roots, a)
+	}
+	for _, g := range f.Globals {
+		if _, dup := e.globalIdx[g.Name]; dup {
+			return nil, fmt.Errorf("analysis: duplicate global %q", g.Name)
+		}
+		e.globalIdx[g.Name] = len(e.globals)
+		e.globals = append(e.globals, g.Name)
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := e.funcs[fn.Name]; dup {
+			return nil, fmt.Errorf("analysis: duplicate function %q", fn.Name)
+		}
+		e.funcs[fn.Name] = fn
+		locals := make(map[string]bool)
+		for _, p := range fn.Params {
+			locals[p.Name] = true
+		}
+		for _, s := range collectStmts(fn.Body) {
+			if vd, ok := s.(*minic.VarDecl); ok {
+				locals[vd.Name] = true
+			}
+		}
+		e.localsOf[fn.Name] = locals
+	}
+	return e, nil
+}
+
+// Roots returns the per-statement Attributes as checkpoint roots, in
+// statement order.
+func (e *Engine) Roots() []ckpt.Checkpointable { return e.roots }
+
+// Statements returns the analyzed statements in Attributes order.
+func (e *Engine) Statements() []minic.Stmt { return e.stmts }
+
+// Attr returns the Attributes of a statement.
+func (e *Engine) Attr(s minic.Stmt) *Attributes { return e.attrs[s.NodeID()] }
+
+// Globals returns the global variable names in declaration order.
+func (e *Engine) Globals() []string {
+	out := make([]string, len(e.globals))
+	copy(out, e.globals)
+	return out
+}
+
+// Objects returns the total number of checkpointable objects (six per
+// statement: Attributes, SEEntry, BTEntry, BT, ETEntry, ET).
+func (e *Engine) Objects() int { return 6 * len(e.roots) }
+
+// RestoreFrom adopts checkpoint-rebuilt Attributes into this engine. The
+// engine must have been built from the same program: ids are issued
+// deterministically in statement order, so each fresh Attributes object is
+// replaced by the restored object with the same id. Statements absent from
+// the rebuilt set keep their fresh (empty) Attributes.
+//
+// This is the recovery path: rebuild the object population from a
+// stablelog recovery run, adopt it, and rerun the phases — converged
+// annotations are already in place, so the fixpoints terminate almost
+// immediately.
+func (e *Engine) RestoreFrom(objs map[uint64]ckpt.Restorable) error {
+	for i, s := range e.stmts {
+		fresh := e.attrs[s.NodeID()]
+		got, ok := objs[fresh.Info.ID()]
+		if !ok {
+			continue
+		}
+		restored, ok := got.(*Attributes)
+		if !ok {
+			return fmt.Errorf("analysis: object %d restored as %T, want *Attributes",
+				fresh.Info.ID(), got)
+		}
+		if restored.SE == nil || restored.BT == nil || restored.BT.BT == nil ||
+			restored.ET == nil || restored.ET.ET == nil {
+			return fmt.Errorf("analysis: object %d restored with incomplete children",
+				fresh.Info.ID())
+		}
+		e.attrs[s.NodeID()] = restored
+		e.roots[i] = restored
+	}
+	return nil
+}
+
+// isGlobal reports whether name refers to a global in function fn.
+func (e *Engine) isGlobal(fn, name string) bool {
+	if fn != "" && e.localsOf[fn][name] {
+		return false
+	}
+	_, ok := e.globalIdx[name]
+	return ok
+}
+
+// FuncNames returns the declared function names, sorted.
+func (e *Engine) FuncNames() []string {
+	names := make([]string, 0, len(e.funcs))
+	for n := range e.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// collectStmts flattens a statement subtree in preorder.
+func collectStmts(s minic.Stmt) []minic.Stmt {
+	var out []minic.Stmt
+	var walk func(minic.Stmt)
+	walk = func(s minic.Stmt) {
+		if s == nil {
+			return
+		}
+		out = append(out, s)
+		switch st := s.(type) {
+		case *minic.Block:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *minic.IfStmt:
+			walk(st.Then)
+			walk(st.Else)
+		case *minic.WhileStmt:
+			walk(st.Body)
+		case *minic.ForStmt:
+			walk(st.Init)
+			walk(st.Body)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// varset is a bitset over global-variable indices, stored as the []byte the
+// SEEntry records.
+
+// bitSet sets bit i, growing the set as needed.
+func bitSet(set []byte, i int) []byte {
+	for len(set) <= i/8 {
+		set = append(set, 0)
+	}
+	set[i/8] |= 1 << (i % 8)
+	return set
+}
+
+// bitHas reports bit i.
+func bitHas(set []byte, i int) bool {
+	if i/8 >= len(set) {
+		return false
+	}
+	return set[i/8]&(1<<(i%8)) != 0
+}
+
+// bitOr folds src into dst, reporting whether dst changed.
+func bitOr(dst, src []byte) ([]byte, bool) {
+	changed := false
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, b := range src {
+		if dst[i]|b != dst[i] {
+			dst[i] |= b
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// bitEqual compares two sets, ignoring trailing zero bytes.
+func bitEqual(a, b []byte) bool {
+	long, short := a, b
+	if len(b) > len(a) {
+		long, short = b, a
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			return false
+		}
+	}
+	for _, by := range long[len(short):] {
+		if by != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bitNames renders a set as sorted variable names (for tests and tools).
+func (e *Engine) bitNames(set []byte) []string {
+	var out []string
+	for i, name := range e.globals {
+		if bitHas(set, i) {
+			out = append(out, name)
+		}
+	}
+	return out
+}

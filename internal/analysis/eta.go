@@ -1,0 +1,87 @@
+package analysis
+
+import "ickpt/internal/minic"
+
+// Evaluation-time analysis (the paper's third phase): ensure that the
+// static variables the specializer would evaluate are initialized by
+// specialization time. The phase reads, but does not modify, the results
+// of the previous phases — the side-effect read/write sets and the static
+// division that survived binding-time analysis — and writes only the ET
+// annotations: a statement is ETSafe when every static global it reads has
+// been initialized on some earlier program point, ETUnsafe otherwise.
+//
+// The initialized set grows monotonically across whole-program passes
+// (loops make a single pass insufficient: a use before a textual definition
+// can be initialized by a back edge), and the analysis iterates until the
+// annotations stabilize.
+
+// etaState carries the evaluation-time fixpoint.
+type etaState struct {
+	e *Engine
+	// static is the set of globals that stayed static after BTA.
+	static map[string]bool
+	// initialized are static globals initialized at some earlier point.
+	initialized map[string]bool
+	changed     int
+}
+
+// newETAState seeds the initialized set with statically-initialized
+// globals.
+func (e *Engine) newETAState() *etaState {
+	st := &etaState{
+		e:           e,
+		static:      e.StaticGlobals(),
+		initialized: make(map[string]bool),
+	}
+	for _, g := range e.File.Globals {
+		if g.Init != nil && st.static[g.Name] {
+			st.initialized[g.Name] = true
+		}
+		if g.ArrayLen >= 0 && st.static[g.Name] {
+			// Arrays are zero-initialized storage: reading them is
+			// safe once declared.
+			st.initialized[g.Name] = true
+		}
+	}
+	return st
+}
+
+// etaIteration runs one whole-program pass; it returns the number of
+// statement annotations that changed.
+func (e *Engine) etaIteration(st *etaState) int {
+	st.changed = 0
+	for _, g := range e.File.Globals {
+		st.visit(g)
+	}
+	for _, fn := range e.File.Funcs {
+		for _, s := range collectStmts(fn.Body) {
+			st.visit(s)
+		}
+	}
+	return st.changed
+}
+
+// visit annotates one statement and folds its writes into the initialized
+// set.
+func (st *etaState) visit(s minic.Stmt) {
+	se := st.e.attrs[s.NodeID()].SE
+	ann := ETSafe
+	for i, name := range st.e.globals {
+		if !bitHas(se.Reads, i) || !st.static[name] {
+			continue
+		}
+		if !st.initialized[name] {
+			ann = ETUnsafe
+			break
+		}
+	}
+	et := st.e.attrs[s.NodeID()].ET.ET
+	if et.Set(ann) {
+		st.changed++
+	}
+	for i, name := range st.e.globals {
+		if bitHas(se.Writes, i) && st.static[name] {
+			st.initialized[name] = true
+		}
+	}
+}

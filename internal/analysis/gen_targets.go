@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ickpt/spec"
+)
+
+// GenTargets returns the generated-specialization catalog for the program
+// analysis engine: one specialized incremental routine per analysis phase
+// (side-effect, binding-time, evaluation-time), each compiled against that
+// phase's modification pattern, plus a structure-only routine.
+func GenTargets() ([]spec.GenTarget, error) {
+	var targets []spec.GenTarget
+	pats := []*spec.Pattern{nil, PatternSE(), PatternBTA(), PatternETA()}
+	names := []string{"struct", "se", "bta", "eta"}
+	for i, pat := range pats {
+		plan, err := CompilePlan(pat)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, spec.GenTarget{
+			Plan: plan,
+			Config: spec.GenConfig{
+				Package:      "analysis",
+				FuncName:     fmt.Sprintf("CheckpointAttributes%s", titleCase(names[i])),
+				RegisterFunc: "registerGenerated",
+				RegisterKey:  names[i],
+			},
+			File: fmt.Sprintf("internal/analysis/zz_gen_attributes_%s.go", names[i]),
+		})
+	}
+	return targets, nil
+}
+
+// titleCase uppercases the first byte of an ASCII identifier fragment.
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	upper := s[0]
+	if upper >= 'a' && upper <= 'z' {
+		upper -= 'a' - 'A'
+	}
+	return string(upper) + s[1:]
+}

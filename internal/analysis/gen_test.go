@@ -1,0 +1,162 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/analysis"
+	"ickpt/spec"
+)
+
+// buildAttrs allocates n per-statement Attributes with drained flags.
+func buildAttrs(t *testing.T, n int) (*ckpt.Domain, []*analysis.Attributes) {
+	t.Helper()
+	d := ckpt.NewDomain()
+	var roots []*analysis.Attributes
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	for i := 0; i < n; i++ {
+		a := analysis.NewAttributes(d)
+		roots = append(roots, a)
+		if err := w.Checkpoint(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return d, roots
+}
+
+// TestGeneratedAnalysisRoutinesMatchGeneric drives each generated per-phase
+// routine against the generic driver under a truthful mutation.
+func TestGeneratedAnalysisRoutinesMatchGeneric(t *testing.T) {
+	mutations := map[string]func(a *analysis.Attributes){
+		"struct": func(a *analysis.Attributes) {
+			a.SE.Reads = append(a.SE.Reads, 0x01)
+			a.SE.Info.SetModified()
+			a.BT.BT.Set(analysis.BTDynamic)
+		},
+		"se": func(a *analysis.Attributes) {
+			a.SE.Writes = append(a.SE.Writes, 0x80)
+			a.SE.Info.SetModified()
+		},
+		"bta": func(a *analysis.Attributes) {
+			a.BT.BT.Set(analysis.BTStatic)
+		},
+		"eta": func(a *analysis.Attributes) {
+			a.ET.ET.Set(analysis.ETSafe)
+		},
+	}
+	for key, mutate := range mutations {
+		t.Run(key, func(t *testing.T) {
+			fn, ok := analysis.Generated(key)
+			if !ok {
+				t.Fatalf("generated routine %q missing", key)
+			}
+			_, a1 := buildAttrs(t, 8)
+			_, a2 := buildAttrs(t, 8)
+			for i := range a1 {
+				if i%2 == 0 {
+					mutate(a1[i])
+					mutate(a2[i])
+				}
+			}
+
+			w1 := ckpt.NewWriter()
+			w1.Start(ckpt.Incremental)
+			for _, a := range a1 {
+				if err := w1.Checkpoint(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, _, err := w1.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCopy := append([]byte(nil), want...)
+
+			w2 := ckpt.NewWriter()
+			w2.Start(ckpt.Incremental)
+			em := w2.Emitter()
+			for _, a := range a2 {
+				fn(a, em)
+			}
+			got, _, err := w2.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantCopy, got) {
+				t.Errorf("generated %q body differs from generic", key)
+			}
+		})
+	}
+}
+
+// TestAnalysisGeneratedFilesFresh regenerates the analysis targets and
+// compares with the checked-in files.
+func TestAnalysisGeneratedFilesFresh(t *testing.T) {
+	targets, err := analysis.GenTargets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 4 {
+		t.Fatalf("targets = %d, want 4", len(targets))
+	}
+	for _, tgt := range targets {
+		src, err := spec.GenerateGo(tgt.Plan, tgt.Config)
+		if err != nil {
+			t.Fatalf("generate %s: %v", tgt.File, err)
+		}
+		onDisk, err := os.ReadFile(filepath.Base(tgt.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(src, onDisk) {
+			t.Errorf("%s is stale; re-run cmd/ckptgen", tgt.File)
+		}
+	}
+}
+
+func TestRestoreFromErrors(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	first := e.Attr(e.Statements()[0])
+
+	// Wrong type under an Attributes id.
+	objs := map[uint64]ckpt.Restorable{
+		first.Info.ID(): first.SE, // SEEntry, not Attributes
+	}
+	if err := e.RestoreFrom(objs); err == nil {
+		t.Error("wrong-typed restored object accepted")
+	}
+
+	// Incomplete children.
+	objs = map[uint64]ckpt.Restorable{
+		first.Info.ID(): &analysis.Attributes{Info: ckpt.RestoredInfo(first.Info.ID())},
+	}
+	if err := e.RestoreFrom(objs); err == nil {
+		t.Error("incomplete restored Attributes accepted")
+	}
+
+	// Missing ids are fine: fresh Attributes are kept.
+	if err := e.RestoreFrom(map[uint64]ckpt.Restorable{}); err != nil {
+		t.Errorf("empty restore set rejected: %v", err)
+	}
+}
+
+func TestFuncNames(t *testing.T) {
+	e := newEngine(t, tinyProgram)
+	names := e.FuncNames()
+	want := []string{"load", "main", "scale"}
+	if len(names) != len(want) {
+		t.Fatalf("FuncNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("FuncNames[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}

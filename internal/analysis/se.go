@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"ickpt/internal/minic"
+)
+
+// Side-effect analysis (the paper's first phase): for every statement,
+// compute the sets of global variables it (transitively, through calls)
+// reads and writes. The analysis is interprocedural: per-function
+// read/write summaries are iterated to a fixpoint, and within each
+// iteration every statement's SEEntry is updated, marking it modified only
+// when its sets actually grow — so incremental checkpoints shrink as the
+// fixpoint converges.
+
+// seSummary is a function's transitive effect on globals.
+type seSummary struct {
+	reads  []byte
+	writes []byte
+}
+
+// seState carries one side-effect iteration.
+type seState struct {
+	e         *Engine
+	summaries map[string]*seSummary
+	changed   int
+}
+
+// seIteration runs one pass over the whole program, updating per-statement
+// SEEntry sets and function summaries. It returns the number of statements
+// whose sets changed.
+func (e *Engine) seIteration(st *seState) int {
+	st.changed = 0
+	for _, fn := range e.File.Funcs {
+		reads, writes := st.stmtEffect(fn.Name, fn.Body)
+		sum := st.summaries[fn.Name]
+		sum.reads, _ = bitOr(sum.reads, reads)
+		sum.writes, _ = bitOr(sum.writes, writes)
+	}
+	// Global declarations: an initializer reads what its expression
+	// reads and writes the declared global. A declaration without an
+	// initializer stores nothing (evaluation-time analysis relies on
+	// this: such a global is not initialized by its declaration).
+	for _, g := range e.File.Globals {
+		var reads, writes []byte
+		if g.Init != nil {
+			reads, writes = st.exprEffect("", g.Init, reads, writes)
+			if gi, ok := e.globalIdx[g.Name]; ok {
+				writes = bitSet(writes, gi)
+			}
+		}
+		st.update(g, reads, writes)
+	}
+	return st.changed
+}
+
+// stmtEffect computes (and stores) the transitive read/write sets of s, in
+// function fn.
+func (st *seState) stmtEffect(fn string, s minic.Stmt) (reads, writes []byte) {
+	if s == nil {
+		return nil, nil
+	}
+	switch x := s.(type) {
+	case *minic.VarDecl:
+		if x.Init != nil {
+			reads, writes = st.exprEffect(fn, x.Init, reads, writes)
+		}
+		if x.Global && x.Init != nil {
+			if gi, ok := st.e.globalIdx[x.Name]; ok {
+				writes = bitSet(writes, gi)
+			}
+		}
+	case *minic.Block:
+		for _, sub := range x.Stmts {
+			r, w := st.stmtEffect(fn, sub)
+			reads, _ = bitOr(reads, r)
+			writes, _ = bitOr(writes, w)
+		}
+	case *minic.ExprStmt:
+		reads, writes = st.exprEffect(fn, x.X, reads, writes)
+	case *minic.IfStmt:
+		reads, writes = st.exprEffect(fn, x.Cond, reads, writes)
+		r, w := st.stmtEffect(fn, x.Then)
+		reads, _ = bitOr(reads, r)
+		writes, _ = bitOr(writes, w)
+		r, w = st.stmtEffect(fn, x.Else)
+		reads, _ = bitOr(reads, r)
+		writes, _ = bitOr(writes, w)
+	case *minic.WhileStmt:
+		reads, writes = st.exprEffect(fn, x.Cond, reads, writes)
+		r, w := st.stmtEffect(fn, x.Body)
+		reads, _ = bitOr(reads, r)
+		writes, _ = bitOr(writes, w)
+	case *minic.ForStmt:
+		r, w := st.stmtEffect(fn, x.Init)
+		reads, _ = bitOr(reads, r)
+		writes, _ = bitOr(writes, w)
+		if x.Cond != nil {
+			reads, writes = st.exprEffect(fn, x.Cond, reads, writes)
+		}
+		if x.Post != nil {
+			reads, writes = st.exprEffect(fn, x.Post, reads, writes)
+		}
+		r, w = st.stmtEffect(fn, x.Body)
+		reads, _ = bitOr(reads, r)
+		writes, _ = bitOr(writes, w)
+	case *minic.ReturnStmt:
+		if x.X != nil {
+			reads, writes = st.exprEffect(fn, x.X, reads, writes)
+		}
+	case *minic.EmptyStmt:
+	}
+	st.update(s, reads, writes)
+	return reads, writes
+}
+
+// update stores the sets into the statement's SEEntry, counting changes.
+func (st *seState) update(s minic.Stmt, reads, writes []byte) {
+	entry := st.e.attrs[s.NodeID()].SE
+	var changed bool
+	if !bitEqual(entry.Reads, reads) {
+		entry.Reads, _ = bitOr(entry.Reads, reads)
+		changed = true
+	}
+	if !bitEqual(entry.Writes, writes) {
+		entry.Writes, _ = bitOr(entry.Writes, writes)
+		changed = true
+	}
+	if changed {
+		entry.Info.SetModified()
+		st.changed++
+	}
+}
+
+// exprEffect folds the reads and writes of an expression.
+func (st *seState) exprEffect(fn string, x minic.Expr, reads, writes []byte) ([]byte, []byte) {
+	switch e := x.(type) {
+	case nil:
+	case *minic.Ident:
+		if st.e.isGlobal(fn, e.Name) {
+			reads = bitSet(reads, st.e.globalIdx[e.Name])
+		}
+	case *minic.IntLit, *minic.FloatLit:
+	case *minic.IndexExpr:
+		if st.e.isGlobal(fn, e.Name) {
+			reads = bitSet(reads, st.e.globalIdx[e.Name])
+		}
+		reads, writes = st.exprEffect(fn, e.Index, reads, writes)
+	case *minic.UnaryExpr:
+		reads, writes = st.exprEffect(fn, e.X, reads, writes)
+	case *minic.BinaryExpr:
+		reads, writes = st.exprEffect(fn, e.X, reads, writes)
+		reads, writes = st.exprEffect(fn, e.Y, reads, writes)
+	case *minic.AssignExpr:
+		reads, writes = st.exprEffect(fn, e.RHS, reads, writes)
+		switch lhs := e.LHS.(type) {
+		case *minic.Ident:
+			if st.e.isGlobal(fn, lhs.Name) {
+				writes = bitSet(writes, st.e.globalIdx[lhs.Name])
+			}
+		case *minic.IndexExpr:
+			if st.e.isGlobal(fn, lhs.Name) {
+				writes = bitSet(writes, st.e.globalIdx[lhs.Name])
+			}
+			reads, writes = st.exprEffect(fn, lhs.Index, reads, writes)
+		}
+	case *minic.CallExpr:
+		for _, a := range e.Args {
+			reads, writes = st.exprEffect(fn, a, reads, writes)
+			// An array argument aliases the callee's array parameter;
+			// conservatively the callee may read and write it.
+			if id, ok := a.(*minic.Ident); ok && st.e.isGlobal(fn, id.Name) {
+				if callee, ok := st.e.funcs[e.Name]; ok && calleeTakesArray(callee, e) {
+					gi := st.e.globalIdx[id.Name]
+					reads = bitSet(reads, gi)
+					writes = bitSet(writes, gi)
+				}
+			}
+		}
+		if sum, ok := st.summaries[e.Name]; ok {
+			reads, _ = bitOr(reads, sum.reads)
+			writes, _ = bitOr(writes, sum.writes)
+		}
+	}
+	return reads, writes
+}
+
+// calleeTakesArray reports whether any parameter of callee is an array (a
+// cheap conservative check; per-position matching would be more precise).
+func calleeTakesArray(callee *minic.FuncDecl, _ *minic.CallExpr) bool {
+	for _, p := range callee.Params {
+		if p.IsArray {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+// Package fixtures ships the analysis workloads: simplified-C programs
+// embedded in the binary so tests, benchmarks and examples run without
+// external files.
+package fixtures
+
+import _ "embed"
+
+// ImageMC is the ~750-line image-manipulation program the analysis engine
+// is evaluated on, standing in for the 750-line image program analyzed in
+// the paper.
+//
+//go:embed image.mc
+var ImageMC string
+
+// DSPMC is a ~400-line signal-processing program: a second analysis
+// workload with a different loop and state shape (one long 1-D signal,
+// filters with accumulated scalar state, a delay line).
+//
+//go:embed dsp.mc
+var DSPMC string

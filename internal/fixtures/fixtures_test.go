@@ -1,0 +1,112 @@
+package fixtures_test
+
+import (
+	"strings"
+	"testing"
+
+	"ickpt/internal/fixtures"
+	"ickpt/internal/minic"
+)
+
+func TestImageMCParses(t *testing.T) {
+	f, err := minic.Parse(fixtures.ImageMC)
+	if err != nil {
+		t.Fatalf("Parse(image.mc): %v", err)
+	}
+	if len(f.Funcs) < 30 {
+		t.Errorf("image.mc has %d functions, want >= 30", len(f.Funcs))
+	}
+	if got := len(f.Statements()); got < 300 {
+		t.Errorf("image.mc has %d statements, want >= 300", got)
+	}
+	if err := minic.Check(f); err != nil {
+		t.Errorf("Check(image.mc): %v", err)
+	}
+	lines := strings.Count(fixtures.ImageMC, "\n")
+	if lines < 600 || lines > 900 {
+		t.Errorf("image.mc is %d lines; the paper's program is ~750", lines)
+	}
+}
+
+func TestDSPMCParsesAndRuns(t *testing.T) {
+	f, err := minic.Parse(fixtures.DSPMC)
+	if err != nil {
+		t.Fatalf("Parse(dsp.mc): %v", err)
+	}
+	if len(f.Funcs) < 20 {
+		t.Errorf("dsp.mc has %d functions, want >= 20", len(f.Funcs))
+	}
+	if got := len(f.Statements()); got < 200 {
+		t.Errorf("dsp.mc has %d statements, want >= 200", got)
+	}
+	if err := minic.Check(f); err != nil {
+		t.Errorf("Check(dsp.mc): %v", err)
+	}
+
+	in, err := minic.NewInterp(f, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Run("main")
+	if err != nil {
+		t.Fatalf("Run(main): %v", err)
+	}
+	if len(in.Output) != 2 {
+		t.Fatalf("print output = %d values, want 2", len(in.Output))
+	}
+	if got.AsInt() != in.Output[0].AsInt() {
+		t.Errorf("return %d != printed checksum %d", got.AsInt(), in.Output[0].AsInt())
+	}
+
+	// Determinism.
+	in2, err := minic.NewInterp(f, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := in2.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsInt() != got2.AsInt() {
+		t.Errorf("nondeterministic checksum: %d vs %d", got.AsInt(), got2.AsInt())
+	}
+}
+
+func TestImageMCRuns(t *testing.T) {
+	f, err := minic.Parse(fixtures.ImageMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := minic.NewInterp(f, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Run("main")
+	if err != nil {
+		t.Fatalf("Run(main): %v", err)
+	}
+	if len(in.Output) != 4 {
+		t.Fatalf("print output = %d values, want 4", len(in.Output))
+	}
+	// main returns the checksum it printed; both must agree and the run
+	// must be deterministic.
+	if got.AsInt() != in.Output[0].AsInt() {
+		t.Errorf("return %d != printed checksum %d", got.AsInt(), in.Output[0].AsInt())
+	}
+	if in.Output[1].AsInt() != 16 { // 4 pipelines x 4 stages
+		t.Errorf("passes = %d, want 16", in.Output[1].AsInt())
+	}
+
+	// Determinism: run again from a fresh interpreter.
+	in2, err := minic.NewInterp(f, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := in2.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsInt() != got2.AsInt() {
+		t.Errorf("nondeterministic checksum: %d vs %d", got.AsInt(), got2.AsInt())
+	}
+}

@@ -1,0 +1,438 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ickpt/ckpt"
+	"ickpt/internal/analysis"
+	"ickpt/internal/fixtures"
+	"ickpt/internal/minic"
+)
+
+// AnalysisWorkload names an analysis input program and its binding-time
+// division.
+type AnalysisWorkload struct {
+	// Name identifies the workload ("image", "dsp").
+	Name string
+	// Source is the simplified-C program text.
+	Source string
+	// DynamicGlobals are the globals treated as run-time inputs.
+	DynamicGlobals []string
+}
+
+// Predefined analysis workloads.
+var (
+	// ImageWorkload is the paper's 750-line image-manipulation program:
+	// image data and the RNG state are dynamic; dimensions and kernels
+	// static.
+	ImageWorkload = AnalysisWorkload{
+		Name:   "image",
+		Source: fixtures.ImageMC,
+		DynamicGlobals: []string{
+			"img", "tmp", "out2", "edge", "hist", "cdf", "seed", "passes",
+		},
+	}
+	// DSPWorkload is a second, differently-shaped program: a 1-D signal
+	// pipeline with filter state threaded through globals.
+	DSPWorkload = AnalysisWorkload{
+		Name:   "dsp",
+		Source: fixtures.DSPMC,
+		DynamicGlobals: []string{
+			"signal", "work", "out", "delay",
+			"lfoPhase", "delayPos", "clipCount", "rngState",
+		},
+	}
+)
+
+// WorkloadByName resolves a workload name.
+func WorkloadByName(name string) (AnalysisWorkload, error) {
+	switch name {
+	case "", "image":
+		return ImageWorkload, nil
+	case "dsp":
+		return DSPWorkload, nil
+	default:
+		return AnalysisWorkload{}, fmt.Errorf("harness: unknown analysis workload %q", name)
+	}
+}
+
+// Division returns the workload's division at the given scale; copies
+// 2..scale contribute their suffixed global names.
+func (aw AnalysisWorkload) Division(scale int) analysis.Division {
+	div := analysis.Division{
+		Entry:   "main",
+		Globals: make(map[string]uint64),
+	}
+	for _, g := range aw.DynamicGlobals {
+		div.Globals[g] = analysis.BTDynamic
+		for k := 2; k <= scale; k++ {
+			div.Globals[fmt.Sprintf("%s_%d", g, k)] = analysis.BTDynamic
+		}
+	}
+	return div
+}
+
+// ImageDivision returns the division for the image workload (compatibility
+// wrapper).
+func ImageDivision(scale int) analysis.Division {
+	return ImageWorkload.Division(scale)
+}
+
+// ScaledProgram returns the workload's source replicated scale times, with
+// the top-level names of copies 2..scale suffixed "_k". The paper analyzes
+// one 750-line program; scaling lets the Table 1 experiment exercise larger
+// Attributes populations on the same analysis.
+func (aw AnalysisWorkload) ScaledProgram(scale int) (string, error) {
+	return scaledProgram(aw.Source, scale)
+}
+
+// ScaledImageProgram is a compatibility wrapper for the image workload.
+func ScaledImageProgram(scale int) (string, error) {
+	return ImageWorkload.ScaledProgram(scale)
+}
+
+func scaledProgram(source string, scale int) (string, error) {
+	if scale <= 1 {
+		return source, nil
+	}
+	base, err := minic.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	topLevel := make(map[string]bool)
+	for _, g := range base.Globals {
+		topLevel[g.Name] = true
+	}
+	for _, fn := range base.Funcs {
+		topLevel[fn.Name] = true
+	}
+	toks, err := minic.Lex(source)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString(source)
+	for k := 2; k <= scale; k++ {
+		b.WriteString("\n")
+		line := 1
+		for _, tok := range toks {
+			if tok.Kind == minic.TokEOF {
+				break
+			}
+			for line < tok.Pos.Line {
+				b.WriteByte('\n')
+				line++
+			}
+			text := tok.Text
+			if tok.Kind == minic.TokIdent && topLevel[text] {
+				text = fmt.Sprintf("%s_%d", text, k)
+			}
+			b.WriteString(text)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// NewEngine parses the workload's scaled program and allocates its
+// analysis engine.
+func (aw AnalysisWorkload) NewEngine(scale int) (*analysis.Engine, analysis.Division, error) {
+	src, err := aw.ScaledProgram(scale)
+	if err != nil {
+		return nil, analysis.Division{}, err
+	}
+	f, err := minic.Parse(src)
+	if err != nil {
+		return nil, analysis.Division{}, fmt.Errorf("parse scaled %s program: %w", aw.Name, err)
+	}
+	e, err := analysis.NewEngine(f)
+	if err != nil {
+		return nil, analysis.Division{}, err
+	}
+	return e, aw.Division(scale), nil
+}
+
+// NewImageEngine is a compatibility wrapper for the image workload.
+func NewImageEngine(scale int) (*analysis.Engine, analysis.Division, error) {
+	return ImageWorkload.NewEngine(scale)
+}
+
+// Checkpoint strategies for the analysis experiment.
+const (
+	StrategyFull = "full"
+	StrategyIncr = "incremental"
+	StrategySpec = "spec-incr"
+)
+
+// phaseMetrics accumulates per-phase checkpoint measurements.
+type phaseMetrics struct {
+	iterations int
+	minBytes   int
+	maxBytes   int
+	totalNs    float64
+	traversal  float64
+}
+
+// analysisRun runs all three phases under one checkpoint strategy,
+// measuring the BTA and ETA phases (the paper's Table 1 columns).
+func analysisRun(aw AnalysisWorkload, scale int, strategy string) (map[string]*phaseMetrics, error) {
+	e, div, err := aw.NewEngine(scale)
+	if err != nil {
+		return nil, err
+	}
+	roots := e.Roots()
+	w := ckpt.NewWriter()
+
+	// Baseline full checkpoint: consumes the creation flags so the
+	// per-phase modification patterns hold from the first iteration.
+	w.Start(ckpt.Full)
+	for _, r := range roots {
+		if err := w.Checkpoint(r); err != nil {
+			return nil, err
+		}
+	}
+	if _, _, err := w.Finish(); err != nil {
+		return nil, err
+	}
+
+	metrics := map[string]*phaseMetrics{
+		analysis.PhaseSE:  {},
+		analysis.PhaseBTA: {},
+		analysis.PhaseETA: {},
+	}
+
+	checkpointOnce := func(phase string) (int, float64, error) {
+		mode := ckpt.Incremental
+		if strategy == StrategyFull {
+			mode = ckpt.Full
+		}
+		w.Start(mode)
+		t0 := time.Now()
+		switch strategy {
+		case StrategySpec:
+			fn, ok := analysis.Generated(phase)
+			if !ok {
+				return 0, 0, fmt.Errorf("harness: no generated routine for phase %q", phase)
+			}
+			em := w.Emitter()
+			for _, r := range roots {
+				fn(r, em)
+			}
+		default:
+			for _, r := range roots {
+				if err := w.Checkpoint(r); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		ns := float64(time.Since(t0).Nanoseconds())
+		body, _, err := w.Finish()
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(body), ns, nil
+	}
+
+	ck := func(phase string, iter int) error {
+		bytes, ns, err := checkpointOnce(phase)
+		if err != nil {
+			return err
+		}
+		m := metrics[phase]
+		m.iterations++
+		m.totalNs += ns
+		if m.minBytes == 0 || bytes < m.minBytes {
+			m.minBytes = bytes
+		}
+		if bytes > m.maxBytes {
+			m.maxBytes = bytes
+		}
+		return nil
+	}
+
+	if _, err := e.RunSE(ck); err != nil {
+		return nil, err
+	}
+	if _, err := e.RunBTA(div, ck); err != nil {
+		return nil, err
+	}
+	// Traversal time: one quiescent checkpoint right after the phase.
+	if strategy != StrategyFull {
+		_, ns, err := checkpointOnce(analysis.PhaseBTA)
+		if err != nil {
+			return nil, err
+		}
+		metrics[analysis.PhaseBTA].traversal = ns
+	}
+	if _, err := e.RunETA(ck); err != nil {
+		return nil, err
+	}
+	if strategy != StrategyFull {
+		_, ns, err := checkpointOnce(analysis.PhaseETA)
+		if err != nil {
+			return nil, err
+		}
+		metrics[analysis.PhaseETA].traversal = ns
+	}
+	return metrics, nil
+}
+
+// Table1Profile reports the per-iteration convergence curve behind Table
+// 1's min/max columns: for every analysis iteration, how many objects were
+// recorded and how large the incremental checkpoint was — the paper's
+// observation that checkpoints shrink as each fixpoint converges.
+func Table1Profile(scale int) (*Table, error) {
+	return Table1ProfileFor(ImageWorkload, scale)
+}
+
+// Table1ProfileFor runs the per-iteration profile on a specific workload.
+func Table1ProfileFor(aw AnalysisWorkload, scale int) (*Table, error) {
+	e, div, err := aw.NewEngine(scale)
+	if err != nil {
+		return nil, err
+	}
+	roots := e.Roots()
+	w := ckpt.NewWriter()
+
+	// Baseline full checkpoint (clears creation flags).
+	w.Start(ckpt.Full)
+	for _, r := range roots {
+		if err := w.Checkpoint(r); err != nil {
+			return nil, err
+		}
+	}
+	baseBody, baseStats, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "table1-profile",
+		Title:   "Per-iteration incremental checkpoints of the analysis engine",
+		Columns: []string{"phase/iter", "changed", "recorded", "size (KB)", "of full (%)"},
+		Notes: []string{
+			fmt.Sprintf("baseline full checkpoint: %d objects, %.1f KB",
+				baseStats.Recorded, float64(len(baseBody))/1024),
+		},
+	}
+	full := float64(len(baseBody))
+
+	var iterStats []analysis.IterationStat
+	ck := func(phase string, iter int) error {
+		w.Start(ckpt.Incremental)
+		for _, r := range roots {
+			if err := w.Checkpoint(r); err != nil {
+				return err
+			}
+		}
+		body, stats, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		changed := 0
+		if len(iterStats) > 0 {
+			changed = iterStats[len(iterStats)-1].Changed
+		}
+		t.AddRow(
+			fmt.Sprintf("%s %d", phase, iter),
+			fmt.Sprintf("%d", changed),
+			fmt.Sprintf("%d", stats.Recorded),
+			fmt.Sprintf("%.1f", float64(len(body))/1024),
+			fmt.Sprintf("%.1f", 100*float64(len(body))/full),
+		)
+		return nil
+	}
+	// Wrap RunAll so the Changed count of the just-finished iteration is
+	// available to ck: collect stats incrementally via a tee callback.
+	tee := func(phase string, iter int) error {
+		iterStats = append(iterStats, analysis.IterationStat{Phase: phase, Iteration: iter})
+		return ck(phase, iter)
+	}
+	stats, err := e.RunAll(div, tee)
+	if err != nil {
+		return nil, err
+	}
+	// Patch the changed column now that RunAll returned the real stats.
+	for i := range stats {
+		if i < len(t.Rows) {
+			t.Rows[i][1] = fmt.Sprintf("%d", stats[i].Changed)
+		}
+	}
+	return t, nil
+}
+
+// Table1 reproduces Table 1: checkpoint size and time for the binding-time
+// and evaluation-time analysis phases under full, incremental and
+// specialized incremental checkpointing.
+func Table1(scale int) (*Table, error) {
+	return Table1For(ImageWorkload, scale)
+}
+
+// Table1For runs the Table 1 experiment on a specific analysis workload.
+func Table1For(aw AnalysisWorkload, scale int) (*Table, error) {
+	t := &Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("Analysis-engine checkpointing (%s program)", aw.Name),
+		Columns: []string{
+			"metric",
+			"BTA full", "BTA incr", "BTA spec",
+			"ETA full", "ETA incr", "ETA spec",
+		},
+	}
+	strategies := []string{StrategyFull, StrategyIncr, StrategySpec}
+	results := make(map[string]map[string]*phaseMetrics, len(strategies))
+	for _, s := range strategies {
+		m, err := analysisRun(aw, scale, s)
+		if err != nil {
+			return nil, fmt.Errorf("strategy %s: %w", s, err)
+		}
+		results[s] = m
+	}
+
+	cell := func(phase string, f func(*phaseMetrics) string) []string {
+		var out []string
+		for _, s := range strategies {
+			out = append(out, f(results[s][phase]))
+		}
+		return out
+	}
+	kb := func(b int) string { return fmt.Sprintf("%.1f", float64(b)/1024) }
+	ms := func(ns float64) string { return fmt.Sprintf("%.2f", ns/1e6) }
+
+	rows := []struct {
+		name string
+		f    func(*phaseMetrics) string
+	}{
+		{"ckp size min (KB)", func(m *phaseMetrics) string { return kb(m.minBytes) }},
+		{"ckp size max (KB)", func(m *phaseMetrics) string { return kb(m.maxBytes) }},
+		{"ckp time total (ms)", func(m *phaseMetrics) string { return ms(m.totalNs) }},
+		{"traversal time (ms)", func(m *phaseMetrics) string {
+			if m.traversal == 0 {
+				return "-"
+			}
+			return ms(m.traversal)
+		}},
+		{"iterations", func(m *phaseMetrics) string { return fmt.Sprintf("%d", m.iterations) }},
+	}
+	for _, r := range rows {
+		row := []string{r.name}
+		row = append(row, cell(analysis.PhaseBTA, r.f)...)
+		row = append(row, cell(analysis.PhaseETA, r.f)...)
+		t.AddRow(row...)
+	}
+
+	e, _, err := aw.NewEngine(scale)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%s, scale=%d: %d statements, %d checkpointable objects",
+			aw.Name, scale, len(e.Statements()), e.Objects()),
+		"spec-incr uses the generated per-phase routines (se/bta/eta patterns)",
+	)
+	return t, nil
+}

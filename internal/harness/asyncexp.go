@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ickpt/ckpt"
+	"ickpt/internal/synth"
+	"ickpt/stablelog"
+)
+
+// AblationAsync measures how long the application is blocked per checkpoint
+// under three persistence disciplines: synchronous append with fsync,
+// buffered append, and handoff to the asynchronous writer. It supports the
+// paper's Section 2 design point that checkpoints are "written from the
+// output stream to stable storage asynchronously", unblocking the mutator
+// as soon as the in-memory body exists.
+func AblationAsync(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "ablation-async",
+		Title:   "Application blocking time per checkpoint, by persistence discipline",
+		Columns: []string{"discipline", "construct (ms)", "persist-blocked (ms)", "total blocked (ms)"},
+		Notes: []string{
+			fmt.Sprintf("%d structures, length 5, 10 ints, 50%% of 3 lists modified per round", opts.Structures),
+			"async rows still pay one Flush at the end of the run (not per checkpoint)",
+		},
+	}
+
+	shape := synth.Shape{Structures: opts.Structures, ListLen: 5, Kind: synth.Ints10}
+	mod := synth.ModPattern{Percent: 50, ModifiableLists: 3}
+	rounds := opts.Repetitions + opts.Warmup
+
+	type discipline struct {
+		name string
+		sync bool
+		asyn bool
+	}
+	for _, disc := range []discipline{
+		{name: "fsync append", sync: true},
+		{name: "buffered append"},
+		{name: "async handoff", asyn: true},
+	} {
+		dir, err := os.MkdirTemp("", "ickpt-async")
+		if err != nil {
+			return nil, err
+		}
+		constructNs, persistNs := 0.0, 0.0
+		err = func() error {
+			defer os.RemoveAll(dir)
+			var lopts []stablelog.Option
+			if disc.sync {
+				lopts = append(lopts, stablelog.WithSync())
+			}
+			lg, err := stablelog.Create(filepath.Join(dir, "a.log"), lopts...)
+			if err != nil {
+				return err
+			}
+			defer lg.Close()
+			var aw *stablelog.AsyncWriter
+			if disc.asyn {
+				aw = stablelog.NewAsyncWriter(lg)
+			}
+
+			w := synth.Build(shape)
+			if err := w.Drain(); err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(opts.Seed))
+			wr := ckpt.NewWriter()
+			measured := 0
+			for round := 0; round < rounds; round++ {
+				w.Mutate(rng, mod)
+
+				t0 := time.Now()
+				wr.Start(ckpt.Incremental)
+				if err := w.CheckpointGeneric(wr); err != nil {
+					return err
+				}
+				body, _, err := wr.Finish()
+				if err != nil {
+					return err
+				}
+				construct := time.Since(t0)
+
+				t1 := time.Now()
+				if disc.asyn {
+					err = aw.Append(ckpt.Incremental, wr.Epoch(), body)
+				} else {
+					_, err = lg.Append(ckpt.Incremental, wr.Epoch(), body)
+				}
+				if err != nil {
+					return err
+				}
+				persist := time.Since(t1)
+
+				if round >= opts.Warmup {
+					measured++
+					constructNs += float64(construct.Nanoseconds())
+					persistNs += float64(persist.Nanoseconds())
+				}
+			}
+			if aw != nil {
+				if err := aw.Close(); err != nil {
+					return err
+				}
+			}
+			constructNs /= float64(measured)
+			persistNs /= float64(measured)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(disc.name,
+			fmt.Sprintf("%.3f", constructNs/1e6),
+			fmt.Sprintf("%.3f", persistNs/1e6),
+			fmt.Sprintf("%.3f", (constructNs+persistNs)/1e6),
+		)
+	}
+	return t, nil
+}
+
+// AblationSize reports checkpoint sizes — the quantity checkpointing
+// overhead is classically proportional to — for full vs incremental bodies
+// across the modified-fraction grid. Sizes are deterministic.
+func AblationSize(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "ablation-size",
+		Title:   "Checkpoint body size: incremental as a fraction of full",
+		Columns: []string{"workload", "full (KB)", "incr 100% (KB)", "incr 50% (KB)", "incr 25% (KB)"},
+		Notes: []string{
+			fmt.Sprintf("%d structures; all five lists modifiable", opts.Structures),
+		},
+	}
+	for _, kind := range kinds {
+		for _, l := range listLens {
+			shape := synth.Shape{Structures: opts.Structures, ListLen: l, Kind: kind}
+			row := []string{fmt.Sprintf("ints=%d len=%d", int(kind), l)}
+			full, err := MeasureSynth(SynthConfig{
+				Shape: shape, TouchAll: true, Mode: ckpt.Full, Engine: EngineVirtual,
+				Seed: opts.Seed, Repetitions: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", float64(full.Bytes)/1024))
+			for _, pct := range percents {
+				m, err := MeasureSynth(SynthConfig{
+					Shape: shape,
+					Mod:   synth.ModPattern{Percent: pct, ModifiableLists: synth.NumLists},
+					Seed:  opts.Seed, Repetitions: 1, Engine: EngineVirtual,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", float64(m.Bytes)/1024))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

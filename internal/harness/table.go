@@ -1,0 +1,107 @@
+// Package harness defines and runs the paper's experiments: the synthetic
+// checkpointing benchmarks (Figures 7-11, Table 2) and the program-analysis
+// engine evaluation (Table 1), plus ablations. Each experiment produces a
+// Table whose rows mirror the rows/series the paper reports; absolute
+// numbers are machine-dependent, but the shapes (who wins, by what factor,
+// where the crossovers fall) are the reproduction target recorded in
+// EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig7" ... "table2").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers; the first column labels the row.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes are free-form footnotes (parameters, engine mapping).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(cell)
+			if i == 0 {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes a comma-separated rendering (cells containing commas are
+// quoted).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,310 @@
+package minic
+
+// NodeID is a stable, parser-assigned identifier for an AST node. Statement
+// ids index the analysis engine's per-statement Attributes.
+type NodeID int
+
+// Type is a simplified-C type name.
+type Type uint8
+
+// Types.
+const (
+	TypeVoid Type = iota + 1
+	TypeInt
+	TypeFloat
+)
+
+// String returns the C spelling.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	default:
+		return "invalid"
+	}
+}
+
+// Node is any AST node.
+type Node interface {
+	// NodeID returns the node's stable id.
+	NodeID() NodeID
+	// NodePos returns the node's source position.
+	NodePos() Pos
+}
+
+// node is the common AST node header.
+type node struct {
+	id  NodeID
+	pos Pos
+}
+
+// NodeID returns the node's stable id.
+func (n *node) NodeID() NodeID { return n.id }
+
+// NodePos returns the node's source position.
+func (n *node) NodePos() Pos { return n.pos }
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// File is a parsed translation unit.
+type File struct {
+	node
+	// Globals are the file-scope variable declarations, in order.
+	Globals []*VarDecl
+	// Funcs are the function declarations, in order.
+	Funcs []*FuncDecl
+	// NodeCount is the number of ids the parser assigned; ids are
+	// contiguous in [0, NodeCount).
+	NodeCount int
+}
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	node
+	// Type is the element type.
+	Type Type
+	// Name is the variable name.
+	Name string
+	// ArrayLen is the array length, or -1 for a scalar.
+	ArrayLen int
+	// Init is the optional scalar initializer.
+	Init Expr
+	// Global reports file scope.
+	Global bool
+}
+
+func (*VarDecl) stmtNode() {}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	node
+	// Result is the return type.
+	Result Type
+	// Name is the function name.
+	Name string
+	// Params are the parameters, in order.
+	Params []*Param
+	// Body is the function body.
+	Body *Block
+}
+
+// Param is one function parameter.
+type Param struct {
+	node
+	// Type is the element type.
+	Type Type
+	// Name is the parameter name.
+	Name string
+	// IsArray marks an array parameter ("int a[]").
+	IsArray bool
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	node
+	// Stmts are the block's statements, in order.
+	Stmts []Stmt
+}
+
+func (*Block) stmtNode() {}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	node
+	// X is the expression.
+	X Expr
+}
+
+func (*ExprStmt) stmtNode() {}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	node
+	// Cond is the condition.
+	Cond Expr
+	// Then is the true branch.
+	Then Stmt
+	// Else is the optional false branch.
+	Else Stmt
+}
+
+func (*IfStmt) stmtNode() {}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	node
+	// Cond is the loop condition.
+	Cond Expr
+	// Body is the loop body.
+	Body Stmt
+}
+
+func (*WhileStmt) stmtNode() {}
+
+// ForStmt is a for loop.
+type ForStmt struct {
+	node
+	// Init is the optional initialization statement (ExprStmt or
+	// VarDecl).
+	Init Stmt
+	// Cond is the optional condition.
+	Cond Expr
+	// Post is the optional post-iteration expression.
+	Post Expr
+	// Body is the loop body.
+	Body Stmt
+}
+
+func (*ForStmt) stmtNode() {}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	node
+	// X is the optional return value.
+	X Expr
+}
+
+func (*ReturnStmt) stmtNode() {}
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct {
+	node
+}
+
+func (*EmptyStmt) stmtNode() {}
+
+// Ident references a variable.
+type Ident struct {
+	node
+	// Name is the variable name.
+	Name string
+}
+
+func (*Ident) exprNode() {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	node
+	// V is the value.
+	V int64
+}
+
+func (*IntLit) exprNode() {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	node
+	// V is the value.
+	V float64
+}
+
+func (*FloatLit) exprNode() {}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	node
+	// Op is the operator token text ("+", "==", "&&", ...).
+	Op string
+	// X and Y are the operands.
+	X, Y Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// UnaryExpr applies a unary operator ("-" or "!").
+type UnaryExpr struct {
+	node
+	// Op is the operator token text.
+	Op string
+	// X is the operand.
+	X Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// AssignExpr assigns RHS to LHS (an Ident or IndexExpr).
+type AssignExpr struct {
+	node
+	// LHS is the assignment target.
+	LHS Expr
+	// RHS is the assigned value.
+	RHS Expr
+}
+
+func (*AssignExpr) exprNode() {}
+
+// CallExpr calls a function by name.
+type CallExpr struct {
+	node
+	// Name is the callee.
+	Name string
+	// Args are the arguments, in order.
+	Args []Expr
+}
+
+func (*CallExpr) exprNode() {}
+
+// IndexExpr indexes an array variable.
+type IndexExpr struct {
+	node
+	// Name is the array variable.
+	Name string
+	// Index is the element index.
+	Index Expr
+}
+
+func (*IndexExpr) exprNode() {}
+
+// Statements returns every statement in the file in a stable preorder:
+// global declarations, then each function's body statements. This is the
+// order the analysis engine allocates Attributes in.
+func (f *File) Statements() []Stmt {
+	var out []Stmt
+	for _, g := range f.Globals {
+		out = append(out, g)
+	}
+	for _, fn := range f.Funcs {
+		out = appendBlockStmts(out, fn.Body)
+	}
+	return out
+}
+
+func appendStmt(out []Stmt, s Stmt) []Stmt {
+	if s == nil {
+		return out
+	}
+	out = append(out, s)
+	switch st := s.(type) {
+	case *Block:
+		for _, sub := range st.Stmts {
+			out = appendStmt(out, sub)
+		}
+	case *IfStmt:
+		out = appendStmt(out, st.Then)
+		out = appendStmt(out, st.Else)
+	case *WhileStmt:
+		out = appendStmt(out, st.Body)
+	case *ForStmt:
+		out = appendStmt(out, st.Init)
+		out = appendStmt(out, st.Body)
+	}
+	return out
+}
+
+func appendBlockStmts(out []Stmt, b *Block) []Stmt {
+	return appendStmt(out, b)
+}

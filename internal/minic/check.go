@@ -1,0 +1,235 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSemantic reports a semantic error found by Check.
+var ErrSemantic = errors.New("minic: semantic error")
+
+// Check performs semantic validation of a parsed file: duplicate
+// declarations, undeclared variables and functions, call arity, array vs
+// scalar usage, and return-value consistency. It returns all problems
+// found, joined; nil means the program is well-formed.
+//
+// Scoping is function-level (parameters and all locals of a function are
+// one scope), matching the interpreter and the analysis engine.
+func Check(f *File) error {
+	c := &checker{
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*VarDecl),
+	}
+	for _, g := range f.Globals {
+		if prev, dup := c.globals[g.Name]; dup {
+			c.errorf(g.NodePos(), "global %q redeclared (first at %s)", g.Name, prev.NodePos())
+			continue
+		}
+		c.globals[g.Name] = g
+	}
+	for _, fn := range f.Funcs {
+		if prev, dup := c.funcs[fn.Name]; dup {
+			c.errorf(fn.NodePos(), "function %q redeclared (first at %s)", fn.Name, prev.NodePos())
+			continue
+		}
+		if fn.Name == "print" {
+			c.errorf(fn.NodePos(), "function %q shadows the builtin", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	for _, g := range f.Globals {
+		if g.Init != nil {
+			// Global initializers may reference globals and call
+			// functions; there are no locals in scope.
+			c.expr(g.Init, nil, false)
+		}
+	}
+	for _, fn := range f.Funcs {
+		c.checkFunc(fn)
+	}
+	return errors.Join(c.errs...)
+}
+
+// varInfo describes a name visible in some scope.
+type varInfo struct {
+	isArray bool
+	pos     Pos
+}
+
+type checker struct {
+	funcs   map[string]*FuncDecl
+	globals map[string]*VarDecl
+	errs    []error
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%w: %s: %s", ErrSemantic, pos, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) {
+	locals := make(map[string]varInfo, len(fn.Params))
+	for _, p := range fn.Params {
+		if prev, dup := locals[p.Name]; dup {
+			c.errorf(p.NodePos(), "parameter %q redeclared (first at %s)", p.Name, prev.pos)
+			continue
+		}
+		locals[p.Name] = varInfo{isArray: p.IsArray, pos: p.NodePos()}
+	}
+	c.stmt(fn.Body, fn, locals)
+}
+
+func (c *checker) stmt(s Stmt, fn *FuncDecl, locals map[string]varInfo) {
+	switch x := s.(type) {
+	case nil:
+	case *VarDecl:
+		if prev, dup := locals[x.Name]; dup {
+			c.errorf(x.NodePos(), "local %q redeclared (first at %s)", x.Name, prev.pos)
+		} else {
+			locals[x.Name] = varInfo{isArray: x.ArrayLen >= 0, pos: x.NodePos()}
+		}
+		if x.Init != nil {
+			c.expr(x.Init, locals, false)
+		}
+	case *Block:
+		for _, sub := range x.Stmts {
+			c.stmt(sub, fn, locals)
+		}
+	case *ExprStmt:
+		// A statement-level call may be void; any other expression
+		// position needs a value.
+		if call, ok := x.X.(*CallExpr); ok {
+			c.call(call, locals, true)
+		} else {
+			c.expr(x.X, locals, false)
+		}
+	case *IfStmt:
+		c.expr(x.Cond, locals, false)
+		c.stmt(x.Then, fn, locals)
+		c.stmt(x.Else, fn, locals)
+	case *WhileStmt:
+		c.expr(x.Cond, locals, false)
+		c.stmt(x.Body, fn, locals)
+	case *ForStmt:
+		c.stmt(x.Init, fn, locals)
+		if x.Cond != nil {
+			c.expr(x.Cond, locals, false)
+		}
+		if x.Post != nil {
+			c.expr(x.Post, locals, false)
+		}
+		c.stmt(x.Body, fn, locals)
+	case *ReturnStmt:
+		if fn.Result == TypeVoid && x.X != nil {
+			c.errorf(x.NodePos(), "void function %q returns a value", fn.Name)
+		}
+		if fn.Result != TypeVoid && x.X == nil {
+			c.errorf(x.NodePos(), "function %q must return a value", fn.Name)
+		}
+		if x.X != nil {
+			c.expr(x.X, locals, false)
+		}
+	case *EmptyStmt:
+	}
+}
+
+// lookup resolves a name against locals then globals.
+func (c *checker) lookup(name string, locals map[string]varInfo) (varInfo, bool) {
+	if locals != nil {
+		if v, ok := locals[name]; ok {
+			return v, true
+		}
+	}
+	if g, ok := c.globals[name]; ok {
+		return varInfo{isArray: g.ArrayLen >= 0, pos: g.NodePos()}, true
+	}
+	return varInfo{}, false
+}
+
+// expr checks an expression in value position (asStmt=false) or statement
+// position.
+func (c *checker) expr(e Expr, locals map[string]varInfo, asStmt bool) {
+	switch x := e.(type) {
+	case nil, *IntLit, *FloatLit:
+	case *Ident:
+		v, ok := c.lookup(x.Name, locals)
+		if !ok {
+			c.errorf(x.NodePos(), "undeclared variable %q", x.Name)
+			return
+		}
+		if v.isArray {
+			c.errorf(x.NodePos(), "array %q used as a scalar", x.Name)
+		}
+	case *IndexExpr:
+		v, ok := c.lookup(x.Name, locals)
+		if !ok {
+			c.errorf(x.NodePos(), "undeclared variable %q", x.Name)
+		} else if !v.isArray {
+			c.errorf(x.NodePos(), "scalar %q indexed", x.Name)
+		}
+		c.expr(x.Index, locals, false)
+	case *UnaryExpr:
+		c.expr(x.X, locals, false)
+	case *BinaryExpr:
+		c.expr(x.X, locals, false)
+		c.expr(x.Y, locals, false)
+	case *AssignExpr:
+		switch lhs := x.LHS.(type) {
+		case *Ident:
+			v, ok := c.lookup(lhs.Name, locals)
+			if !ok {
+				c.errorf(lhs.NodePos(), "assignment to undeclared variable %q", lhs.Name)
+			} else if v.isArray {
+				c.errorf(lhs.NodePos(), "cannot assign to array %q", lhs.Name)
+			}
+		case *IndexExpr:
+			c.expr(lhs, locals, false)
+		}
+		c.expr(x.RHS, locals, false)
+	case *CallExpr:
+		c.call(x, locals, asStmt)
+	}
+}
+
+// call checks a function call; valueOK reports whether a void result is
+// acceptable (statement position).
+func (c *checker) call(x *CallExpr, locals map[string]varInfo, asStmt bool) {
+	if x.Name == "print" {
+		for _, a := range x.Args {
+			c.expr(a, locals, false)
+		}
+		return
+	}
+	fn, ok := c.funcs[x.Name]
+	if !ok {
+		c.errorf(x.NodePos(), "call to undeclared function %q", x.Name)
+		for _, a := range x.Args {
+			c.expr(a, locals, false)
+		}
+		return
+	}
+	if len(x.Args) != len(fn.Params) {
+		c.errorf(x.NodePos(), "%q takes %d argument(s), got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+	if !asStmt && fn.Result == TypeVoid {
+		c.errorf(x.NodePos(), "void function %q used as a value", x.Name)
+	}
+	for i, a := range x.Args {
+		wantArray := i < len(fn.Params) && fn.Params[i].IsArray
+		if wantArray {
+			id, ok := a.(*Ident)
+			if !ok {
+				c.errorf(a.NodePos(), "argument %d of %q must be an array variable", i+1, x.Name)
+				continue
+			}
+			v, found := c.lookup(id.Name, locals)
+			if !found {
+				c.errorf(id.NodePos(), "undeclared variable %q", id.Name)
+			} else if !v.isArray {
+				c.errorf(id.NodePos(), "argument %d of %q must be an array, %q is a scalar",
+					i+1, x.Name, id.Name)
+			}
+			continue
+		}
+		c.expr(a, locals, false)
+	}
+}

@@ -1,0 +1,101 @@
+package minic_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ickpt/internal/minic"
+)
+
+func checkSrc(t *testing.T, src string) error {
+	t.Helper()
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return minic.Check(f)
+}
+
+func TestCheckAcceptsSample(t *testing.T) {
+	if err := checkSrc(t, sample); err != nil {
+		t.Errorf("Check(sample) = %v", err)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"dup global", "int x; int x;", "redeclared"},
+		{"dup function", "int f() { return 0; } int f() { return 1; }", "redeclared"},
+		{"dup param", "int f(int a, int a) { return a; }", "redeclared"},
+		{"dup local", "int f() { int a; int a; return 0; }", "redeclared"},
+		{"shadow print", "void print(int v) { }", "shadows the builtin"},
+		{"undeclared var", "int f() { return zz; }", "undeclared variable"},
+		{"undeclared in init", "int g = zz;", "undeclared variable"},
+		{"undeclared fn", "int f() { return g(); }", "undeclared function"},
+		{"arity", "int g(int a) { return a; } int f() { return g(1, 2); }", "argument"},
+		{"array as scalar", "int a[4]; int f() { return a; }", "used as a scalar"},
+		{"scalar indexed", "int x; int f() { return x[0]; }", "indexed"},
+		{"assign to array", "int a[4]; void f() { a = 0; }", "cannot assign to array"},
+		{"assign undeclared", "void f() { q = 1; }", "undeclared"},
+		{"void as value", "void g() { } int f() { return g(); }", "used as a value"},
+		{"void returns value", "void f() { return 3; }", "returns a value"},
+		{"missing return value", "int f() { return; }", "must return a value"},
+		{"array arg scalar", "int g(int a[]) { return a[0]; } int x; int f() { return g(x); }", "must be an array"},
+		{"array arg literal", "int g(int a[]) { return a[0]; } int f() { return g(5); }", "must be an array variable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkSrc(t, tc.src)
+			if !errors.Is(err, minic.ErrSemantic) {
+				t.Fatalf("Check = %v, want ErrSemantic", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckReportsMultipleErrors(t *testing.T) {
+	err := checkSrc(t, "int f() { return zz + yy; }")
+	if err == nil {
+		t.Fatal("no errors")
+	}
+	if got := strings.Count(err.Error(), "undeclared variable"); got != 2 {
+		t.Errorf("reported %d undeclared errors, want 2: %v", got, err)
+	}
+}
+
+func TestCheckVoidCallAsStatement(t *testing.T) {
+	src := `
+void g() { }
+int f() { g(); return 0; }
+`
+	if err := checkSrc(t, src); err != nil {
+		t.Errorf("void call in statement position rejected: %v", err)
+	}
+}
+
+func TestCheckArrayArgumentPassing(t *testing.T) {
+	src := `
+int buf[8];
+int sum(int a[], int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    return s;
+}
+int f() {
+    int local[4];
+    return sum(buf, 8) + sum(local, 4);
+}
+`
+	if err := checkSrc(t, src); err != nil {
+		t.Errorf("valid array passing rejected: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package minic_test
+
+import (
+	"errors"
+	"testing"
+
+	"ickpt/internal/minic"
+)
+
+// FuzzParse: arbitrary source must either parse or return ErrSyntax —
+// never panic or hang. When it parses, the printer's output must reparse.
+func FuzzParse(f *testing.F) {
+	f.Add("int x = 1;")
+	f.Add(sample)
+	f.Add("int f() { for (int i = 0; i < 10; i = i + 1) { print(i); } return 0; }")
+	f.Add("float g(float a[]) { return a[0] * 1.5; }")
+	f.Add("int f() { if (1) ; else while (0) {} return -(-1); }")
+	f.Add("/* unterminated")
+	f.Add("int x = @;")
+	f.Add("}{)(")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := minic.Parse(src)
+		if err != nil {
+			if !errors.Is(err, minic.ErrSyntax) {
+				t.Fatalf("non-syntax error: %v", err)
+			}
+			return
+		}
+		printed := minic.Print(file)
+		if _, err := minic.Parse(printed); err != nil {
+			t.Fatalf("printed source does not reparse: %v\n%s", err, printed)
+		}
+	})
+}
+
+// FuzzInterp: programs that parse must run to completion, a runtime error,
+// or fuel exhaustion — never a panic.
+func FuzzInterp(f *testing.F) {
+	f.Add("int f() { return 1 / 1; }")
+	f.Add("int f() { int a[2]; a[1] = 5; return a[1] % 2; }")
+	f.Add("int f() { while (1) { } return 0; }")
+	f.Add("float f() { return 1.5 / 0.5; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := minic.Parse(src)
+		if err != nil {
+			return
+		}
+		in, err := minic.NewInterp(file, 5000)
+		if err != nil {
+			return
+		}
+		_, _ = in.Run("f")
+		_, _ = in.Run("main")
+	})
+}

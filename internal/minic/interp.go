@@ -1,0 +1,545 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interpreter errors.
+var (
+	// ErrRuntime reports an execution failure (unknown variable, bad
+	// index, missing function).
+	ErrRuntime = errors.New("minic: runtime error")
+	// ErrFuel reports that execution exceeded the step budget.
+	ErrFuel = errors.New("minic: out of fuel")
+)
+
+// Value is a runtime value: int64 or float64 behind a small sum type.
+type Value struct {
+	// IsFloat selects which field is valid.
+	IsFloat bool
+	// I is the integer value.
+	I int64
+	// F is the float value.
+	F float64
+}
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{I: v} }
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return Value{IsFloat: true, F: v} }
+
+// AsFloat converts to float64.
+func (v Value) AsFloat() float64 {
+	if v.IsFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsInt converts to int64 (truncating).
+func (v Value) AsInt() int64 {
+	if v.IsFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Truthy reports C truth: nonzero.
+func (v Value) Truthy() bool {
+	if v.IsFloat {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// Interp executes simplified-C programs. It exists to validate the analysis
+// fixtures: a fixture that parses and runs is a meaningful analysis input.
+type Interp struct {
+	file    *File
+	funcs   map[string]*FuncDecl
+	globals map[string]*cell
+	// Fuel bounds the number of executed statements/expressions, so
+	// buggy fixtures fail fast instead of hanging the tests.
+	fuel int
+	// Output collects the arguments of print() calls.
+	Output []Value
+}
+
+// cell is a scalar or array storage slot.
+type cell struct {
+	isFloat bool
+	scalar  Value
+	array   []Value
+}
+
+// NewInterp prepares an interpreter for f with the given statement budget.
+func NewInterp(f *File, fuel int) (*Interp, error) {
+	in := &Interp{
+		file:    f,
+		funcs:   make(map[string]*FuncDecl, len(f.Funcs)),
+		globals: make(map[string]*cell, len(f.Globals)),
+		fuel:    fuel,
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := in.funcs[fn.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate function %q", ErrRuntime, fn.Name)
+		}
+		in.funcs[fn.Name] = fn
+	}
+	for _, g := range f.Globals {
+		c, err := in.newCell(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		in.globals[g.Name] = c
+	}
+	return in, nil
+}
+
+// frame is one function activation.
+type frame struct {
+	locals map[string]*cell
+	ret    *Value
+}
+
+func (in *Interp) newCell(vd *VarDecl, fr *frame) (*cell, error) {
+	c := &cell{isFloat: vd.Type == TypeFloat}
+	if vd.ArrayLen >= 0 {
+		c.array = make([]Value, vd.ArrayLen)
+		return c, nil
+	}
+	if vd.Init != nil {
+		v, err := in.eval(vd.Init, fr)
+		if err != nil {
+			return nil, err
+		}
+		c.scalar = coerce(v, c.isFloat)
+	} else if c.isFloat {
+		c.scalar = FloatValue(0)
+	}
+	return c, nil
+}
+
+func coerce(v Value, toFloat bool) Value {
+	if toFloat {
+		return FloatValue(v.AsFloat())
+	}
+	return IntValue(v.AsInt())
+}
+
+// Run calls the named function with the given arguments and returns its
+// result (zero Value for void).
+func (in *Interp) Run(name string, args ...Value) (Value, error) {
+	return in.call(name, args)
+}
+
+func (in *Interp) burn() error {
+	in.fuel--
+	if in.fuel < 0 {
+		return ErrFuel
+	}
+	return nil
+}
+
+func (in *Interp) call(name string, args []Value) (Value, error) {
+	if name == "print" {
+		in.Output = append(in.Output, args...)
+		return Value{}, nil
+	}
+	fn, ok := in.funcs[name]
+	if !ok {
+		return Value{}, fmt.Errorf("%w: unknown function %q", ErrRuntime, name)
+	}
+	if len(args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("%w: %s takes %d args, got %d",
+			ErrRuntime, name, len(fn.Params), len(args))
+	}
+	fr := &frame{locals: make(map[string]*cell)}
+	for i, p := range fn.Params {
+		c := &cell{isFloat: p.Type == TypeFloat}
+		if p.IsArray {
+			// Array parameters receive the caller's backing store by
+			// reference; the caller passes an Ident naming an array.
+			return Value{}, fmt.Errorf("%w: array arguments must be bound via BindArray", ErrRuntime)
+		}
+		c.scalar = coerce(args[i], c.isFloat)
+		fr.locals[p.Name] = c
+	}
+	if _, err := in.execStmt(fn.Body, fr); err != nil {
+		return Value{}, err
+	}
+	if fr.ret != nil {
+		return *fr.ret, nil
+	}
+	return Value{}, nil
+}
+
+// callExpr evaluates a call whose array arguments are passed by reference.
+func (in *Interp) callExpr(x *CallExpr, fr *frame) (Value, error) {
+	if x.Name == "print" {
+		var args []Value
+		for _, a := range x.Args {
+			v, err := in.eval(a, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			args = append(args, v)
+		}
+		in.Output = append(in.Output, args...)
+		return Value{}, nil
+	}
+	fn, ok := in.funcs[x.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %s: unknown function %q", ErrRuntime, x.NodePos(), x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("%w: %s: %s takes %d args, got %d",
+			ErrRuntime, x.NodePos(), x.Name, len(fn.Params), len(x.Args))
+	}
+	callee := &frame{locals: make(map[string]*cell)}
+	for i, p := range fn.Params {
+		if p.IsArray {
+			id, ok := x.Args[i].(*Ident)
+			if !ok {
+				return Value{}, fmt.Errorf("%w: %s: array argument must be a variable",
+					ErrRuntime, x.Args[i].NodePos())
+			}
+			c, err := in.lookup(id.Name, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if c.array == nil {
+				return Value{}, fmt.Errorf("%w: %s: %q is not an array", ErrRuntime, id.NodePos(), id.Name)
+			}
+			callee.locals[p.Name] = c // by reference
+			continue
+		}
+		v, err := in.eval(x.Args[i], fr)
+		if err != nil {
+			return Value{}, err
+		}
+		callee.locals[p.Name] = &cell{isFloat: p.Type == TypeFloat, scalar: coerce(v, p.Type == TypeFloat)}
+	}
+	if _, err := in.execStmt(fn.Body, callee); err != nil {
+		return Value{}, err
+	}
+	if callee.ret != nil {
+		return *callee.ret, nil
+	}
+	return Value{}, nil
+}
+
+func (in *Interp) lookup(name string, fr *frame) (*cell, error) {
+	if fr != nil {
+		if c, ok := fr.locals[name]; ok {
+			return c, nil
+		}
+	}
+	if c, ok := in.globals[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: unknown variable %q", ErrRuntime, name)
+}
+
+// execStmt executes s; it reports whether control should keep flowing
+// (false after return).
+func (in *Interp) execStmt(s Stmt, fr *frame) (bool, error) {
+	if err := in.burn(); err != nil {
+		return false, err
+	}
+	switch st := s.(type) {
+	case *VarDecl:
+		c, err := in.newCell(st, fr)
+		if err != nil {
+			return false, err
+		}
+		fr.locals[st.Name] = c
+		return true, nil
+	case *Block:
+		for _, sub := range st.Stmts {
+			cont, err := in.execStmt(sub, fr)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	case *ExprStmt:
+		_, err := in.eval(st.X, fr)
+		return true, err
+	case *IfStmt:
+		v, err := in.eval(st.Cond, fr)
+		if err != nil {
+			return false, err
+		}
+		if v.Truthy() {
+			return in.execStmt(st.Then, fr)
+		}
+		if st.Else != nil {
+			return in.execStmt(st.Else, fr)
+		}
+		return true, nil
+	case *WhileStmt:
+		for {
+			v, err := in.eval(st.Cond, fr)
+			if err != nil {
+				return false, err
+			}
+			if !v.Truthy() {
+				return true, nil
+			}
+			cont, err := in.execStmt(st.Body, fr)
+			if err != nil || !cont {
+				return cont, err
+			}
+			if err := in.burn(); err != nil {
+				return false, err
+			}
+		}
+	case *ForStmt:
+		if st.Init != nil {
+			if cont, err := in.execStmt(st.Init, fr); err != nil || !cont {
+				return cont, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				v, err := in.eval(st.Cond, fr)
+				if err != nil {
+					return false, err
+				}
+				if !v.Truthy() {
+					return true, nil
+				}
+			}
+			cont, err := in.execStmt(st.Body, fr)
+			if err != nil || !cont {
+				return cont, err
+			}
+			if st.Post != nil {
+				if _, err := in.eval(st.Post, fr); err != nil {
+					return false, err
+				}
+			}
+			if err := in.burn(); err != nil {
+				return false, err
+			}
+		}
+	case *ReturnStmt:
+		var v Value
+		if st.X != nil {
+			var err error
+			v, err = in.eval(st.X, fr)
+			if err != nil {
+				return false, err
+			}
+		}
+		fr.ret = &v
+		return false, nil
+	case *EmptyStmt:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: %s: unhandled statement %T", ErrRuntime, s.NodePos(), s)
+	}
+}
+
+func (in *Interp) eval(e Expr, fr *frame) (Value, error) {
+	if err := in.burn(); err != nil {
+		return Value{}, err
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		return IntValue(x.V), nil
+	case *FloatLit:
+		return FloatValue(x.V), nil
+	case *Ident:
+		c, err := in.lookup(x.Name, fr)
+		if err != nil {
+			return Value{}, fmt.Errorf("%s: %w", x.NodePos(), err)
+		}
+		if c.array != nil {
+			return Value{}, fmt.Errorf("%w: %s: array %q used as scalar", ErrRuntime, x.NodePos(), x.Name)
+		}
+		return c.scalar, nil
+	case *IndexExpr:
+		c, idx, err := in.indexTarget(x, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return c.array[idx], nil
+	case *UnaryExpr:
+		v, err := in.eval(x.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			if v.IsFloat {
+				return FloatValue(-v.F), nil
+			}
+			return IntValue(-v.I), nil
+		case "!":
+			if v.Truthy() {
+				return IntValue(0), nil
+			}
+			return IntValue(1), nil
+		}
+		return Value{}, fmt.Errorf("%w: %s: bad unary op %q", ErrRuntime, x.NodePos(), x.Op)
+	case *BinaryExpr:
+		return in.evalBinary(x, fr)
+	case *AssignExpr:
+		v, err := in.eval(x.RHS, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		switch lhs := x.LHS.(type) {
+		case *Ident:
+			c, err := in.lookup(lhs.Name, fr)
+			if err != nil {
+				return Value{}, fmt.Errorf("%s: %w", lhs.NodePos(), err)
+			}
+			if c.array != nil {
+				return Value{}, fmt.Errorf("%w: %s: cannot assign to array %q",
+					ErrRuntime, lhs.NodePos(), lhs.Name)
+			}
+			c.scalar = coerce(v, c.isFloat)
+			return c.scalar, nil
+		case *IndexExpr:
+			c, idx, err := in.indexTarget(lhs, fr)
+			if err != nil {
+				return Value{}, err
+			}
+			c.array[idx] = coerce(v, c.isFloat)
+			return c.array[idx], nil
+		}
+		return Value{}, fmt.Errorf("%w: %s: bad assignment target", ErrRuntime, x.NodePos())
+	case *CallExpr:
+		return in.callExpr(x, fr)
+	default:
+		return Value{}, fmt.Errorf("%w: %s: unhandled expression %T", ErrRuntime, e.NodePos(), e)
+	}
+}
+
+func (in *Interp) indexTarget(x *IndexExpr, fr *frame) (*cell, int, error) {
+	c, err := in.lookup(x.Name, fr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", x.NodePos(), err)
+	}
+	if c.array == nil {
+		return nil, 0, fmt.Errorf("%w: %s: %q is not an array", ErrRuntime, x.NodePos(), x.Name)
+	}
+	iv, err := in.eval(x.Index, fr)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := int(iv.AsInt())
+	if idx < 0 || idx >= len(c.array) {
+		return nil, 0, fmt.Errorf("%w: %s: index %d out of range [0,%d)",
+			ErrRuntime, x.NodePos(), idx, len(c.array))
+	}
+	return c, idx, nil
+}
+
+func (in *Interp) evalBinary(x *BinaryExpr, fr *frame) (Value, error) {
+	// Short-circuit logical operators.
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := in.eval(x.X, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "&&" && !l.Truthy() {
+			return IntValue(0), nil
+		}
+		if x.Op == "||" && l.Truthy() {
+			return IntValue(1), nil
+		}
+		r, err := in.eval(x.Y, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Truthy() {
+			return IntValue(1), nil
+		}
+		return IntValue(0), nil
+	}
+
+	l, err := in.eval(x.X, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := in.eval(x.Y, fr)
+	if err != nil {
+		return Value{}, err
+	}
+	float := l.IsFloat || r.IsFloat
+	boolVal := func(b bool) Value {
+		if b {
+			return IntValue(1)
+		}
+		return IntValue(0)
+	}
+	if float {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case "+":
+			return FloatValue(a + b), nil
+		case "-":
+			return FloatValue(a - b), nil
+		case "*":
+			return FloatValue(a * b), nil
+		case "/":
+			if b == 0 {
+				return Value{}, fmt.Errorf("%w: %s: division by zero", ErrRuntime, x.NodePos())
+			}
+			return FloatValue(a / b), nil
+		case "%":
+			return Value{}, fmt.Errorf("%w: %s: %% on float", ErrRuntime, x.NodePos())
+		case "<":
+			return boolVal(a < b), nil
+		case ">":
+			return boolVal(a > b), nil
+		case "<=":
+			return boolVal(a <= b), nil
+		case ">=":
+			return boolVal(a >= b), nil
+		case "==":
+			return boolVal(a == b), nil
+		case "!=":
+			return boolVal(a != b), nil
+		}
+	} else {
+		a, b := l.I, r.I
+		switch x.Op {
+		case "+":
+			return IntValue(a + b), nil
+		case "-":
+			return IntValue(a - b), nil
+		case "*":
+			return IntValue(a * b), nil
+		case "/":
+			if b == 0 {
+				return Value{}, fmt.Errorf("%w: %s: division by zero", ErrRuntime, x.NodePos())
+			}
+			return IntValue(a / b), nil
+		case "%":
+			if b == 0 {
+				return Value{}, fmt.Errorf("%w: %s: modulo by zero", ErrRuntime, x.NodePos())
+			}
+			return IntValue(a % b), nil
+		case "<":
+			return boolVal(a < b), nil
+		case ">":
+			return boolVal(a > b), nil
+		case "<=":
+			return boolVal(a <= b), nil
+		case ">=":
+			return boolVal(a >= b), nil
+		case "==":
+			return boolVal(a == b), nil
+		case "!=":
+			return boolVal(a != b), nil
+		}
+	}
+	return Value{}, fmt.Errorf("%w: %s: bad operator %q", ErrRuntime, x.NodePos(), x.Op)
+}

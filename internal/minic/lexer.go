@@ -1,0 +1,148 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSyntax reports a lexical or parse error; the message carries the
+// source position.
+var ErrSyntax = errors.New("minic: syntax error")
+
+// Lex tokenizes src. Comments (// and /* */) are discarded.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() {
+	if lx.off >= len(lx.src) {
+		return
+	}
+	if lx.src[lx.off] == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	lx.off++
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	c := lx.peek()
+	switch {
+	case c == 0:
+		return Token{Kind: TokEOF, Pos: start}, nil
+	case isAlpha(c):
+		text := lx.takeWhile(isAlnum)
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+	case isDigit(c):
+		text := lx.takeWhile(isDigit)
+		if lx.peek() == '.' && isDigit(lx.peek2()) {
+			lx.advance()
+			frac := lx.takeWhile(isDigit)
+			return Token{Kind: TokFloatLit, Text: text + "." + frac, Pos: start}, nil
+		}
+		return Token{Kind: TokIntLit, Text: text, Pos: start}, nil
+	default:
+		rest := lx.src[lx.off:]
+		for _, p := range puncts {
+			if strings.HasPrefix(rest, p) {
+				for range p {
+					lx.advance()
+				}
+				return Token{Kind: TokPunct, Text: p, Pos: start}, nil
+			}
+		}
+		return Token{}, fmt.Errorf("%w: %s: unexpected character %q", ErrSyntax, start, c)
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.peek() != 0 && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			pos := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.peek() == 0 {
+					return fmt.Errorf("%w: %s: unterminated comment", ErrSyntax, pos)
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (lx *lexer) takeWhile(pred func(byte) bool) string {
+	start := lx.off
+	for lx.peek() != 0 && pred(lx.peek()) {
+		lx.advance()
+	}
+	return lx.src[start:lx.off]
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }

@@ -1,0 +1,329 @@
+package minic_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ickpt/internal/minic"
+)
+
+const sample = `
+// Global state.
+int width = 8;
+int height = 8;
+int img[64];
+float scale = 1.5;
+
+int clamp(int v, int lo, int hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+
+void fill(int v) {
+    int i;
+    for (i = 0; i < width * height; i = i + 1) {
+        img[i] = v;
+    }
+}
+
+int sum(int a[], int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + a[i];
+        i = i + 1;
+    }
+    return s;
+}
+
+int main() {
+    fill(3);
+    img[0] = clamp(100, 0, 9);
+    return sum(img, width * height);
+}
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := minic.Lex("int x = 42; // comment\nfloat y = 1.5; /* block */ x <= y;")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var kinds []minic.TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"int", "x", "=", "42", ";", "float", "y", "=", "1.5", ";", "x", "<=", "y", ";", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token count = %d, want %d (%q)", len(texts), len(want), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[3] != minic.TokIntLit || kinds[8] != minic.TokFloatLit || kinds[11] != minic.TokPunct {
+		t.Errorf("kinds wrong: %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := minic.Lex("int x = @;"); !errors.Is(err, minic.ErrSyntax) {
+		t.Errorf("bad char: %v", err)
+	}
+	if _, err := minic.Lex("/* unterminated"); !errors.Is(err, minic.ErrSyntax) {
+		t.Errorf("unterminated comment: %v", err)
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	f, err := minic.Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Globals) != 4 {
+		t.Errorf("globals = %d, want 4", len(f.Globals))
+	}
+	if len(f.Funcs) != 4 {
+		t.Errorf("funcs = %d, want 4", len(f.Funcs))
+	}
+	if f.Globals[2].ArrayLen != 64 {
+		t.Errorf("img array len = %d, want 64", f.Globals[2].ArrayLen)
+	}
+	if f.Funcs[2].Params[0].IsArray != true {
+		t.Error("sum's first param should be an array")
+	}
+	if f.NodeCount == 0 {
+		t.Error("NodeCount not set")
+	}
+
+	// Node ids are unique and within [0, NodeCount).
+	seen := make(map[minic.NodeID]bool)
+	for _, s := range f.Statements() {
+		id := s.NodeID()
+		if seen[id] {
+			t.Errorf("duplicate node id %d", id)
+		}
+		if int(id) < 0 || int(id) >= f.NodeCount {
+			t.Errorf("node id %d out of range [0,%d)", id, f.NodeCount)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int;",
+		"void x;",
+		"int f( { }",
+		"int f() { return }",
+		"int f() { 1 + ; }",
+		"int f() { if (1) }",
+		"int f() { x[1; }",
+		"int f() { 3 = x; }",
+		"int a[0];",
+		"int f() {",
+	}
+	for _, src := range cases {
+		if _, err := minic.Parse(src); !errors.Is(err, minic.ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	f, err := minic.Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := minic.Print(f)
+	f2, err := minic.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse printed source: %v\n%s", err, printed)
+	}
+	// The round trip must preserve structure: same statement count and
+	// same second print.
+	if got, want := len(f2.Statements()), len(f.Statements()); got != want {
+		t.Errorf("statement count after round trip = %d, want %d", got, want)
+	}
+	printed2 := minic.Print(f2)
+	if printed != printed2 {
+		t.Errorf("print not stable:\n--- first\n%s\n--- second\n%s", printed, printed2)
+	}
+}
+
+func TestInterpSample(t *testing.T) {
+	f, err := minic.Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := minic.NewInterp(f, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Run("main")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// fill(3) sets 64 cells to 3; img[0] becomes clamp(100,0,9)=9.
+	want := int64(9 + 63*3)
+	if got.AsInt() != want {
+		t.Errorf("main() = %d, want %d", got.AsInt(), want)
+	}
+}
+
+func TestInterpControlFlowAndOps(t *testing.T) {
+	src := `
+int f(int n) {
+    int acc = 0;
+    int i;
+    for (i = 1; i <= n; i = i + 1) {
+        if (i % 2 == 0 && i != 4) { acc = acc + i; }
+        else { if (i % 3 == 0 || i == 1) { acc = acc - i; } }
+    }
+    while (acc < 0) { acc = acc + 100; }
+    return -(-acc);
+}
+`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := minic.NewInterp(f, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Run("f", minic.IntValue(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=1:-1, i=2:+2, i=3:-3, i=4:skip, i=5:0, i=6:+6, i=7:0, i=8:+8,
+	// i=9:-9, i=10:+10 => 13
+	if got.AsInt() != 13 {
+		t.Errorf("f(10) = %d, want 13", got.AsInt())
+	}
+}
+
+func TestInterpFloats(t *testing.T) {
+	src := `
+float mix(float a, float b) {
+    return a * 0.25 + b * 0.75;
+}
+`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := minic.NewInterp(f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Run("mix", minic.FloatValue(4), minic.FloatValue(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsFloat() != 7 {
+		t.Errorf("mix(4,8) = %v, want 7", got.AsFloat())
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"unknown var", "int f() { return zz; }", minic.ErrRuntime},
+		{"unknown func", "int f() { return g(); }", minic.ErrRuntime},
+		{"div by zero", "int f() { return 1 / 0; }", minic.ErrRuntime},
+		{"index oob", "int a[4]; int f() { return a[9]; }", minic.ErrRuntime},
+		{"infinite loop", "int f() { while (1) { } return 0; }", minic.ErrFuel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := minic.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := minic.NewInterp(f, 10000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := in.Run("f"); !errors.Is(err, tc.want) {
+				t.Errorf("Run = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInterpPrintBuiltin(t *testing.T) {
+	src := `void f() { print(7); print(8); }`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := minic.NewInterp(f, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run("f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Output) != 2 || in.Output[0].AsInt() != 7 || in.Output[1].AsInt() != 8 {
+		t.Errorf("Output = %v", in.Output)
+	}
+}
+
+func TestStatementsCoversNesting(t *testing.T) {
+	src := `
+int g;
+int f() {
+    int x = 1;
+    if (x) { x = 2; } else { x = 3; }
+    while (x) { x = x - 1; }
+    for (x = 0; x < 2; x = x + 1) { g = x; }
+    ;
+    return g;
+}
+`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := f.Statements()
+	// 1 global + body block + decl + if + 2 branch blocks + 2 assigns +
+	// while + block + assign + for + block + assign + empty + return
+	if len(stmts) < 14 {
+		t.Errorf("Statements() = %d nodes, want >= 14", len(stmts))
+	}
+	var hasIf, hasWhile, hasFor bool
+	for _, s := range stmts {
+		switch s.(type) {
+		case *minic.IfStmt:
+			hasIf = true
+		case *minic.WhileStmt:
+			hasWhile = true
+		case *minic.ForStmt:
+			hasFor = true
+		}
+	}
+	if !hasIf || !hasWhile || !hasFor {
+		t.Errorf("Statements() missing nested statements: if=%v while=%v for=%v", hasIf, hasWhile, hasFor)
+	}
+}
+
+func TestPrintContainsDeclarations(t *testing.T) {
+	f, err := minic.Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := minic.Print(f)
+	for _, want := range []string{"int img[64];", "float scale = 1.5;", "int sum(int a[], int n) {"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,533 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse lexes and parses a simplified-C source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	f.NodeCount = int(p.nextID)
+	return f, nil
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	nextID NodeID
+}
+
+// mk allocates a node header at the current token position.
+func (p *parser) mk() node {
+	n := node{id: p.nextID, pos: p.cur().Pos}
+	p.nextID++
+	return n
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) atPunct(text string) bool   { return p.at(TokPunct, text) }
+func (p *parser) atKeyword(text string) bool { return p.at(TokKeyword, text) }
+
+func (p *parser) eat(kind TokenKind, text string) (Token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return Token{}, fmt.Errorf("%w: %s: expected %q, found %q",
+			ErrSyntax, p.cur().Pos, want, p.cur().Text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) atType() bool {
+	return p.atKeyword("int") || p.atKeyword("float") || p.atKeyword("void")
+}
+
+func (p *parser) parseType() (Type, error) {
+	switch {
+	case p.atKeyword("int"):
+		p.advance()
+		return TypeInt, nil
+	case p.atKeyword("float"):
+		p.advance()
+		return TypeFloat, nil
+	case p.atKeyword("void"):
+		p.advance()
+		return TypeVoid, nil
+	default:
+		return 0, fmt.Errorf("%w: %s: expected type, found %q", ErrSyntax, p.cur().Pos, p.cur().Text)
+	}
+}
+
+// file parses the whole translation unit.
+func (p *parser) file() (*File, error) {
+	f := &File{node: p.mk()}
+	for !p.at(TokEOF, "") {
+		if !p.atType() {
+			return nil, fmt.Errorf("%w: %s: expected declaration, found %q",
+				ErrSyntax, p.cur().Pos, p.cur().Text)
+		}
+		// Distinguish function from variable: type ident '('.
+		if p.peek().Kind == TokIdent && p.toks[min(p.pos+2, len(p.toks)-1)].Text == "(" {
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		vd, err := p.varDecl(true)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, vd)
+	}
+	return f, nil
+}
+
+// varDecl parses "type ident [n]? (= expr)? ;".
+func (p *parser) varDecl(global bool) (*VarDecl, error) {
+	vd := &VarDecl{node: p.mk(), ArrayLen: -1, Global: global}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ == TypeVoid {
+		return nil, fmt.Errorf("%w: %s: void variable", ErrSyntax, vd.pos)
+	}
+	vd.Type = typ
+	name, err := p.eat(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	vd.Name = name.Text
+	if p.atPunct("[") {
+		p.advance()
+		lit, err := p.eat(TokIntLit, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(lit.Text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%w: %s: bad array length %q", ErrSyntax, lit.Pos, lit.Text)
+		}
+		vd.ArrayLen = n
+		if _, err := p.eat(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.atPunct("=") {
+		if vd.ArrayLen >= 0 {
+			return nil, fmt.Errorf("%w: %s: array initializers are not supported", ErrSyntax, vd.pos)
+		}
+		p.advance()
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	if _, err := p.eat(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+// funcDecl parses "type ident ( params ) block".
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	fn := &FuncDecl{node: p.mk()}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	fn.Result = typ
+	name, err := p.eat(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	fn.Name = name.Text
+	if _, err := p.eat(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.eat(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		par := &Param{node: p.mk()}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if pt == TypeVoid {
+			return nil, fmt.Errorf("%w: %s: void parameter", ErrSyntax, par.pos)
+		}
+		par.Type = pt
+		pn, err := p.eat(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		par.Name = pn.Text
+		if p.atPunct("[") {
+			p.advance()
+			if _, err := p.eat(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			par.IsArray = true
+		}
+		fn.Params = append(fn.Params, par)
+	}
+	p.advance() // ')'
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block parses "{ stmt* }".
+func (p *parser) block() (*Block, error) {
+	b := &Block{node: p.mk()}
+	if _, err := p.eat(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.atPunct("}") {
+		if p.at(TokEOF, "") {
+			return nil, fmt.Errorf("%w: %s: unexpected end of file in block", ErrSyntax, p.cur().Pos)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // '}'
+	return b, nil
+}
+
+// stmt parses one statement.
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.atType():
+		return p.varDecl(false)
+	case p.atPunct("{"):
+		return p.block()
+	case p.atPunct(";"):
+		s := &EmptyStmt{node: p.mk()}
+		p.advance()
+		return s, nil
+	case p.atKeyword("if"):
+		s := &IfStmt{node: p.mk()}
+		p.advance()
+		if _, err := p.eat(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.eat(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Then = then
+		if p.atKeyword("else") {
+			p.advance()
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+	case p.atKeyword("while"):
+		s := &WhileStmt{node: p.mk()}
+		p.advance()
+		if _, err := p.eat(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.eat(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+	case p.atKeyword("for"):
+		return p.forStmt()
+	case p.atKeyword("return"):
+		s := &ReturnStmt{node: p.mk()}
+		p.advance()
+		if !p.atPunct(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.eat(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		s := &ExprStmt{node: p.mk()}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.X = x
+		if _, err := p.eat(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// forStmt parses "for ( init? ; cond? ; post? ) stmt".
+func (p *parser) forStmt() (Stmt, error) {
+	s := &ForStmt{node: p.mk()}
+	p.advance() // 'for'
+	if _, err := p.eat(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(";") {
+		if p.atType() {
+			vd, err := p.varDecl(false) // consumes trailing ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = vd
+		} else {
+			es := &ExprStmt{node: p.mk()}
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			es.X = x
+			s.Init = es
+			if _, err := p.eat(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.advance()
+	}
+	if !p.atPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.eat(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.eat(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *parser) expr() (Expr, error) { return p.assignment() }
+
+func (p *parser) assignment() (Expr, error) {
+	lhs, err := p.logicOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct("=") {
+		return lhs, nil
+	}
+	switch lhs.(type) {
+	case *Ident, *IndexExpr:
+	default:
+		return nil, fmt.Errorf("%w: %s: invalid assignment target", ErrSyntax, lhs.NodePos())
+	}
+	a := &AssignExpr{node: p.mk(), LHS: lhs}
+	p.advance() // '='
+	rhs, err := p.assignment()
+	if err != nil {
+		return nil, err
+	}
+	a.RHS = rhs
+	return a, nil
+}
+
+// binaryLevels defines precedence tiers, loosest first.
+var binaryLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) logicOr() (Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binaryLevels) {
+		return p.unary()
+	}
+	x, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binaryLevels[level] {
+			if p.atPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return x, nil
+		}
+		b := &BinaryExpr{node: p.mk(), Op: matched, X: x}
+		p.advance()
+		y, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		b.Y = y
+		x = b
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.atPunct("-") || p.atPunct("!") {
+		u := &UnaryExpr{node: p.mk(), Op: p.cur().Text}
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		u.X = x
+		return u, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.at(TokIntLit, ""):
+		lit := &IntLit{node: p.mk()}
+		t := p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: bad int literal %q", ErrSyntax, t.Pos, t.Text)
+		}
+		lit.V = v
+		return lit, nil
+	case p.at(TokFloatLit, ""):
+		lit := &FloatLit{node: p.mk()}
+		t := p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: bad float literal %q", ErrSyntax, t.Pos, t.Text)
+		}
+		lit.V = v
+		return lit, nil
+	case p.at(TokIdent, ""):
+		switch p.peek().Text {
+		case "(":
+			call := &CallExpr{node: p.mk(), Name: p.advance().Text}
+			p.advance() // '('
+			for !p.atPunct(")") {
+				if len(call.Args) > 0 {
+					if _, err := p.eat(TokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			p.advance() // ')'
+			return call, nil
+		case "[":
+			ix := &IndexExpr{node: p.mk(), Name: p.advance().Text}
+			p.advance() // '['
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			ix.Index = idx
+			if _, err := p.eat(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return ix, nil
+		default:
+			id := &Ident{node: p.mk(), Name: p.advance().Text}
+			return id, nil
+		}
+	case p.atPunct("("):
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%w: %s: expected expression, found %q",
+			ErrSyntax, p.cur().Pos, p.cur().Text)
+	}
+}

@@ -1,0 +1,180 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the file back to simplified-C source. Parsing the output
+// yields a structurally identical AST (same node shapes in the same order),
+// which the tests rely on.
+func Print(f *File) string {
+	var b strings.Builder
+	for _, g := range f.Globals {
+		printVarDecl(&b, g, 0)
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 || len(f.Globals) > 0 {
+			b.WriteByte('\n')
+		}
+		printFunc(&b, fn)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printVarDecl(b *strings.Builder, vd *VarDecl, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "%s %s", vd.Type, vd.Name)
+	if vd.ArrayLen >= 0 {
+		fmt.Fprintf(b, "[%d]", vd.ArrayLen)
+	}
+	if vd.Init != nil {
+		b.WriteString(" = ")
+		printExpr(b, vd.Init)
+	}
+	b.WriteString(";\n")
+}
+
+func printFunc(b *strings.Builder, fn *FuncDecl) {
+	fmt.Fprintf(b, "%s %s(", fn.Result, fn.Name)
+	for i, p := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Type, p.Name)
+		if p.IsArray {
+			b.WriteString("[]")
+		}
+	}
+	b.WriteString(") ")
+	printBlock(b, fn.Body, 0)
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *VarDecl:
+		printVarDecl(b, st, depth)
+	case *Block:
+		indent(b, depth)
+		printBlock(b, st, depth)
+	case *ExprStmt:
+		indent(b, depth)
+		printExpr(b, st.X)
+		b.WriteString(";\n")
+	case *IfStmt:
+		indent(b, depth)
+		b.WriteString("if (")
+		printExpr(b, st.Cond)
+		b.WriteString(")\n")
+		printStmt(b, st.Then, depth+1)
+		if st.Else != nil {
+			indent(b, depth)
+			b.WriteString("else\n")
+			printStmt(b, st.Else, depth+1)
+		}
+	case *WhileStmt:
+		indent(b, depth)
+		b.WriteString("while (")
+		printExpr(b, st.Cond)
+		b.WriteString(")\n")
+		printStmt(b, st.Body, depth+1)
+	case *ForStmt:
+		indent(b, depth)
+		b.WriteString("for (")
+		switch init := st.Init.(type) {
+		case nil:
+			b.WriteString("; ")
+		case *VarDecl:
+			fmt.Fprintf(b, "%s %s", init.Type, init.Name)
+			if init.Init != nil {
+				b.WriteString(" = ")
+				printExpr(b, init.Init)
+			}
+			b.WriteString("; ")
+		case *ExprStmt:
+			printExpr(b, init.X)
+			b.WriteString("; ")
+		}
+		if st.Cond != nil {
+			printExpr(b, st.Cond)
+		}
+		b.WriteString("; ")
+		if st.Post != nil {
+			printExpr(b, st.Post)
+		}
+		b.WriteString(")\n")
+		printStmt(b, st.Body, depth+1)
+	case *ReturnStmt:
+		indent(b, depth)
+		b.WriteString("return")
+		if st.X != nil {
+			b.WriteByte(' ')
+			printExpr(b, st.X)
+		}
+		b.WriteString(";\n")
+	case *EmptyStmt:
+		indent(b, depth)
+		b.WriteString(";\n")
+	}
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		b.WriteString(strconv.FormatInt(x.V, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(x.V, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *BinaryExpr:
+		b.WriteByte('(')
+		printExpr(b, x.X)
+		fmt.Fprintf(b, " %s ", x.Op)
+		printExpr(b, x.Y)
+		b.WriteByte(')')
+	case *UnaryExpr:
+		b.WriteByte('(')
+		b.WriteString(x.Op)
+		printExpr(b, x.X)
+		b.WriteByte(')')
+	case *AssignExpr:
+		printExpr(b, x.LHS)
+		b.WriteString(" = ")
+		printExpr(b, x.RHS)
+	case *CallExpr:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *IndexExpr:
+		b.WriteString(x.Name)
+		b.WriteByte('[')
+		printExpr(b, x.Index)
+		b.WriteByte(']')
+	}
+}

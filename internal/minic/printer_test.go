@@ -1,0 +1,146 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"ickpt/internal/minic"
+)
+
+// TestPrintCoversAllForms round-trips a program exercising every statement
+// and expression form the printer handles.
+func TestPrintCoversAllForms(t *testing.T) {
+	src := `
+int g = -5;
+float fv = 1.0;
+int arr[3];
+
+void h() {
+    ;
+}
+
+int f(int a, float b[]) {
+    int x = 0;
+    {
+        x = x + 1;
+    }
+    if (!(x == 0) && g != 0 || x > 1) {
+        x = g % 2;
+    } else {
+        x = -x;
+    }
+    while (x < 10) {
+        x = x * 2;
+    }
+    for (int i = 0; i < 3; i = i + 1) {
+        arr[i] = i / 1;
+    }
+    for (x = 0; ; ) {
+        x = 11;
+        return arr[0] + x;
+    }
+    h();
+    print(x, g);
+    return 0;
+}
+`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := minic.Print(f)
+	f2, err := minic.Parse(out)
+	if err != nil {
+		t.Fatalf("printed source does not reparse: %v\n%s", err, out)
+	}
+	out2 := minic.Print(f2)
+	if out != out2 {
+		t.Errorf("printer not stable:\n%s\n---\n%s", out, out2)
+	}
+	for _, want := range []string{
+		"float fv = 1.0;", // float formatting keeps a decimal point
+		"for (int i = 0; (i < 3); i = (i + 1))",
+		"for (x = 0; ; )",
+		"else",
+		"print(x, g)",
+		"(-x)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := map[minic.TokenKind]string{
+		minic.TokEOF:      "EOF",
+		minic.TokIdent:    "identifier",
+		minic.TokIntLit:   "int literal",
+		minic.TokFloatLit: "float literal",
+		minic.TokKeyword:  "keyword",
+		minic.TokPunct:    "punctuation",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if minic.TokenKind(99).String() != "invalid" {
+		t.Error("unknown kind should render invalid")
+	}
+	if minic.Type(99).String() != "invalid" {
+		t.Error("unknown type should render invalid")
+	}
+	if (minic.Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Error("Pos.String format")
+	}
+}
+
+func TestInterpArrayAliasing(t *testing.T) {
+	// Writes through an array parameter must be visible in the caller's
+	// global (reference semantics).
+	src := `
+int data[4];
+
+void fill(int a[], int v) {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        a[i] = v;
+    }
+}
+
+int f() {
+    fill(data, 9);
+    return data[0] + data[3];
+}
+`
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := minic.NewInterp(f, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsInt() != 18 {
+		t.Errorf("f() = %d, want 18", got.AsInt())
+	}
+}
+
+func TestInterpValueConversions(t *testing.T) {
+	v := minic.IntValue(7)
+	if v.AsFloat() != 7 || !v.Truthy() {
+		t.Error("IntValue conversions")
+	}
+	fv := minic.FloatValue(2.9)
+	if fv.AsInt() != 2 || !fv.Truthy() {
+		t.Error("FloatValue conversions")
+	}
+	if minic.IntValue(0).Truthy() || minic.FloatValue(0).Truthy() {
+		t.Error("zero values must be falsy")
+	}
+}

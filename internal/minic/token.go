@@ -1,0 +1,81 @@
+// Package minic implements a front end for a simplified C: the subset the
+// paper's prototype program-analysis engine treats ("Our prototype
+// implementation in Java of these analyses treats a simplified version of
+// C"). It provides a lexer, a recursive-descent parser producing an AST
+// with stable node ids, a pretty-printer, and a small interpreter used to
+// validate the analysis fixtures.
+//
+// The language: int/float/void types, global and local variables,
+// one-dimensional arrays, functions, assignment, arithmetic/relational/
+// logical operators, if/while/for/return, and function calls.
+package minic
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokKeyword
+	TokPunct
+)
+
+// String returns the kind name.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokIntLit:
+		return "int literal"
+	case TokFloatLit:
+		return "float literal"
+	case TokKeyword:
+		return "keyword"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return "invalid"
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// keywords of the simplified C.
+var keywords = map[string]bool{
+	"int":    true,
+	"float":  true,
+	"void":   true,
+	"if":     true,
+	"else":   true,
+	"while":  true,
+	"for":    true,
+	"return": true,
+}
+
+// punctuation tokens, longest first per starting byte.
+var puncts = []string{
+	"<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!",
+	"(", ")", "{", "}", "[", "]", ",", ";",
+}

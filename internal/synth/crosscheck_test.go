@@ -1,0 +1,43 @@
+package synth_test
+
+import (
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/analysis"
+	"ickpt/internal/synth"
+	"ickpt/reflectckpt"
+)
+
+// TestCatalogsMatchStructTags pins the hand-written specialization catalogs
+// of the synthetic and analysis workloads to their struct tags: any drift
+// between a Class declaration and the type definition fails here.
+func TestCatalogsMatchStructTags(t *testing.T) {
+	synthCat := synth.Catalog()
+	d := ckpt.NewDomain()
+	for name, sample := range map[string]ckpt.Checkpointable{
+		"Structure1":  &synth.Structure1{Info: ckpt.NewInfo(d)},
+		"Element1":    &synth.Element1{Info: ckpt.NewInfo(d)},
+		"Structure10": &synth.Structure10{Info: ckpt.NewInfo(d)},
+		"Element10":   &synth.Element10{Info: ckpt.NewInfo(d)},
+	} {
+		if err := reflectckpt.CheckCatalog(synthCat, name, sample); err != nil {
+			t.Errorf("synth catalog drift: %v", err)
+		}
+	}
+
+	anaCat := analysis.Catalog()
+	attrs := analysis.NewAttributes(d)
+	for name, sample := range map[string]ckpt.Checkpointable{
+		"Attributes": attrs,
+		"SEEntry":    attrs.SE,
+		"BTEntry":    attrs.BT,
+		"BT":         attrs.BT.BT,
+		"ETEntry":    attrs.ET,
+		"ET":         attrs.ET.ET,
+	} {
+		if err := reflectckpt.CheckCatalog(anaCat, name, sample); err != nil {
+			t.Errorf("analysis catalog drift: %v", err)
+		}
+	}
+}

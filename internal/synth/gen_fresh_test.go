@@ -1,0 +1,38 @@
+package synth_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ickpt/internal/synth"
+	"ickpt/spec"
+)
+
+// TestGeneratedFilesFresh regenerates every target and compares it with the
+// checked-in file, so the generated specializations can never drift from
+// the catalog (the same check `ckptgen -check` performs).
+func TestGeneratedFilesFresh(t *testing.T) {
+	targets, err := synth.GenTargets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no generation targets")
+	}
+	for _, tgt := range targets {
+		src, err := spec.GenerateGo(tgt.Plan, tgt.Config)
+		if err != nil {
+			t.Fatalf("generate %s: %v", tgt.File, err)
+		}
+		// Tests run in the package directory; targets are repo-relative.
+		onDisk, err := os.ReadFile(filepath.Base(tgt.File))
+		if err != nil {
+			t.Fatalf("read %s: %v", tgt.File, err)
+		}
+		if !bytes.Equal(src, onDisk) {
+			t.Errorf("%s is stale; re-run cmd/ckptgen", tgt.File)
+		}
+	}
+}

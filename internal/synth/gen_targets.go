@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"ickpt/spec"
+)
+
+//go:generate go run ickpt/cmd/ckptgen -root ../..
+
+// ModifiableListCounts are the per-figure "number of lists that may contain
+// modified elements" values evaluated in the paper (Figures 9-11).
+var ModifiableListCounts = []int{1, 3, 5}
+
+// GenTargets returns the generated-specialization catalog for the synthetic
+// workload: for each element kind, a structure-only routine (Figure 8), a
+// routine per modifiable-list count (Figure 9), and a last-element-only
+// routine per count (Figure 10). cmd/ckptgen renders these into
+// zz_gen_*.go files in this package.
+func GenTargets() ([]spec.GenTarget, error) {
+	var targets []spec.GenTarget
+	for _, kind := range []Kind{Ints1, Ints10} {
+		pats := []*spec.Pattern{nil}
+		for _, m := range ModifiableListCounts {
+			pats = append(pats, PatternLists(kind, m))
+		}
+		for _, m := range ModifiableListCounts {
+			pats = append(pats, PatternLastOnly(kind, m))
+		}
+		for _, pat := range pats {
+			plan, err := CompilePlan(kind, pat)
+			if err != nil {
+				return nil, err
+			}
+			name := "struct"
+			if pat != nil {
+				name = pat.Name
+			}
+			sc := kind.structureClass()
+			targets = append(targets, spec.GenTarget{
+				Plan: plan,
+				Config: spec.GenConfig{
+					Package:      "synth",
+					FuncName:     fmt.Sprintf("Checkpoint%s%s", sc, titleCase(name)),
+					RegisterFunc: "registerGenerated",
+					RegisterKey:  GenKey(kind, patName(pat)),
+				},
+				File: fmt.Sprintf("internal/synth/zz_gen_%s_%s.go", strings.ToLower(sc), name),
+			})
+		}
+	}
+	return targets, nil
+}
+
+func patName(p *spec.Pattern) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name
+}
+
+// titleCase uppercases the first byte of an ASCII identifier fragment.
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,88 @@
+package synth_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/synth"
+)
+
+// TestEveryGeneratedRoutineMatchesGeneric drives all fourteen generated
+// specializations against the generic driver under a truthful mutation for
+// each declared pattern.
+func TestEveryGeneratedRoutineMatchesGeneric(t *testing.T) {
+	type cell struct {
+		key string
+		mod synth.ModPattern
+	}
+	for _, kind := range []synth.Kind{synth.Ints1, synth.Ints10} {
+		var cells []cell
+		// Structure-only: any mutation is truthful.
+		cells = append(cells, cell{
+			key: synth.GenKey(kind, ""),
+			mod: synth.ModPattern{Percent: 50, ModifiableLists: 5},
+		})
+		for _, m := range synth.ModifiableListCounts {
+			cells = append(cells, cell{
+				key: synth.GenKey(kind, synth.PatternLists(kind, m).Name),
+				mod: synth.ModPattern{Percent: 50, ModifiableLists: m},
+			})
+			cells = append(cells, cell{
+				key: synth.GenKey(kind, synth.PatternLastOnly(kind, m).Name),
+				mod: synth.ModPattern{Percent: 50, ModifiableLists: m, LastOnly: true},
+			})
+		}
+		for _, c := range cells {
+			t.Run(c.key, func(t *testing.T) {
+				shape := synth.Shape{Structures: 12, ListLen: 4, Kind: kind}
+				wA, wB := synth.Build(shape), synth.Build(shape)
+				for _, w := range []*synth.Workload{wA, wB} {
+					if err := w.Drain(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				nA := wA.Mutate(rand.New(rand.NewSource(3)), c.mod)
+				nB := wB.Mutate(rand.New(rand.NewSource(3)), c.mod)
+				if nA != nB {
+					t.Fatalf("twin mutation diverged")
+				}
+
+				want, _ := checkpointWith(t, ckpt.Incremental, wA.CheckpointGeneric)
+				got, _ := checkpointWith(t, ckpt.Incremental, func(wr *ckpt.Writer) error {
+					return wB.CheckpointGenerated(c.key, wr)
+				})
+				if !bytes.Equal(want, got) {
+					t.Errorf("generated %q body differs from generic", c.key)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointGeneratedUnknownKey reports missing routines instead of
+// silently writing nothing.
+func TestCheckpointGeneratedUnknownKey(t *testing.T) {
+	w := synth.Build(synth.Shape{Structures: 1, ListLen: 1, Kind: synth.Ints1})
+	wr := ckpt.NewWriter()
+	wr.Start(ckpt.Incremental)
+	if err := w.CheckpointGenerated("nope", wr); err == nil {
+		t.Error("unknown generated key accepted")
+	}
+}
+
+// TestTouchAll marks every object, roots included.
+func TestTouchAll(t *testing.T) {
+	for _, kind := range []synth.Kind{synth.Ints1, synth.Ints10} {
+		w := synth.Build(synth.Shape{Structures: 3, ListLen: 2, Kind: kind})
+		if err := w.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		w.TouchAll()
+		_, stats := checkpointWith(t, ckpt.Incremental, w.CheckpointGeneric)
+		if stats.Recorded != w.Objects() {
+			t.Errorf("kind %v: recorded %d after TouchAll, want %d", kind, stats.Recorded, w.Objects())
+		}
+	}
+}

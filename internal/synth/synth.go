@@ -1,0 +1,294 @@
+// Package synth implements the paper's synthetic benchmark workload
+// (Section 5): a population of compound structures, each holding five
+// linked lists, whose elements carry either one or ten integers. A
+// deterministic mutation driver marks elements modified according to the
+// experiment's parameters: the percentage of eligible elements actually
+// modified, the number of lists that may contain modified elements, and
+// whether only the last element of each list is eligible.
+//
+// Because program specialization is specialization with respect to a static
+// structure, the two payload sizes are two distinct element types —
+// [Element1] and [Element10] — exactly as the paper's synthetic Java program
+// fixes the class layout per experiment.
+package synth
+
+import (
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// NumLists is the number of linked lists per structure (the paper uses 5).
+const NumLists = 5
+
+// Type names and ids for the registry and the specialization catalog.
+const (
+	TypeNameStructure1  = "synth.Structure1"
+	TypeNameElement1    = "synth.Element1"
+	TypeNameStructure10 = "synth.Structure10"
+	TypeNameElement10   = "synth.Element10"
+)
+
+var (
+	typeStructure1  = ckpt.TypeIDOf(TypeNameStructure1)
+	typeElement1    = ckpt.TypeIDOf(TypeNameElement1)
+	typeStructure10 = ckpt.TypeIDOf(TypeNameStructure10)
+	typeElement10   = ckpt.TypeIDOf(TypeNameElement10)
+)
+
+// Element1 is a list element recording one integer.
+type Element1 struct {
+	Info ckpt.Info
+	V0   int64     `ckpt:"field"`
+	Next *Element1 `ckpt:"next"`
+}
+
+var _ ckpt.Restorable = (*Element1)(nil)
+
+// CheckpointInfo returns the element's checkpoint metadata.
+func (e *Element1) CheckpointInfo() *ckpt.Info { return &e.Info }
+
+// CheckpointTypeID returns the element's stable type id.
+func (e *Element1) CheckpointTypeID() ckpt.TypeID { return typeElement1 }
+
+// Record writes the element's integer and its next-element id.
+func (e *Element1) Record(enc *wire.Encoder) {
+	enc.Varint(e.V0)
+	if e.Next != nil {
+		enc.Uvarint(e.Next.Info.ID())
+	} else {
+		enc.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold traverses the rest of the list.
+func (e *Element1) Fold(w *ckpt.Writer) error {
+	if e.Next != nil {
+		return w.Checkpoint(e.Next)
+	}
+	return nil
+}
+
+// Restore reads the fields written by Record.
+func (e *Element1) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	e.V0 = d.Varint()
+	next, err := ckpt.ResolveAs[*Element1](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	e.Next = next
+	return nil
+}
+
+// Element10 is a list element recording ten integers.
+type Element10 struct {
+	Info ckpt.Info
+	V0   int64      `ckpt:"field"`
+	V1   int64      `ckpt:"field"`
+	V2   int64      `ckpt:"field"`
+	V3   int64      `ckpt:"field"`
+	V4   int64      `ckpt:"field"`
+	V5   int64      `ckpt:"field"`
+	V6   int64      `ckpt:"field"`
+	V7   int64      `ckpt:"field"`
+	V8   int64      `ckpt:"field"`
+	V9   int64      `ckpt:"field"`
+	Next *Element10 `ckpt:"next"`
+}
+
+var _ ckpt.Restorable = (*Element10)(nil)
+
+// CheckpointInfo returns the element's checkpoint metadata.
+func (e *Element10) CheckpointInfo() *ckpt.Info { return &e.Info }
+
+// CheckpointTypeID returns the element's stable type id.
+func (e *Element10) CheckpointTypeID() ckpt.TypeID { return typeElement10 }
+
+// Record writes the element's ten integers and its next-element id.
+func (e *Element10) Record(enc *wire.Encoder) {
+	enc.Varint(e.V0)
+	enc.Varint(e.V1)
+	enc.Varint(e.V2)
+	enc.Varint(e.V3)
+	enc.Varint(e.V4)
+	enc.Varint(e.V5)
+	enc.Varint(e.V6)
+	enc.Varint(e.V7)
+	enc.Varint(e.V8)
+	enc.Varint(e.V9)
+	if e.Next != nil {
+		enc.Uvarint(e.Next.Info.ID())
+	} else {
+		enc.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold traverses the rest of the list.
+func (e *Element10) Fold(w *ckpt.Writer) error {
+	if e.Next != nil {
+		return w.Checkpoint(e.Next)
+	}
+	return nil
+}
+
+// Restore reads the fields written by Record.
+func (e *Element10) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	e.V0 = d.Varint()
+	e.V1 = d.Varint()
+	e.V2 = d.Varint()
+	e.V3 = d.Varint()
+	e.V4 = d.Varint()
+	e.V5 = d.Varint()
+	e.V6 = d.Varint()
+	e.V7 = d.Varint()
+	e.V8 = d.Varint()
+	e.V9 = d.Varint()
+	next, err := ckpt.ResolveAs[*Element10](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	e.Next = next
+	return nil
+}
+
+// Structure1 is a compound structure holding five lists of Element1.
+type Structure1 struct {
+	Info ckpt.Info
+	L0   *Element1 `ckpt:"list"`
+	L1   *Element1 `ckpt:"list"`
+	L2   *Element1 `ckpt:"list"`
+	L3   *Element1 `ckpt:"list"`
+	L4   *Element1 `ckpt:"list"`
+}
+
+var _ ckpt.Restorable = (*Structure1)(nil)
+
+// CheckpointInfo returns the structure's checkpoint metadata.
+func (s *Structure1) CheckpointInfo() *ckpt.Info { return &s.Info }
+
+// CheckpointTypeID returns the structure's stable type id.
+func (s *Structure1) CheckpointTypeID() ckpt.TypeID { return typeStructure1 }
+
+// Record writes the five list-head ids.
+func (s *Structure1) Record(enc *wire.Encoder) {
+	for _, h := range s.lists() {
+		if h != nil {
+			enc.Uvarint(h.Info.ID())
+		} else {
+			enc.Uvarint(ckpt.NilID)
+		}
+	}
+}
+
+// Fold traverses the five lists.
+func (s *Structure1) Fold(w *ckpt.Writer) error {
+	for _, h := range s.lists() {
+		if h == nil {
+			continue
+		}
+		if err := w.Checkpoint(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore reads the fields written by Record.
+func (s *Structure1) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	heads := [NumLists]**Element1{&s.L0, &s.L1, &s.L2, &s.L3, &s.L4}
+	for _, slot := range heads {
+		h, err := ckpt.ResolveAs[*Element1](res, d.Uvarint())
+		if err != nil {
+			return err
+		}
+		*slot = h
+	}
+	return nil
+}
+
+func (s *Structure1) lists() [NumLists]*Element1 {
+	return [NumLists]*Element1{s.L0, s.L1, s.L2, s.L3, s.L4}
+}
+
+// List returns the head of list i (0-based).
+func (s *Structure1) List(i int) *Element1 { return s.lists()[i] }
+
+// Structure10 is a compound structure holding five lists of Element10.
+type Structure10 struct {
+	Info ckpt.Info
+	L0   *Element10 `ckpt:"list"`
+	L1   *Element10 `ckpt:"list"`
+	L2   *Element10 `ckpt:"list"`
+	L3   *Element10 `ckpt:"list"`
+	L4   *Element10 `ckpt:"list"`
+}
+
+var _ ckpt.Restorable = (*Structure10)(nil)
+
+// CheckpointInfo returns the structure's checkpoint metadata.
+func (s *Structure10) CheckpointInfo() *ckpt.Info { return &s.Info }
+
+// CheckpointTypeID returns the structure's stable type id.
+func (s *Structure10) CheckpointTypeID() ckpt.TypeID { return typeStructure10 }
+
+// Record writes the five list-head ids.
+func (s *Structure10) Record(enc *wire.Encoder) {
+	for _, h := range s.lists() {
+		if h != nil {
+			enc.Uvarint(h.Info.ID())
+		} else {
+			enc.Uvarint(ckpt.NilID)
+		}
+	}
+}
+
+// Fold traverses the five lists.
+func (s *Structure10) Fold(w *ckpt.Writer) error {
+	for _, h := range s.lists() {
+		if h == nil {
+			continue
+		}
+		if err := w.Checkpoint(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore reads the fields written by Record.
+func (s *Structure10) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	heads := [NumLists]**Element10{&s.L0, &s.L1, &s.L2, &s.L3, &s.L4}
+	for _, slot := range heads {
+		h, err := ckpt.ResolveAs[*Element10](res, d.Uvarint())
+		if err != nil {
+			return err
+		}
+		*slot = h
+	}
+	return nil
+}
+
+func (s *Structure10) lists() [NumLists]*Element10 {
+	return [NumLists]*Element10{s.L0, s.L1, s.L2, s.L3, s.L4}
+}
+
+// List returns the head of list i (0-based).
+func (s *Structure10) List(i int) *Element10 { return s.lists()[i] }
+
+// Registry returns a ckpt registry with all synthetic types registered, for
+// rebuilding synthetic state from checkpoints.
+func Registry() *ckpt.Registry {
+	reg := ckpt.NewRegistry()
+	reg.MustRegister(TypeNameStructure1, func(id uint64) ckpt.Restorable {
+		return &Structure1{Info: ckpt.RestoredInfo(id)}
+	})
+	reg.MustRegister(TypeNameElement1, func(id uint64) ckpt.Restorable {
+		return &Element1{Info: ckpt.RestoredInfo(id)}
+	})
+	reg.MustRegister(TypeNameStructure10, func(id uint64) ckpt.Restorable {
+		return &Structure10{Info: ckpt.RestoredInfo(id)}
+	})
+	reg.MustRegister(TypeNameElement10, func(id uint64) ckpt.Restorable {
+		return &Element10{Info: ckpt.RestoredInfo(id)}
+	})
+	return reg
+}

@@ -1,0 +1,330 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ickpt/ckpt"
+	"ickpt/reflectckpt"
+	"ickpt/spec"
+)
+
+// Shape fixes the static parameters of a synthetic workload: how many
+// compound structures, how long each of the five lists is, and the element
+// payload size. The paper's test program uses 20000 structures, list
+// lengths 1 and 5, and payloads of 1 and 10 integers.
+type Shape struct {
+	// Structures is the number of compound structures.
+	Structures int
+	// ListLen is the length of each of the five lists.
+	ListLen int
+	// Kind is the element payload size.
+	Kind Kind
+}
+
+// String renders the shape compactly, e.g. "n20000 len5 ints10".
+func (s Shape) String() string {
+	return fmt.Sprintf("n%d len%d ints%d", s.Structures, s.ListLen, int(s.Kind))
+}
+
+// ModPattern fixes the dynamic modification behaviour applied before each
+// checkpoint: which of the five lists may contain modified elements,
+// whether only the final element of each is eligible, and what percentage
+// of eligible elements is actually modified.
+type ModPattern struct {
+	// Percent of eligible elements actually modified (100, 50, 25 in the
+	// paper).
+	Percent int
+	// ModifiableLists restricts modifications to the first n lists.
+	ModifiableLists int
+	// LastOnly restricts modifications to the final element of each
+	// modifiable list.
+	LastOnly bool
+}
+
+// String renders the pattern compactly, e.g. "lists3 last 50%".
+func (m ModPattern) String() string {
+	s := fmt.Sprintf("lists%d", m.ModifiableLists)
+	if m.LastOnly {
+		s += " last"
+	}
+	return fmt.Sprintf("%s %d%%", s, m.Percent)
+}
+
+// SpecPattern returns the declared specialization pattern matching this
+// modification behaviour.
+func (m ModPattern) SpecPattern(kind Kind) *spec.Pattern {
+	if m.LastOnly {
+		return PatternLastOnly(kind, m.ModifiableLists)
+	}
+	return PatternLists(kind, m.ModifiableLists)
+}
+
+// Workload is a built population of synthetic structures.
+type Workload struct {
+	// Shape is the workload's static shape.
+	Shape Shape
+	// Domain issued the population's object ids.
+	Domain *ckpt.Domain
+
+	roots1  []*Structure1
+	roots10 []*Structure10
+	boxed   []ckpt.Checkpointable
+}
+
+// Build constructs the population deterministically (ids depend only on the
+// shape). All objects start with their modified flag set; call Drain before
+// measuring incremental behaviour.
+func Build(shape Shape) *Workload {
+	w := &Workload{Shape: shape, Domain: ckpt.NewDomain()}
+	w.boxed = make([]ckpt.Checkpointable, 0, shape.Structures)
+	switch shape.Kind {
+	case Ints10:
+		w.roots10 = make([]*Structure10, 0, shape.Structures)
+		for i := 0; i < shape.Structures; i++ {
+			s := buildStructure10(w.Domain, shape.ListLen, int64(i))
+			w.roots10 = append(w.roots10, s)
+			w.boxed = append(w.boxed, s)
+		}
+	default:
+		w.roots1 = make([]*Structure1, 0, shape.Structures)
+		for i := 0; i < shape.Structures; i++ {
+			s := buildStructure1(w.Domain, shape.ListLen, int64(i))
+			w.roots1 = append(w.roots1, s)
+			w.boxed = append(w.boxed, s)
+		}
+	}
+	return w
+}
+
+func buildStructure1(d *ckpt.Domain, listLen int, seed int64) *Structure1 {
+	s := &Structure1{Info: ckpt.NewInfo(d)}
+	heads := [NumLists]**Element1{&s.L0, &s.L1, &s.L2, &s.L3, &s.L4}
+	for li, slot := range heads {
+		var head *Element1
+		for j := listLen - 1; j >= 0; j-- {
+			e := &Element1{Info: ckpt.NewInfo(d), V0: seed + int64(li*listLen+j)}
+			e.Next = head
+			head = e
+		}
+		*slot = head
+	}
+	return s
+}
+
+func buildStructure10(d *ckpt.Domain, listLen int, seed int64) *Structure10 {
+	s := &Structure10{Info: ckpt.NewInfo(d)}
+	heads := [NumLists]**Element10{&s.L0, &s.L1, &s.L2, &s.L3, &s.L4}
+	for li, slot := range heads {
+		var head *Element10
+		for j := listLen - 1; j >= 0; j-- {
+			e := &Element10{Info: ckpt.NewInfo(d)}
+			base := seed + int64(li*listLen+j)
+			e.V0, e.V1, e.V2, e.V3, e.V4 = base, base+1, base+2, base+3, base+4
+			e.V5, e.V6, e.V7, e.V8, e.V9 = base+5, base+6, base+7, base+8, base+9
+			e.Next = head
+			head = e
+		}
+		*slot = head
+	}
+	return s
+}
+
+// Roots returns the structures as checkpointables.
+func (w *Workload) Roots() []ckpt.Checkpointable { return w.boxed }
+
+// Objects returns the total object count: structures plus list elements.
+func (w *Workload) Objects() int {
+	return w.Shape.Structures * (1 + NumLists*w.Shape.ListLen)
+}
+
+// Drain takes one throwaway incremental checkpoint with the generic driver,
+// clearing every modified flag so the next checkpoint observes only
+// subsequent mutations.
+func (w *Workload) Drain() error {
+	wr := ckpt.NewWriter()
+	wr.Start(ckpt.Incremental)
+	if err := w.CheckpointGeneric(wr); err != nil {
+		return err
+	}
+	_, _, err := wr.Finish()
+	return err
+}
+
+// Mutate applies the modification pattern: for each structure, each eligible
+// element of each modifiable list is modified with probability
+// pat.Percent/100 (its first integer is bumped and its flag set). It
+// returns the number of elements modified.
+func (w *Workload) Mutate(rng *rand.Rand, pat ModPattern) int {
+	modified := 0
+	if w.Shape.Kind == Ints10 {
+		for _, s := range w.roots10 {
+			heads := s.lists()
+			for li := 0; li < pat.ModifiableLists; li++ {
+				e := heads[li]
+				if e == nil {
+					continue
+				}
+				if pat.LastOnly {
+					for e.Next != nil {
+						e = e.Next
+					}
+					if rng.Intn(100) < pat.Percent {
+						e.V0++
+						e.Info.SetModified()
+						modified++
+					}
+					continue
+				}
+				for ; e != nil; e = e.Next {
+					if rng.Intn(100) < pat.Percent {
+						e.V0++
+						e.Info.SetModified()
+						modified++
+					}
+				}
+			}
+		}
+		return modified
+	}
+	for _, s := range w.roots1 {
+		heads := s.lists()
+		for li := 0; li < pat.ModifiableLists; li++ {
+			e := heads[li]
+			if e == nil {
+				continue
+			}
+			if pat.LastOnly {
+				for e.Next != nil {
+					e = e.Next
+				}
+				if rng.Intn(100) < pat.Percent {
+					e.V0++
+					e.Info.SetModified()
+					modified++
+				}
+				continue
+			}
+			for ; e != nil; e = e.Next {
+				if rng.Intn(100) < pat.Percent {
+					e.V0++
+					e.Info.SetModified()
+					modified++
+				}
+			}
+		}
+	}
+	return modified
+}
+
+// TouchAll marks every object in the population modified — structures and
+// all list elements. It makes a "100% modified" workload literal, so that
+// full and incremental checkpoints record exactly the same object set.
+func (w *Workload) TouchAll() {
+	if w.Shape.Kind == Ints10 {
+		for _, s := range w.roots10 {
+			s.Info.SetModified()
+			for _, head := range s.lists() {
+				for e := head; e != nil; e = e.Next {
+					e.V0++
+					e.Info.SetModified()
+				}
+			}
+		}
+		return
+	}
+	for _, s := range w.roots1 {
+		s.Info.SetModified()
+		for _, head := range s.lists() {
+			for e := head; e != nil; e = e.Next {
+				e.V0++
+				e.Info.SetModified()
+			}
+		}
+	}
+}
+
+// CheckpointGeneric checkpoints the population with the generic
+// interface-dispatch driver (the "virtual" engine). The writer must be
+// started.
+func (w *Workload) CheckpointGeneric(wr *ckpt.Writer) error {
+	for _, r := range w.boxed {
+		if err := wr.Checkpoint(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointReflect checkpoints the population with the run-time-reflection
+// engine.
+func (w *Workload) CheckpointReflect(en *reflectckpt.Engine, wr *ckpt.Writer) error {
+	for _, r := range w.boxed {
+		if err := en.Checkpoint(wr, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointPlan checkpoints the population with a compiled specialization
+// plan (the run-time specialization backend).
+func (w *Workload) CheckpointPlan(p *spec.Plan, wr *ckpt.Writer) error {
+	for _, r := range w.boxed {
+		if err := p.Execute(wr, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckpointGenerated checkpoints the population with a generated
+// specialized routine registered under key (see GenKey). It returns an
+// error if no routine is registered.
+func (w *Workload) CheckpointGenerated(key string, wr *ckpt.Writer) error {
+	fn, ok := Generated(key)
+	if !ok {
+		return fmt.Errorf("synth: no generated routine %q", key)
+	}
+	em := wr.Emitter()
+	for _, r := range w.boxed {
+		fn(r, em)
+	}
+	return nil
+}
+
+// generatedFuncs is the registry of generated specialized routines, keyed
+// by GenKey and populated by init functions in the generated files.
+var generatedFuncs = make(map[string]func(ckpt.Checkpointable, *ckpt.Emitter))
+
+// registerGenerated is called from generated code.
+func registerGenerated(key string, fn func(ckpt.Checkpointable, *ckpt.Emitter)) {
+	if _, dup := generatedFuncs[key]; dup {
+		panic(fmt.Sprintf("synth: generated routine %q registered twice", key))
+	}
+	generatedFuncs[key] = fn
+}
+
+// Generated looks up a generated specialized routine.
+func Generated(key string) (func(ckpt.Checkpointable, *ckpt.Emitter), bool) {
+	fn, ok := generatedFuncs[key]
+	return fn, ok
+}
+
+// GeneratedKeys returns the registered generated-routine keys.
+func GeneratedKeys() []string {
+	keys := make([]string, 0, len(generatedFuncs))
+	for k := range generatedFuncs {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GenKey names the generated routine for a kind and pattern. Pattern name
+// "" selects the structure-only specialization.
+func GenKey(kind Kind, patternName string) string {
+	if patternName == "" {
+		patternName = "struct"
+	}
+	return fmt.Sprintf("%s/%s", kind.structureClass(), patternName)
+}

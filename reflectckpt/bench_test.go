@@ -1,0 +1,44 @@
+package reflectckpt_test
+
+import (
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/reflectckpt"
+)
+
+// BenchmarkReflectVsVirtual quantifies the reflection engine's per-object
+// overhead against the handwritten (virtual-dispatch) protocol — the gap
+// the paper's execution-tier axis is built on.
+func BenchmarkReflectVsVirtual(b *testing.B) {
+	d := ckpt.NewDomain()
+	n := buildNode(d, 64)
+
+	b.Run("virtual", func(b *testing.B) {
+		w := ckpt.NewWriter()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Start(ckpt.Full)
+			if err := w.Checkpoint(n); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := w.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reflect", func(b *testing.B) {
+		w := ckpt.NewWriter()
+		en := reflectckpt.NewEngine()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Start(ckpt.Full)
+			if err := en.Checkpoint(w, n); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := w.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package reflectckpt
+
+import (
+	"fmt"
+	"reflect"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+)
+
+// CheckCatalog cross-validates a hand-written specialization class against
+// the struct tags of a sample instance: the class's scalar fields and
+// children must match the `ckpt:` annotations in count, order, kind and
+// name, and the class TypeID must match the sample's CheckpointTypeID.
+//
+// Catalogs produced by the derive preprocessor cannot drift from the types;
+// hand-written ones can. Calling CheckCatalog for each class in a test
+// pins them together.
+func CheckCatalog(cat *spec.Catalog, className string, sample ckpt.Checkpointable) error {
+	cl := cat.Class(className)
+	if cl == nil {
+		return fmt.Errorf("%w: class %q not in catalog", ErrSchema, className)
+	}
+	if got := sample.CheckpointTypeID(); got != cl.TypeID {
+		return fmt.Errorf("%w: class %q TypeID %d, sample reports %d",
+			ErrSchema, className, cl.TypeID, got)
+	}
+
+	v := reflect.ValueOf(sample)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("%w: sample %T is not a pointer to struct", ErrSchema, sample)
+	}
+	en := NewEngine()
+	sc, err := en.schemaFor(v.Elem().Type())
+	if err != nil {
+		return err
+	}
+
+	t := v.Elem().Type()
+	var scalars, children []string
+	var childKinds []fieldKind
+	_ = childKinds
+	for _, fp := range sc.fields {
+		name := t.Field(fp.index).Name
+		if fp.child {
+			children = append(children, name)
+		} else {
+			scalars = append(scalars, name)
+		}
+	}
+
+	if len(scalars) != len(cl.Fields) {
+		return fmt.Errorf("%w: class %q declares %d fields, struct tags %d",
+			ErrSchema, className, len(cl.Fields), len(scalars))
+	}
+	for i, name := range scalars {
+		if cl.Fields[i].Name != name {
+			return fmt.Errorf("%w: class %q field %d is %q, struct tag order says %q",
+				ErrSchema, className, i, cl.Fields[i].Name, name)
+		}
+	}
+	if len(children) != len(cl.Children) {
+		return fmt.Errorf("%w: class %q declares %d children, struct tags %d",
+			ErrSchema, className, len(cl.Children), len(children))
+	}
+	for i, name := range children {
+		if cl.Children[i].Name != name {
+			return fmt.Errorf("%w: class %q child %d is %q, struct tag order says %q",
+				ErrSchema, className, i, cl.Children[i].Name, name)
+		}
+		tag := t.Field(sc.kids[i]).Tag.Get("ckpt")
+		switch tag {
+		case "next":
+			if cl.NextChild != i {
+				return fmt.Errorf("%w: class %q: struct tags mark %q as the next pointer, class says NextChild=%d",
+					ErrSchema, className, name, cl.NextChild)
+			}
+		case "list":
+			if !cl.Children[i].List {
+				return fmt.Errorf("%w: class %q child %q tagged list but not declared List",
+					ErrSchema, className, name)
+			}
+		}
+	}
+	if cl.NextChild >= 0 {
+		tag := t.Field(sc.kids[cl.NextChild]).Tag.Get("ckpt")
+		if tag != "next" {
+			return fmt.Errorf("%w: class %q declares NextChild %q, but its tag is %q",
+				ErrSchema, className, cl.Children[cl.NextChild].Name, tag)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package reflectckpt_test
+
+import (
+	"errors"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/reflectckpt"
+	"ickpt/spec"
+	"ickpt/wire"
+)
+
+// catalogFor builds a (correct) catalog for the node/elem fixture.
+func catalogFor(t *testing.T) *spec.Catalog {
+	t.Helper()
+	cat := spec.NewCatalog()
+	cat.MustRegister(spec.Class{
+		Name:   "elem",
+		TypeID: typeElem,
+		Fields: []spec.Field{{Name: "Val", Kind: spec.Int}},
+		Children: []spec.Child{
+			{Name: "Next", Class: "elem"},
+		},
+		NextChild: 0,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*elem).Info },
+		Record: func(o any, e *wire.Encoder) { o.(*elem).Record(e) },
+		Child: func(o any, i int) any {
+			if n := o.(*elem).Next; n != nil {
+				return n
+			}
+			return nil
+		},
+	})
+	cat.MustRegister(spec.Class{
+		Name:   "node",
+		TypeID: typeNode,
+		Fields: []spec.Field{
+			{Name: "I", Kind: spec.Int},
+			{Name: "U", Kind: spec.Uint},
+			{Name: "F", Kind: spec.Float64},
+			{Name: "B", Kind: spec.Bool},
+			{Name: "S", Kind: spec.String},
+			{Name: "Raw", Kind: spec.Bytes},
+			{Name: "Score", Kind: spec.Int},
+		},
+		Children: []spec.Child{
+			{Name: "Head", Class: "elem", List: true},
+		},
+		NextChild: -1,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*node).Info },
+		Record: func(o any, e *wire.Encoder) { o.(*node).Record(e) },
+		Child: func(o any, i int) any {
+			if h := o.(*node).Head; h != nil {
+				return h
+			}
+			return nil
+		},
+	})
+	return cat
+}
+
+func TestCheckCatalogAccepts(t *testing.T) {
+	cat := catalogFor(t)
+	if err := reflectckpt.CheckCatalog(cat, "node", &node{}); err != nil {
+		t.Errorf("CheckCatalog(node) = %v", err)
+	}
+	if err := reflectckpt.CheckCatalog(cat, "elem", &elem{}); err != nil {
+		t.Errorf("CheckCatalog(elem) = %v", err)
+	}
+}
+
+func TestCheckCatalogRejectsDrift(t *testing.T) {
+	base := catalogFor(t)
+	if err := reflectckpt.CheckCatalog(base, "missing", &node{}); !errors.Is(err, reflectckpt.ErrSchema) {
+		t.Errorf("unknown class = %v", err)
+	}
+
+	// Missing field.
+	cat := spec.NewCatalog()
+	cat.MustRegister(spec.Class{
+		Name:      "elem",
+		TypeID:    typeElem,
+		Children:  []spec.Child{{Name: "Next", Class: "elem"}},
+		NextChild: 0,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*elem).Info },
+		Record: func(o any, e *wire.Encoder) {},
+		Child:  func(o any, i int) any { return nil },
+	})
+	if err := reflectckpt.CheckCatalog(cat, "elem", &elem{}); !errors.Is(err, reflectckpt.ErrSchema) {
+		t.Errorf("missing field = %v", err)
+	}
+
+	// Wrong TypeID.
+	cat2 := spec.NewCatalog()
+	cat2.MustRegister(spec.Class{
+		Name:      "elem",
+		TypeID:    999,
+		Fields:    []spec.Field{{Name: "Val", Kind: spec.Int}},
+		Children:  []spec.Child{{Name: "Next", Class: "elem"}},
+		NextChild: 0,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*elem).Info },
+		Record: func(o any, e *wire.Encoder) {},
+		Child:  func(o any, i int) any { return nil },
+	})
+	if err := reflectckpt.CheckCatalog(cat2, "elem", &elem{}); !errors.Is(err, reflectckpt.ErrSchema) {
+		t.Errorf("wrong type id = %v", err)
+	}
+
+	// Wrong field name/order.
+	cat3 := spec.NewCatalog()
+	cat3.MustRegister(spec.Class{
+		Name:      "elem",
+		TypeID:    typeElem,
+		Fields:    []spec.Field{{Name: "Wrong", Kind: spec.Int}},
+		Children:  []spec.Child{{Name: "Next", Class: "elem"}},
+		NextChild: 0,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*elem).Info },
+		Record: func(o any, e *wire.Encoder) {},
+		Child:  func(o any, i int) any { return nil },
+	})
+	if err := reflectckpt.CheckCatalog(cat3, "elem", &elem{}); !errors.Is(err, reflectckpt.ErrSchema) {
+		t.Errorf("wrong field name = %v", err)
+	}
+
+	// Missing NextChild declaration.
+	cat4 := spec.NewCatalog()
+	cat4.MustRegister(spec.Class{
+		Name:      "elem",
+		TypeID:    typeElem,
+		Fields:    []spec.Field{{Name: "Val", Kind: spec.Int}},
+		Children:  []spec.Child{{Name: "Next", Class: "elem"}},
+		NextChild: -1,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*elem).Info },
+		Record: func(o any, e *wire.Encoder) {},
+		Child:  func(o any, i int) any { return nil },
+	})
+	if err := reflectckpt.CheckCatalog(cat4, "elem", &elem{}); !errors.Is(err, reflectckpt.ErrSchema) {
+		t.Errorf("missing next declaration = %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package reflectckpt checkpoints object graphs using run-time reflection.
+//
+// It is the Go analog of the reflection-based checkpointing systems the
+// paper discusses (Kasbekar et al., Killijian et al.): no per-class Record
+// or Fold code is needed; the structure of each object is discovered —
+// repeatedly, at run time — from struct tags. This is the slowest execution
+// tier in this repository's engine ladder (reflect < virtual < specialized)
+// and stands in for the interpreter/low-tier-JIT rows of the paper's
+// cross-JVM measurements.
+//
+// # Tagging
+//
+// Checkpointable structs tag the fields that participate in checkpointing:
+//
+//	type Elem struct {
+//		Info ckpt.Info  // checkpoint metadata (untagged, by name)
+//		Val  int64      `ckpt:"field"` // scalar local state
+//		Next *Elem      `ckpt:"child"` // checkpointable child
+//	}
+//
+// Tagged fields must be exported. Scalars are encoded in declaration order;
+// each child contributes its id to the record, then is traversed. This is
+// exactly the record/fold protocol, so reflectckpt produces byte-identical
+// bodies to the generic ckpt.Writer provided handwritten Record methods
+// write tagged fields in declaration order.
+//
+// A ckpt.Cell[T] tagged `ckpt:"field"` is unwrapped and encoded as its
+// value.
+package reflectckpt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// ErrSchema reports a struct that cannot be checkpointed by reflection.
+var ErrSchema = errors.New("reflectckpt: invalid schema")
+
+// fieldKind classifies a tagged scalar field.
+type fieldKind uint8
+
+const (
+	kindInt fieldKind = iota + 1
+	kindUint
+	kindFloat
+	kindBool
+	kindString
+	kindBytes
+)
+
+// fieldPlan describes one tagged field.
+type fieldPlan struct {
+	index int
+	kind  fieldKind
+	cell  bool // unwrap ckpt.Cell: encode field "V"
+	child bool // checkpointable child pointer
+}
+
+// schema is the compiled reflection plan for one struct type.
+type schema struct {
+	typ    reflect.Type
+	fields []fieldPlan
+	kids   []int // field indices of children, in order
+}
+
+// Engine caches per-type schemas.
+//
+// Engine is not safe for concurrent use.
+type Engine struct {
+	schemas map[reflect.Type]*schema
+}
+
+// NewEngine returns an empty engine; schemas are compiled on first use.
+func NewEngine() *Engine {
+	return &Engine{schemas: make(map[reflect.Type]*schema)}
+}
+
+// Checkpoint traverses the structure rooted at root by reflection, recording
+// objects into w according to w's mode. The writer must be started.
+func (en *Engine) Checkpoint(w *ckpt.Writer, root ckpt.Checkpointable) error {
+	if root == nil {
+		return nil
+	}
+	em := w.Emitter()
+	mode := w.Mode()
+	return en.visit(em, mode, root)
+}
+
+func (en *Engine) visit(em *ckpt.Emitter, mode ckpt.Mode, o ckpt.Checkpointable) error {
+	em.Visit()
+	v := reflect.ValueOf(o)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("%w: %T is not a pointer to struct", ErrSchema, o)
+	}
+	sv := v.Elem()
+	sc, err := en.schemaFor(sv.Type())
+	if err != nil {
+		return err
+	}
+
+	info := o.CheckpointInfo()
+	if mode == ckpt.Full || info.Modified() {
+		p := em.Begin(info, o.CheckpointTypeID())
+		if err := sc.record(sv, p); err != nil {
+			return err
+		}
+		em.End()
+		info.ResetModified()
+	}
+
+	for _, idx := range sc.kids {
+		fv := sv.Field(idx)
+		if fv.IsNil() {
+			continue
+		}
+		child, ok := fv.Interface().(ckpt.Checkpointable)
+		if !ok {
+			return fmt.Errorf("%w: field %s of %s is not Checkpointable",
+				ErrSchema, sv.Type().Field(idx).Name, sv.Type())
+		}
+		if err := en.visit(em, mode, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record encodes the tagged fields of sv in declaration order.
+func (sc *schema) record(sv reflect.Value, e *wire.Encoder) error {
+	for _, fp := range sc.fields {
+		fv := sv.Field(fp.index)
+		if fp.child {
+			if fv.IsNil() {
+				e.Uvarint(ckpt.NilID)
+				continue
+			}
+			child, ok := fv.Interface().(ckpt.Checkpointable)
+			if !ok {
+				return fmt.Errorf("%w: field %s is not Checkpointable",
+					ErrSchema, sc.typ.Field(fp.index).Name)
+			}
+			e.Uvarint(child.CheckpointInfo().ID())
+			continue
+		}
+		if fp.cell {
+			fv = fv.FieldByName("V")
+		}
+		switch fp.kind {
+		case kindInt:
+			e.Varint(fv.Int())
+		case kindUint:
+			e.Uvarint(fv.Uint())
+		case kindFloat:
+			e.Float64(fv.Float())
+		case kindBool:
+			e.Bool(fv.Bool())
+		case kindString:
+			e.String(fv.String())
+		case kindBytes:
+			e.BytesField(fv.Bytes())
+		}
+	}
+	return nil
+}
+
+// Restore decodes the tagged fields of o (written by this package or by an
+// order-compatible Record method), resolving children through res. It lets
+// types implement ckpt.Restorable in one line.
+func (en *Engine) Restore(o ckpt.Checkpointable, d *wire.Decoder, res *ckpt.Resolver) error {
+	v := reflect.ValueOf(o)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("%w: %T is not a pointer to struct", ErrSchema, o)
+	}
+	sv := v.Elem()
+	sc, err := en.schemaFor(sv.Type())
+	if err != nil {
+		return err
+	}
+	for _, fp := range sc.fields {
+		fv := sv.Field(fp.index)
+		if fp.child {
+			id := d.Uvarint()
+			child, err := res.Lookup(id)
+			if err != nil {
+				return err
+			}
+			if child == nil {
+				fv.SetZero()
+				continue
+			}
+			cv := reflect.ValueOf(child)
+			if !cv.Type().AssignableTo(fv.Type()) {
+				return fmt.Errorf("%w: object %d has type %s, field %s wants %s",
+					ckpt.ErrTypeConflict, id, cv.Type(), sc.typ.Field(fp.index).Name, fv.Type())
+			}
+			fv.Set(cv)
+			continue
+		}
+		if fp.cell {
+			fv = fv.FieldByName("V")
+		}
+		switch fp.kind {
+		case kindInt:
+			fv.SetInt(d.Varint())
+		case kindUint:
+			fv.SetUint(d.Uvarint())
+		case kindFloat:
+			fv.SetFloat(d.Float64())
+		case kindBool:
+			fv.SetBool(d.Bool())
+		case kindString:
+			fv.SetString(d.String())
+		case kindBytes:
+			fv.SetBytes(d.BytesField())
+		}
+	}
+	return d.Err()
+}
+
+// schemaFor compiles (and caches) the schema for t.
+func (en *Engine) schemaFor(t reflect.Type) (*schema, error) {
+	if sc, ok := en.schemas[t]; ok {
+		return sc, nil
+	}
+	sc := &schema{typ: t}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag, ok := f.Tag.Lookup("ckpt")
+		if !ok {
+			continue
+		}
+		if !f.IsExported() {
+			return nil, fmt.Errorf("%w: tagged field %s.%s is unexported", ErrSchema, t, f.Name)
+		}
+		switch tag {
+		case "field":
+			fp := fieldPlan{index: i}
+			ft := f.Type
+			if isCell(ft) {
+				fp.cell = true
+				vf, _ := ft.FieldByName("V")
+				ft = vf.Type
+			}
+			switch ft.Kind() {
+			case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+				fp.kind = kindInt
+			case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+				fp.kind = kindUint
+			case reflect.Float32, reflect.Float64:
+				fp.kind = kindFloat
+			case reflect.Bool:
+				fp.kind = kindBool
+			case reflect.String:
+				fp.kind = kindString
+			case reflect.Slice:
+				if ft.Elem().Kind() != reflect.Uint8 {
+					return nil, fmt.Errorf("%w: field %s.%s: only []byte slices are supported",
+						ErrSchema, t, f.Name)
+				}
+				fp.kind = kindBytes
+			default:
+				return nil, fmt.Errorf("%w: field %s.%s has unsupported kind %s",
+					ErrSchema, t, f.Name, ft.Kind())
+			}
+			sc.fields = append(sc.fields, fp)
+		case "child", "next", "list":
+			if f.Type.Kind() != reflect.Pointer {
+				return nil, fmt.Errorf("%w: child field %s.%s must be a pointer", ErrSchema, t, f.Name)
+			}
+			sc.fields = append(sc.fields, fieldPlan{index: i, child: true})
+			sc.kids = append(sc.kids, i)
+		default:
+			return nil, fmt.Errorf("%w: field %s.%s has unknown tag %q", ErrSchema, t, f.Name, tag)
+		}
+	}
+	en.schemas[t] = sc
+	return sc, nil
+}
+
+// isCell reports whether t is an instantiation of ckpt.Cell.
+func isCell(t reflect.Type) bool {
+	if t.Kind() != reflect.Struct || t.PkgPath() != "ickpt/ckpt" {
+		return false
+	}
+	if len(t.Name()) < 5 || t.Name()[:5] != "Cell[" {
+		return false
+	}
+	_, ok := t.FieldByName("V")
+	return ok
+}

@@ -1,0 +1,101 @@
+package spec_test
+
+import (
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+)
+
+// BenchmarkCompile measures plan compilation (done once per phase, so this
+// is setup cost, not checkpoint-path cost).
+func BenchmarkCompile(b *testing.B) {
+	cat := catalog(b)
+	pat := &spec.Pattern{
+		Name: "tails",
+		Children: map[string]spec.ChildMod{
+			"Root.A":    spec.LastElementOnly,
+			"Root.B":    spec.ChildUnmodified,
+			"Root.Meta": spec.ChildUnmodified,
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Compile(cat, "Root", pat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteVsGeneric compares one structure's checkpoint through the
+// generic driver and through a structure-only plan.
+func BenchmarkExecuteVsGeneric(b *testing.B) {
+	mk := func() *root {
+		d := ckpt.NewDomain()
+		r := build(d, 16, 16)
+		drain(b, r)
+		return r
+	}
+
+	b.Run("generic", func(b *testing.B) {
+		r := mk()
+		w := ckpt.NewWriter()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Start(ckpt.Incremental)
+			if err := w.Checkpoint(r); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := w.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan", func(b *testing.B) {
+		r := mk()
+		p, err := spec.Compile(catalog(b), "Root", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := ckpt.NewWriter()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Start(ckpt.Incremental)
+			if err := p.Execute(w, r); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := w.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan-lastonly", func(b *testing.B) {
+		r := mk()
+		pat := &spec.Pattern{
+			Name: "tails",
+			Classes: map[string]spec.ClassMod{
+				"Root": spec.ClassUnmodified,
+				"Meta": spec.ClassUnmodified,
+			},
+			Children: map[string]spec.ChildMod{
+				"Root.A": spec.LastElementOnly,
+				"Root.B": spec.LastElementOnly,
+			},
+		}
+		p, err := spec.Compile(catalog(b), "Root", pat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := ckpt.NewWriter()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.Start(ckpt.Incremental)
+			if err := p.Execute(w, r); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := w.Finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

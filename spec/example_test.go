@@ -1,0 +1,61 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+	"ickpt/wire"
+)
+
+// ExampleCompile declares a tiny structure and a phase pattern and prints
+// the compiled plan — the pseudo-code the paper shows in Figures 5 and 6.
+func ExampleCompile() {
+	cat := spec.NewCatalog()
+	cat.MustRegister(spec.Class{
+		Name:      "Item",
+		TypeID:    1,
+		Fields:    []spec.Field{{Name: "V", Kind: spec.Int}},
+		Children:  []spec.Child{{Name: "Next", Class: "Item"}},
+		NextChild: 0,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return nil },
+		Record: func(o any, e *wire.Encoder) {},
+		Child:  func(o any, i int) any { return nil },
+	})
+	cat.MustRegister(spec.Class{
+		Name:   "Box",
+		TypeID: 2,
+		Children: []spec.Child{
+			{Name: "Hot", Class: "Item", List: true},
+			{Name: "Cold", Class: "Item", List: true},
+		},
+		NextChild: -1,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return nil },
+		Record: func(o any, e *wire.Encoder) {},
+		Child:  func(o any, i int) any { return nil },
+	})
+
+	pat := &spec.Pattern{
+		Name:    "phase1",
+		Classes: map[string]spec.ClassMod{"Box": spec.ClassUnmodified},
+		Children: map[string]spec.ChildMod{
+			"Box.Cold": spec.ChildUnmodified,
+			"Box.Hot":  spec.LastElementOnly,
+		},
+	}
+	plan, err := spec.Compile(cat, "Box", pat)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(plan)
+	// Output:
+	// plan Box(incremental) for pattern "phase1":
+	//   Box: skip record (declared unmodified)
+	//     .Cold -> pruned (subtree unmodified)
+	//     .Hot -> list, last element only:
+	//       Item: if modified { record }
+	// — 2 classes, 1 tests elided, 1 subtrees pruned, 1 last-only lists
+}

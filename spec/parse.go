@@ -1,0 +1,143 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePattern reads a modification pattern from its textual form, so
+// tools can load phase declarations from configuration without Go code:
+//
+//	pattern bta {
+//	    class Attributes unmodified
+//	    class SEEntry    unmodified
+//	    child Root.B     unmodified
+//	    child Root.A     last-only
+//	}
+//
+// Grammar, one directive per line:
+//
+//	pattern NAME {            — opens the pattern
+//	    class NAME unmodified — ClassUnmodified declaration
+//	    child CLASS.FIELD unmodified|last-only
+//	}                         — closes it
+//
+// '#' starts a comment; blank lines are ignored. The result is validated
+// against a catalog at Compile time, not here.
+func ParsePattern(src string) (*Pattern, error) {
+	var (
+		p      *Pattern
+		closed bool
+	)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%w: line %d: %s", ErrPattern, lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "pattern":
+			if p != nil {
+				return nil, fail("nested pattern")
+			}
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, fail(`want "pattern NAME {"`)
+			}
+			p = &Pattern{
+				Name:     fields[1],
+				Classes:  make(map[string]ClassMod),
+				Children: make(map[string]ChildMod),
+			}
+		case "class":
+			if p == nil || closed {
+				return nil, fail("class directive outside pattern block")
+			}
+			if len(fields) != 3 || fields[2] != "unmodified" {
+				return nil, fail(`want "class NAME unmodified"`)
+			}
+			if _, dup := p.Classes[fields[1]]; dup {
+				return nil, fail("class %q declared twice", fields[1])
+			}
+			p.Classes[fields[1]] = ClassUnmodified
+		case "child":
+			if p == nil || closed {
+				return nil, fail("child directive outside pattern block")
+			}
+			if len(fields) != 3 {
+				return nil, fail(`want "child CLASS.FIELD unmodified|last-only"`)
+			}
+			if _, _, ok := splitEdge(fields[1]); !ok {
+				return nil, fail("bad edge %q: want CLASS.FIELD", fields[1])
+			}
+			if _, dup := p.Children[fields[1]]; dup {
+				return nil, fail("child %q declared twice", fields[1])
+			}
+			switch fields[2] {
+			case "unmodified":
+				p.Children[fields[1]] = ChildUnmodified
+			case "last-only":
+				p.Children[fields[1]] = LastElementOnly
+			default:
+				return nil, fail("unknown child mode %q", fields[2])
+			}
+		case "}":
+			if p == nil || closed {
+				return nil, fail("unmatched }")
+			}
+			if len(fields) != 1 {
+				return nil, fail("trailing text after }")
+			}
+			closed = true
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if p == nil {
+		return nil, fmt.Errorf("%w: no pattern block found", ErrPattern)
+	}
+	if !closed {
+		return nil, fmt.Errorf("%w: pattern %q not closed", ErrPattern, p.Name)
+	}
+	return p, nil
+}
+
+// Format renders the pattern in the textual form ParsePattern reads, with
+// deterministic ordering. Formatting then parsing yields an equal pattern.
+func (p *Pattern) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern %s {\n", p.Name)
+	for _, name := range sortedKeys(p.Classes) {
+		if p.Classes[name] == ClassUnmodified {
+			fmt.Fprintf(&b, "    class %s unmodified\n", name)
+		}
+	}
+	for _, key := range sortedKeys(p.Children) {
+		switch p.Children[key] {
+		case ChildUnmodified:
+			fmt.Fprintf(&b, "    child %s unmodified\n", key)
+		case LastElementOnly:
+			fmt.Fprintf(&b, "    child %s last-only\n", key)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

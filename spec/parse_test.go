@@ -1,0 +1,139 @@
+package spec_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ickpt/spec"
+)
+
+func TestParsePattern(t *testing.T) {
+	src := `
+# BTA phase: only BT annotations change.
+pattern bta {
+    class Attributes unmodified
+    class SEEntry    unmodified   # read, never written
+    child Root.B     unmodified
+    child Root.A     last-only
+}
+`
+	p, err := spec.ParsePattern(src)
+	if err != nil {
+		t.Fatalf("ParsePattern: %v", err)
+	}
+	if p.Name != "bta" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if p.Classes["Attributes"] != spec.ClassUnmodified || p.Classes["SEEntry"] != spec.ClassUnmodified {
+		t.Errorf("Classes = %v", p.Classes)
+	}
+	if p.Children["Root.B"] != spec.ChildUnmodified || p.Children["Root.A"] != spec.LastElementOnly {
+		t.Errorf("Children = %v", p.Children)
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"unclosed", "pattern p {\nclass X unmodified\n"},
+		{"nested", "pattern p {\npattern q {\n}\n}"},
+		{"class outside", "class X unmodified"},
+		{"bad class line", "pattern p {\nclass X maybe\n}"},
+		{"bad child mode", "pattern p {\nchild A.B sometimes\n}"},
+		{"bad edge", "pattern p {\nchild AB unmodified\n}"},
+		{"dup class", "pattern p {\nclass X unmodified\nclass X unmodified\n}"},
+		{"dup child", "pattern p {\nchild A.B unmodified\nchild A.B last-only\n}"},
+		{"unknown directive", "pattern p {\nfrobnicate\n}"},
+		{"trailing after brace", "pattern p {\n} trailing"},
+		{"directive after close", "pattern p {\n}\nclass X unmodified"},
+		{"missing brace", "pattern p\n}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := spec.ParsePattern(tc.src); !errors.Is(err, spec.ErrPattern) {
+				t.Errorf("ParsePattern = %v, want ErrPattern", err)
+			}
+		})
+	}
+}
+
+func TestPatternFormatRoundTrip(t *testing.T) {
+	p := &spec.Pattern{
+		Name: "phase",
+		Classes: map[string]spec.ClassMod{
+			"B": spec.ClassUnmodified,
+			"A": spec.ClassUnmodified,
+		},
+		Children: map[string]spec.ChildMod{
+			"A.Y": spec.LastElementOnly,
+			"A.X": spec.ChildUnmodified,
+		},
+	}
+	text := p.Format()
+	p2, err := spec.ParsePattern(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if p2.Name != p.Name || len(p2.Classes) != 2 || len(p2.Children) != 2 {
+		t.Errorf("round trip lost data: %+v", p2)
+	}
+	if p2.Format() != text {
+		t.Errorf("format not stable:\n%s\nvs\n%s", text, p2.Format())
+	}
+}
+
+func TestParsedPatternCompiles(t *testing.T) {
+	src := `
+pattern tails {
+    class Meta unmodified
+    child Root.A last-only
+    child Root.B unmodified
+}
+`
+	p, err := spec.ParsePattern(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := spec.Compile(catalog(t), "Root", p)
+	if err != nil {
+		t.Fatalf("Compile parsed pattern: %v", err)
+	}
+	if plan.Stats().LastOnlyLists != 1 {
+		t.Errorf("LastOnlyLists = %d", plan.Stats().LastOnlyLists)
+	}
+}
+
+// TestQuickParseNeverPanics: arbitrary input must produce an error or a
+// pattern, never a panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = spec.ParsePattern(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInferredFormatParses: every observer-inferred pattern formats to
+// parseable text.
+func TestQuickInferredFormatParses(t *testing.T) {
+	cat := catalog(t)
+	obs, err := spec.NewObserver(cat, "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obs.Pattern("empty-profile")
+	if _, err := spec.ParsePattern(p.Format()); err != nil {
+		t.Errorf("inferred pattern does not reparse: %v\n%s", err, p.Format())
+	}
+}

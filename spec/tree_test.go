@@ -1,0 +1,251 @@
+package spec_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+	"ickpt/wire"
+)
+
+// Tree fixture: a self-recursive class (binary tree), exercising the
+// cyclic plan graphs that list flattening does not cover.
+
+var typeTree = ckpt.TypeIDOf("spectest.Tree")
+
+type tree struct {
+	Info        ckpt.Info
+	V           int64
+	Left, Right *tree
+}
+
+func (n *tree) CheckpointInfo() *ckpt.Info    { return &n.Info }
+func (n *tree) CheckpointTypeID() ckpt.TypeID { return typeTree }
+func (n *tree) Record(enc *wire.Encoder) {
+	enc.Varint(n.V)
+	enc.Uvarint(treeID(n.Left))
+	enc.Uvarint(treeID(n.Right))
+}
+func (n *tree) Fold(w *ckpt.Writer) error {
+	if n.Left != nil {
+		if err := w.Checkpoint(n.Left); err != nil {
+			return err
+		}
+	}
+	if n.Right != nil {
+		return w.Checkpoint(n.Right)
+	}
+	return nil
+}
+
+func treeID(n *tree) uint64 {
+	if n == nil {
+		return ckpt.NilID
+	}
+	return n.Info.ID()
+}
+
+func treeCatalog(t testing.TB) *spec.Catalog {
+	cat := spec.NewCatalog()
+	cat.MustRegister(spec.Class{
+		Name:   "Tree",
+		TypeID: typeTree,
+		GoType: "*tree",
+		Fields: []spec.Field{{Name: "V", Kind: spec.Int, Go: "o.V"}},
+		Children: []spec.Child{
+			{Name: "Left", Class: "Tree", Go: "o.Left"},
+			{Name: "Right", Class: "Tree", Go: "o.Right"},
+		},
+		NextChild: -1,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*tree).Info },
+		Record: func(o any, e *wire.Encoder) { o.(*tree).Record(e) },
+		Child: func(o any, i int) any {
+			n := o.(*tree)
+			var c *tree
+			if i == 0 {
+				c = n.Left
+			} else {
+				c = n.Right
+			}
+			if c != nil {
+				return c
+			}
+			return nil
+		},
+	})
+	return cat
+}
+
+// buildTree makes a complete binary tree of the given depth.
+func buildTree(d *ckpt.Domain, depth int, base int64) *tree {
+	if depth == 0 {
+		return nil
+	}
+	n := &tree{Info: ckpt.NewInfo(d), V: base}
+	n.Left = buildTree(d, depth-1, base*2)
+	n.Right = buildTree(d, depth-1, base*2+1)
+	return n
+}
+
+func drainTree(t testing.TB, n *tree) {
+	t.Helper()
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.Checkpoint(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecursivePlanMatchesGeneric(t *testing.T) {
+	d1, d2 := ckpt.NewDomain(), ckpt.NewDomain()
+	t1, t2 := buildTree(d1, 5, 1), buildTree(d2, 5, 1)
+	drainTree(t, t1)
+	drainTree(t, t2)
+
+	mutate := func(n *tree) {
+		// Dirty a few interior nodes along the leftmost spine and one
+		// right leaf.
+		for c := n; c != nil; c = c.Left {
+			c.V++
+			c.Info.SetModified()
+		}
+		n.Right.Right.V = 999
+		n.Right.Right.Info.SetModified()
+	}
+	mutate(t1)
+	mutate(t2)
+
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.Checkpoint(t1); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCopy := append([]byte(nil), want...)
+
+	p, err := spec.Compile(treeCatalog(t), "Tree", nil)
+	if err != nil {
+		t.Fatalf("Compile recursive: %v", err)
+	}
+	w2 := ckpt.NewWriter()
+	w2.Start(ckpt.Incremental)
+	if err := p.Execute(w2, t2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := w2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantCopy, got) {
+		t.Error("recursive plan body differs from generic body")
+	}
+}
+
+func TestRecursivePlanPrintAndStats(t *testing.T) {
+	p, err := spec.Compile(treeCatalog(t), "Tree", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "... (recursive)") {
+		t.Errorf("recursive plan print missing recursion marker:\n%s", s)
+	}
+	if p.Stats().Nodes != 1 {
+		t.Errorf("Nodes = %d, want 1 (one class, cyclic)", p.Stats().Nodes)
+	}
+}
+
+func TestRecursiveCodegen(t *testing.T) {
+	p, err := spec.Compile(treeCatalog(t), "Tree", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := spec.GenerateGo(p, spec.GenConfig{Package: "spectest", FuncName: "CheckpointTree"})
+	if err != nil {
+		t.Fatalf("GenerateGo recursive: %v", err)
+	}
+	s := string(src)
+	// The node function must call itself for both children.
+	if got := strings.Count(s, "checkpointTreeTree(c, em)"); got != 2 {
+		t.Errorf("recursive calls = %d, want 2:\n%s", got, s)
+	}
+}
+
+func TestRecursiveTreeWithPattern(t *testing.T) {
+	// Declaring Tree unmodified prunes the whole structure: the plan
+	// root has no record and no edges.
+	pat := &spec.Pattern{
+		Name:    "frozen",
+		Classes: map[string]spec.ClassMod{"Tree": spec.ClassUnmodified},
+	}
+	p, err := spec.Compile(treeCatalog(t), "Tree", pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().PrunedEdges != 2 {
+		t.Errorf("PrunedEdges = %d, want 2", p.Stats().PrunedEdges)
+	}
+
+	d := ckpt.NewDomain()
+	root := buildTree(d, 4, 1)
+	drainTree(t, root)
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := p.Execute(w, root); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Visited != 1 || stats.Recorded != 0 {
+		t.Errorf("frozen tree stats = %+v, want visit root only", stats)
+	}
+}
+
+func TestObserverOnTree(t *testing.T) {
+	cat := treeCatalog(t)
+	obs, err := spec.NewObserver(cat, "Tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ckpt.NewDomain()
+	root := buildTree(d, 4, 1)
+	drainTree(t, root)
+
+	// Phase touches only the left subtree's nodes.
+	for c := root.Left; c != nil; c = c.Left {
+		c.V++
+		c.Info.SetModified()
+	}
+	if err := obs.Observe(root); err != nil {
+		t.Fatal(err)
+	}
+	pat := obs.Pattern("leftOnly")
+	// Tree nodes were dirty, so no class-level declaration; the
+	// Tree.Right edge of... every node shares the class, so Right cannot
+	// be declared unmodified globally (the root's left child has dirty
+	// Left descendants). The inferred pattern must still compile and be
+	// sound.
+	p, err := spec.Compile(cat, "Tree", pat, spec.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := p.Execute(w, root); err != nil {
+		t.Errorf("inferred tree pattern unsound: %v", err)
+	}
+	if _, _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package stablelog
+
+import (
+	"fmt"
+	"sync"
+
+	"ickpt/ckpt"
+)
+
+// AsyncWriter appends checkpoint bodies to a Log from a background
+// goroutine, so that the application resumes as soon as the in-memory body
+// has been handed off — the paper's asynchronous stable-storage write.
+//
+// Appends are ordered. The first write error is sticky: it fails all
+// subsequent operations and is returned by Flush and Close. AsyncWriter is
+// safe for use by one producer goroutine.
+type AsyncWriter struct {
+	log *Log
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []asyncItem
+	err    error
+	closed bool
+	done   chan struct{}
+}
+
+type asyncItem struct {
+	mode  ckpt.Mode
+	epoch uint64
+	body  []byte
+}
+
+// NewAsyncWriter starts the background writer. The caller must not use log
+// directly until Close returns.
+func NewAsyncWriter(log *Log) *AsyncWriter {
+	w := &AsyncWriter{
+		log:  log,
+		done: make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+// Append enqueues body for writing. The body is copied, so the caller may
+// reuse its buffer immediately (checkpoint writers recycle theirs).
+func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
+	cp := make([]byte, len(body))
+	copy(cp, body)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.queue = append(w.queue, asyncItem{mode: mode, epoch: epoch, body: cp})
+	w.cond.Signal()
+	return nil
+}
+
+// Flush blocks until every enqueued body has been written (or a write has
+// failed) and returns the first write error, if any.
+func (w *AsyncWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) > 0 && w.err == nil {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// Close flushes, stops the background goroutine, and returns the first
+// write error, if any. It does not close the underlying Log.
+func (w *AsyncWriter) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+
+	<-w.done
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// run is the background writer loop.
+func (w *AsyncWriter) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.queue) == 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		item := w.queue[0]
+		w.mu.Unlock()
+
+		_, err := w.log.Append(item.mode, item.epoch, item.body)
+
+		w.mu.Lock()
+		w.queue = w.queue[1:]
+		if err != nil && w.err == nil {
+			w.err = fmt.Errorf("async append: %w", err)
+		}
+		stop := w.err != nil
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		if stop {
+			// Drain mode: fail fast, keep accepting Flush/Close.
+			w.failRemaining()
+			return
+		}
+	}
+}
+
+// failRemaining clears the queue after a write error so Flush does not hang.
+func (w *AsyncWriter) failRemaining() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.queue = nil
+	w.cond.Broadcast()
+}

@@ -1,0 +1,78 @@
+package stablelog_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/stablelog"
+)
+
+func benchAppend(b *testing.B, size int, sync bool) {
+	b.Helper()
+	var opts []stablelog.Option
+	if sync {
+		opts = append(opts, stablelog.WithSync())
+	}
+	l, err := stablelog.Create(filepath.Join(b.TempDir(), "bench.log"), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(ckpt.Incremental, uint64(i), body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppend4KB(b *testing.B)  { benchAppend(b, 4<<10, false) }
+func BenchmarkAppend64KB(b *testing.B) { benchAppend(b, 64<<10, false) }
+
+func BenchmarkAsyncAppend4KB(b *testing.B) {
+	l, err := stablelog.Create(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	aw := stablelog.NewAsyncWriter(l)
+	body := make([]byte, 4<<10)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := aw.Append(ckpt.Incremental, uint64(i), body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRead64KB(b *testing.B) {
+	l, err := stablelog.Create(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	body := make([]byte, 64<<10)
+	if _, err := l.Append(ckpt.Full, 1, body); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Read(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package stablelog_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ickpt/ckpt"
+	"ickpt/stablelog"
+)
+
+// Example shows the durable-log cycle: append checkpoint bodies, crash with
+// a torn tail, reopen, and read the recovery run.
+func Example() {
+	dir, err := os.MkdirTemp("", "stablelog-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ckpt.log")
+
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// In a real program the bodies come from ckpt.Writer.Finish.
+	_, _ = lg.Append(ckpt.Full, 1, []byte("full state"))
+	_, _ = lg.Append(ckpt.Incremental, 2, []byte("delta 1"))
+	_, _ = lg.Append(ckpt.Incremental, 3, []byte("delta 2"))
+	lg.Close()
+
+	// Crash: the last write is torn.
+	fi, _ := os.Stat(path)
+	_ = os.Truncate(path, fi.Size()-3)
+
+	reopened, err := stablelog.Open(path, stablelog.WithTruncateTorn())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer reopened.Close()
+
+	run, err := reopened.RecoveryRun()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("surviving segments: %d\n", len(reopened.Segments()))
+	for _, seg := range run {
+		body, _ := reopened.Read(seg.Seq)
+		fmt.Printf("  seq %d %-11s %q\n", seg.Seq, seg.Mode, body)
+	}
+	// Output:
+	// surviving segments: 2
+	//   seq 1 full        "full state"
+	//   seq 2 incremental "delta 1"
+}

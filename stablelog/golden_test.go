@@ -1,0 +1,50 @@
+package stablelog_test
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/stablelog"
+)
+
+// TestLogGoldenBytes pins the file layout documented in docs/FORMAT.md: a
+// failure means the log format changed, which requires a new file magic.
+func TestLogGoldenBytes(t *testing.T) {
+	path := tempLogPath(t)
+	l, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xde, 0xad}
+	if _, err := l.Append(ckpt.Full, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []byte("ICKPTLG1")
+	var hdr [29]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0x5345474d)            // "SEGM"
+	binary.LittleEndian.PutUint64(hdr[4:], 1)                     // seq
+	binary.LittleEndian.PutUint64(hdr[12:], 3)                    // epoch
+	hdr[20] = byte(ckpt.Full)                                     // mode
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(payload))) // length
+	binary.LittleEndian.PutUint32(hdr[25:], crc32.ChecksumIEEE(payload))
+	want = append(want, hdr[:]...)
+	want = append(want, payload...)
+
+	if hex.EncodeToString(data) != hex.EncodeToString(want) {
+		t.Errorf("log golden mismatch:\n got %s\nwant %s",
+			hex.EncodeToString(data), hex.EncodeToString(want))
+	}
+}

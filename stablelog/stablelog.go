@@ -1,0 +1,371 @@
+// Package stablelog persists checkpoint bodies to stable storage.
+//
+// A log file is a header followed by a sequence of CRC-framed segments, one
+// per checkpoint body. The paper's implementation writes checkpoints "from
+// the output stream to stable storage asynchronously"; this package provides
+// both a synchronous [Log] and an [AsyncWriter] that defers the copy to a
+// background goroutine, unblocking the application as soon as the in-memory
+// body is constructed.
+//
+// Recovery tolerates a torn tail: a crash while appending leaves a final
+// partial or corrupt segment, which Open detects (via length and CRC checks)
+// and can truncate away, exposing the longest consistent prefix.
+package stablelog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ickpt/ckpt"
+)
+
+// File layout constants.
+const (
+	fileMagic    = "ICKPTLG1"
+	segmentMagic = 0x5345474d // "SEGM"
+	// segment header: magic u32, seq u64, epoch u64, mode u8, len u32, crc u32
+	segmentHeaderSize = 4 + 8 + 8 + 1 + 4 + 4
+)
+
+// Errors reported by the log.
+var (
+	// ErrCorrupt reports a segment whose framing or checksum is invalid.
+	ErrCorrupt = errors.New("stablelog: corrupt segment")
+	// ErrNotFound reports a missing segment sequence number.
+	ErrNotFound = errors.New("stablelog: segment not found")
+	// ErrNoFull reports a log with no full checkpoint to recover from.
+	ErrNoFull = errors.New("stablelog: no full checkpoint in log")
+	// ErrClosed reports use of a closed log or writer.
+	ErrClosed = errors.New("stablelog: closed")
+)
+
+// SegmentInfo describes one checkpoint segment in the log.
+type SegmentInfo struct {
+	Seq    uint64    // position in the log, starting at 1
+	Epoch  uint64    // writer epoch recorded at append time
+	Mode   ckpt.Mode // full or incremental
+	Offset int64     // file offset of the segment header
+	Length int       // payload length in bytes
+	CRC    uint32    // CRC-32 (IEEE) of the payload
+}
+
+// Log is an append-only checkpoint log backed by a single file.
+//
+// Log is not safe for concurrent use; wrap it in an AsyncWriter for
+// background appends.
+type Log struct {
+	f      *os.File
+	path   string
+	segs   []SegmentInfo
+	end    int64 // offset one past the last valid segment
+	sync   bool
+	closed bool
+}
+
+// Option configures Open and Create.
+type Option interface {
+	apply(*openOptions)
+}
+
+type openOptions struct {
+	truncateTorn bool
+	sync         bool
+}
+
+type optionFunc func(*openOptions)
+
+func (f optionFunc) apply(o *openOptions) { f(o) }
+
+// WithTruncateTorn makes Open discard a trailing corrupt or partial segment
+// instead of failing, recovering the longest consistent prefix.
+func WithTruncateTorn() Option {
+	return optionFunc(func(o *openOptions) { o.truncateTorn = true })
+}
+
+// WithSync makes every Append fsync the file before returning.
+func WithSync() Option {
+	return optionFunc(func(o *openOptions) { o.sync = true })
+}
+
+// Create creates a new, empty log at path, failing if the file exists.
+func Create(path string, opts ...Option) (*Log, error) {
+	var oo openOptions
+	for _, o := range opts {
+		o.apply(&oo)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("create log: %w", err)
+	}
+	if _, err := f.Write([]byte(fileMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("create log: %w", err)
+	}
+	return &Log{f: f, path: path, end: int64(len(fileMagic)), sync: oo.sync}, nil
+}
+
+// Open opens an existing log, scanning and validating every segment.
+// Without WithTruncateTorn, any corruption is an error; with it, the log is
+// truncated at the first invalid segment.
+func Open(path string, opts ...Option) (*Log, error) {
+	var oo openOptions
+	for _, o := range opts {
+		o.apply(&oo)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("open log: %w", err)
+	}
+	l := &Log{f: f, path: path, sync: oo.sync}
+	if err := l.scan(oo.truncateTorn); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan reads and validates the file, populating the segment index.
+func (l *Log) scan(truncateTorn bool) error {
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(l.f, magic); err != nil || string(magic) != fileMagic {
+		return fmt.Errorf("%w: bad file magic", ErrCorrupt)
+	}
+	off := int64(len(fileMagic))
+	hdr := make([]byte, segmentHeaderSize)
+	for {
+		n, err := l.f.ReadAt(hdr, off)
+		if err == io.EOF && n == 0 {
+			break // clean end
+		}
+		seg, payload, segErr := l.readSegmentAt(off, hdr[:n])
+		if segErr != nil {
+			if truncateTorn {
+				if err := l.f.Truncate(off); err != nil {
+					return fmt.Errorf("truncate torn tail: %w", err)
+				}
+				break
+			}
+			return segErr
+		}
+		_ = payload
+		l.segs = append(l.segs, seg)
+		off += int64(segmentHeaderSize + seg.Length)
+	}
+	l.end = off
+	if _, err := l.f.Seek(l.end, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readSegmentAt parses and validates the segment whose header starts at off.
+// hdr holds the bytes read at off (possibly fewer than a full header).
+func (l *Log) readSegmentAt(off int64, hdr []byte) (SegmentInfo, []byte, error) {
+	if len(hdr) < segmentHeaderSize {
+		return SegmentInfo{}, nil, fmt.Errorf("%w: partial header at %d", ErrCorrupt, off)
+	}
+	if binary.LittleEndian.Uint32(hdr) != segmentMagic {
+		return SegmentInfo{}, nil, fmt.Errorf("%w: bad magic at %d", ErrCorrupt, off)
+	}
+	seg := SegmentInfo{
+		Seq:    binary.LittleEndian.Uint64(hdr[4:]),
+		Epoch:  binary.LittleEndian.Uint64(hdr[12:]),
+		Mode:   ckpt.Mode(hdr[20]),
+		Offset: off,
+		Length: int(binary.LittleEndian.Uint32(hdr[21:])),
+		CRC:    binary.LittleEndian.Uint32(hdr[25:]),
+	}
+	if seg.Mode != ckpt.Full && seg.Mode != ckpt.Incremental {
+		return SegmentInfo{}, nil, fmt.Errorf("%w: bad mode %d at %d", ErrCorrupt, seg.Mode, off)
+	}
+	if want := uint64(len(l.segs) + 1); seg.Seq != want {
+		return SegmentInfo{}, nil, fmt.Errorf("%w: seq %d at %d, want %d", ErrCorrupt, seg.Seq, off, want)
+	}
+	payload := make([]byte, seg.Length)
+	if _, err := l.f.ReadAt(payload, off+segmentHeaderSize); err != nil {
+		return SegmentInfo{}, nil, fmt.Errorf("%w: short payload at %d", ErrCorrupt, off)
+	}
+	if crc32.ChecksumIEEE(payload) != seg.CRC {
+		return SegmentInfo{}, nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, off)
+	}
+	return seg, payload, nil
+}
+
+// Append writes one checkpoint body as a new segment and returns its
+// sequence number.
+func (l *Log) Append(mode ckpt.Mode, epoch uint64, body []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	seq := uint64(len(l.segs) + 1)
+	hdr := make([]byte, segmentHeaderSize)
+	binary.LittleEndian.PutUint32(hdr, segmentMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], seq)
+	binary.LittleEndian.PutUint64(hdr[12:], epoch)
+	hdr[20] = byte(mode)
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[25:], crc32.ChecksumIEEE(body))
+
+	if _, err := l.f.WriteAt(hdr, l.end); err != nil {
+		return 0, fmt.Errorf("append segment %d: %w", seq, err)
+	}
+	if _, err := l.f.WriteAt(body, l.end+segmentHeaderSize); err != nil {
+		return 0, fmt.Errorf("append segment %d: %w", seq, err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("append segment %d: %w", seq, err)
+		}
+	}
+	l.segs = append(l.segs, SegmentInfo{
+		Seq:    seq,
+		Epoch:  epoch,
+		Mode:   mode,
+		Offset: l.end,
+		Length: len(body),
+		CRC:    crc32.ChecksumIEEE(body),
+	})
+	l.end += int64(segmentHeaderSize + len(body))
+	return seq, nil
+}
+
+// Segments returns a copy of the segment index.
+func (l *Log) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, len(l.segs))
+	copy(out, l.segs)
+	return out
+}
+
+// Read returns the payload of segment seq, verifying its checksum.
+func (l *Log) Read(seq uint64) ([]byte, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if seq == 0 || seq > uint64(len(l.segs)) {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, seq)
+	}
+	seg := l.segs[seq-1]
+	payload := make([]byte, seg.Length)
+	if _, err := l.f.ReadAt(payload, seg.Offset+segmentHeaderSize); err != nil {
+		return nil, fmt.Errorf("read segment %d: %w", seq, err)
+	}
+	if crc32.ChecksumIEEE(payload) != seg.CRC {
+		return nil, fmt.Errorf("read segment %d: %w: checksum mismatch", seq, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// RecoveryRun returns the segments needed to reconstruct the latest state:
+// the most recent full checkpoint and every incremental after it, in order.
+// It returns ErrNoFull if the log contains no full checkpoint.
+func (l *Log) RecoveryRun() ([]SegmentInfo, error) {
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		if l.segs[i].Mode == ckpt.Full {
+			run := make([]SegmentInfo, len(l.segs)-i)
+			copy(run, l.segs[i:])
+			return run, nil
+		}
+	}
+	return nil, ErrNoFull
+}
+
+// Recover applies the recovery run to rb, reading each segment's payload.
+func (l *Log) Recover(rb *ckpt.Rebuilder) error {
+	run, err := l.RecoveryRun()
+	if err != nil {
+		return err
+	}
+	for _, seg := range run {
+		body, err := l.Read(seg.Seq)
+		if err != nil {
+			return err
+		}
+		if err := rb.Apply(body); err != nil {
+			return fmt.Errorf("recover segment %d: %w", seg.Seq, err)
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the log to contain only the latest recovery run,
+// renumbering segments from 1. The rewrite is atomic: it writes a sibling
+// temporary file and renames it over the log.
+func (l *Log) Compact() error {
+	if l.closed {
+		return ErrClosed
+	}
+	run, err := l.RecoveryRun()
+	if err != nil {
+		return err
+	}
+	tmp := l.path + ".compact"
+	nl, err := Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	for _, seg := range run {
+		body, err := l.Read(seg.Seq)
+		if err != nil {
+			nl.Close()
+			return err
+		}
+		if _, err := nl.Append(seg.Mode, seg.Epoch, body); err != nil {
+			nl.Close()
+			return err
+		}
+	}
+	if err := nl.f.Sync(); err != nil {
+		nl.Close()
+		return err
+	}
+	if err := nl.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	// Reopen over the compacted file.
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segs = nil
+	return l.scan(false)
+}
+
+// Sync flushes the file to stable storage.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Dir returns the directory containing the log.
+func (l *Log) Dir() string { return filepath.Dir(l.path) }
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,62 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncodeUvarint(b *testing.B) {
+	e := NewEncoder(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<15 {
+			e.Reset()
+		}
+		e.Uvarint(uint64(i))
+	}
+}
+
+func BenchmarkEncodeRecordPayload(b *testing.B) {
+	// A representative Element10 payload: ten varints plus a child id.
+	e := NewEncoder(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<15 {
+			e.Reset()
+		}
+		for j := 0; j < 10; j++ {
+			e.Varint(int64(i + j))
+		}
+		e.Uvarint(uint64(i))
+	}
+}
+
+func BenchmarkDecodeRecordPayload(b *testing.B) {
+	e := NewEncoder(256)
+	for j := 0; j < 10; j++ {
+		e.Varint(int64(j * 1000))
+	}
+	e.Uvarint(424242)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		for j := 0; j < 10; j++ {
+			d.Varint()
+		}
+		d.Uvarint()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}
+
+func BenchmarkEncodeString(b *testing.B) {
+	e := NewEncoder(1 << 16)
+	s := "a moderately sized string payload"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<15 {
+			e.Reset()
+		}
+		e.String(s)
+	}
+}

@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeScalars(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uvarint(0)
+	e.Uvarint(300)
+	e.Uvarint(math.MaxUint64)
+	e.Varint(0)
+	e.Varint(-1)
+	e.Varint(math.MinInt64)
+	e.Varint(math.MaxInt64)
+	e.Uint32(0xdeadbeef)
+	e.Uint64(0x0123456789abcdef)
+	e.Float64(-3.5)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0x7f)
+	e.String("hello, 世界")
+	e.BytesField([]byte{1, 2, 3})
+	e.BytesField(nil)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d, want 300", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint = %d, want MaxUint64", got)
+	}
+	if got := d.Varint(); got != 0 {
+		t.Errorf("Varint = %d, want 0", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Errorf("Varint = %d, want -1", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Errorf("Varint = %d, want MinInt64", got)
+	}
+	if got := d.Varint(); got != math.MaxInt64 {
+		t.Errorf("Varint = %d, want MaxInt64", got)
+	}
+	if got := d.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := d.Uint64(); got != 0x0123456789abcdef {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := d.Float64(); got != -3.5 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := d.Byte(); got != 0x7f {
+		t.Errorf("Byte = %#x", got)
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.BytesField(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("BytesField = %v", got)
+	}
+	if got := d.BytesField(); len(got) != 0 {
+		t.Errorf("BytesField = %v, want empty", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len() = %d after full decode", d.Len())
+	}
+}
+
+func TestDecoderTruncated(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint64(42)
+	full := e.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uint64()
+		if !errors.Is(d.Err(), ErrTruncated) {
+			t.Errorf("cut=%d: err = %v, want ErrTruncated", cut, d.Err())
+		}
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uvarint()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error on empty input")
+	}
+	// Subsequent reads return zero values and keep the first error.
+	if got := d.Uint64(); got != 0 {
+		t.Errorf("Uint64 after error = %d", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String after error = %q", got)
+	}
+	if d.Err() != first {
+		t.Errorf("error changed: %v -> %v", first, d.Err())
+	}
+}
+
+func TestDecoderMalformedBool(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	d.Bool()
+	if !errors.Is(d.Err(), ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", d.Err())
+	}
+}
+
+func TestDecoderMalformedUvarint(t *testing.T) {
+	// 11 continuation bytes overflow a uint64.
+	in := bytes.Repeat([]byte{0x80}, 10)
+	in = append(in, 0x02)
+	d := NewDecoder(in)
+	d.Uvarint()
+	if !errors.Is(d.Err(), ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", d.Err())
+	}
+}
+
+func TestBytesFieldCopies(t *testing.T) {
+	e := NewEncoder(8)
+	e.BytesField([]byte{9, 9, 9})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := d.BytesField()
+	buf[len(buf)-1] = 0 // mutate the input
+	if got[2] != 9 {
+		t.Error("BytesField aliases the decoder input; want a copy")
+	}
+}
+
+func TestRawAndSkip(t *testing.T) {
+	e := NewEncoder(8)
+	e.Raw([]byte{1, 2, 3, 4})
+	d := NewDecoder(e.Bytes())
+	d.Skip(2)
+	got := d.Raw(2)
+	if !bytes.Equal(got, []byte{3, 4}) {
+		t.Errorf("Raw = %v", got)
+	}
+	d.Skip(1)
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint64(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Errorf("Len after Reset = %d", e.Len())
+	}
+	e.Byte(5)
+	if !bytes.Equal(e.Bytes(), []byte{5}) {
+		t.Errorf("Bytes after Reset+Byte = %v", e.Bytes())
+	}
+}
+
+func TestQuickUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var e Encoder
+		e.Uvarint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Uvarint() == v && d.Err() == nil && d.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		var e Encoder
+		e.Varint(v)
+		d := NewDecoder(e.Bytes())
+		return d.Varint() == v && d.Err() == nil && d.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	type record struct {
+		U  uint64
+		I  int64
+		F  float64
+		B  bool
+		S  string
+		By []byte
+	}
+	f := func(r record) bool {
+		var e Encoder
+		e.Uvarint(r.U)
+		e.Varint(r.I)
+		e.Float64(r.F)
+		e.Bool(r.B)
+		e.String(r.S)
+		e.BytesField(r.By)
+
+		d := NewDecoder(e.Bytes())
+		gotU := d.Uvarint()
+		gotI := d.Varint()
+		gotF := d.Float64()
+		gotB := d.Bool()
+		gotS := d.String()
+		gotBy := d.BytesField()
+		if d.Err() != nil || d.Len() != 0 {
+			return false
+		}
+		sameF := gotF == r.F || (math.IsNaN(gotF) && math.IsNaN(r.F))
+		return gotU == r.U && gotI == r.I && sameF && gotB == r.B &&
+			gotS == r.S && bytes.Equal(gotBy, r.By)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	// Arbitrary bytes must never panic the decoder, only error.
+	f := func(in []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		d := NewDecoder(in)
+		for d.Err() == nil && d.Len() > 0 {
+			d.Uvarint()
+			d.Bool()
+			_ = d.String()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
