@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-short generate check-generated experiments examples clean
+.PHONY: all build test lint race cover bench bench-short generate check-generated experiments examples clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,10 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# Protocol-soundness static analysis (see docs/LINTING.md).
+lint:
+	$(GO) run ./cmd/ckptvet ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,287 @@
+package ckptlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// DirtyWriteAnalyzer flags direct writes to tracked checkpointable state —
+// ckpt.Cell .V fields and `ckpt:"..."`-tagged struct fields — that bypass
+// modification tracking. Such writes leave the owning object's modified
+// flag clear, so the next incremental checkpoint silently omits the change:
+// the exact stale-checkpoint corruption the paper's write barriers exist to
+// prevent.
+//
+// A write is accepted when the dirty bit is provably maintained or
+// irrelevant:
+//
+//   - it occurs inside a Record or Restore protocol method (restore-time
+//     state is by definition already captured);
+//   - the same function calls owner.Info.SetModified() (or
+//     owner.CheckpointInfo().SetModified()) on the same owner expression;
+//   - the owner object is fresh in this function: created here via a
+//     composite literal carrying ckpt.NewInfo/ckpt.RestoredInfo, or
+//     returned by a New*/new* constructor — a new object's flag starts
+//     set, so direct initialization is safe;
+//   - the file is generated, or the line carries a suppression comment.
+func DirtyWriteAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "dirtywrite",
+		Doc:  "flags writes to tracked checkpoint state that bypass the modified flag",
+		Run:  runDirtyWrite,
+	}
+}
+
+func runDirtyWrite(pass *Pass) []Diagnostic {
+	pkg := pass.Pkg
+	gen := generatedFiles(pkg)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		if gen[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && (fd.Name.Name == "Record" || fd.Name.Name == "Restore") {
+				continue
+			}
+			out = append(out, dirtyWritesIn(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// trackedWrite is one assignment target that touches tracked state.
+type trackedWrite struct {
+	pos   token.Pos
+	owner ast.Expr // expression for the owning object, nil if unattributable
+	field string   // written field, for the message
+	cell  bool     // write to a Cell's V (or a whole Cell) vs a tagged field
+}
+
+func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var writes []trackedWrite
+	fresh := make(map[types.Object]bool)
+	dirtied := make(map[string]bool) // owner exprString -> SetModified seen
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				markFresh(pkg, st, fresh)
+			}
+			for _, lhs := range st.Lhs {
+				if w, ok := classifyWrite(pkg, lhs); ok {
+					writes = append(writes, w)
+				}
+			}
+		case *ast.IncDecStmt:
+			if w, ok := classifyWrite(pkg, st.X); ok {
+				writes = append(writes, w)
+			}
+		case *ast.CallExpr:
+			if owner, ok := setModifiedOwner(pkg, st); ok {
+				dirtied[owner] = true
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	for _, w := range writes {
+		if w.owner == nil {
+			continue
+		}
+		if obj := rootObject(pkg, w.owner); obj != nil && fresh[obj] {
+			continue
+		}
+		if dirtied[exprString(pkg.Fset, w.owner)] {
+			continue
+		}
+		ownerStr := exprString(pkg.Fset, w.owner)
+		var msg string
+		if w.cell {
+			msg = fmt.Sprintf("direct write to tracked cell %s.%s bypasses modification tracking; use %s.%s.Set(&%s.Info, ...) or call %s.Info.SetModified()",
+				ownerStr, w.field, ownerStr, strings.TrimSuffix(w.field, ".V"), ownerStr, ownerStr)
+		} else {
+			msg = fmt.Sprintf("write to ckpt-tagged field %s.%s does not mark %s modified; call %s.Info.SetModified() or use a ckpt.Cell",
+				ownerStr, w.field, ownerStr, ownerStr)
+		}
+		out = append(out, Diagnostic{Pos: pkg.Fset.Position(w.pos), Message: msg})
+	}
+	return out
+}
+
+// classifyWrite reports whether lhs writes tracked state and attributes the
+// write to its owning object.
+func classifyWrite(pkg *Package, lhs ast.Expr) (trackedWrite, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return trackedWrite{}, false
+	}
+
+	// Case 1: x.F.V where F is a ckpt.Cell — the direct-value write.
+	if sel.Sel.Name == "V" {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && isCkptNamed(tv.Type, "Cell") {
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				// A free-standing Cell variable has no owning Info to
+				// dirty; nothing to attribute.
+				return trackedWrite{}, false
+			}
+			return trackedWrite{
+				pos:   lhs.Pos(),
+				owner: inner.X,
+				field: inner.Sel.Name + ".V",
+				cell:  true,
+			}, true
+		}
+	}
+
+	// Case 2: x.F where F is a `ckpt:"..."`-tagged struct field (covers
+	// plain tagged scalars, tagged child pointers, and whole-Cell
+	// overwrites).
+	if tag, ok := fieldCkptTag(pkg, sel); ok && tag != "" {
+		isCell := false
+		if tv, ok := pkg.Info.Types[sel]; ok && isCkptNamed(tv.Type, "Cell") {
+			isCell = true
+		}
+		return trackedWrite{pos: lhs.Pos(), owner: sel.X, field: sel.Sel.Name, cell: isCell}, true
+	}
+	return trackedWrite{}, false
+}
+
+// fieldCkptTag returns the ckpt struct tag of the field sel selects, if sel
+// is a field selection on a struct type.
+func fieldCkptTag(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == s.Obj() {
+			tag := reflect.StructTag(st.Tag(i)).Get("ckpt")
+			return tag, tag != ""
+		}
+	}
+	return "", false
+}
+
+// markFresh records locals bound to freshly created checkpointable objects:
+// composite literals carrying a ckpt.NewInfo/ckpt.RestoredInfo call, or
+// calls to New*/new* constructors. A fresh object's modified flag starts
+// set, so direct initialization writes are safe.
+func markFresh(pkg *Package, st *ast.AssignStmt, fresh map[types.Object]bool) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !freshExpr(pkg, st.Rhs[i]) {
+			continue
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+}
+
+// freshExpr reports whether e evaluates to a freshly created object.
+func freshExpr(pkg *Package, e ast.Expr) bool {
+	switch ex := e.(type) {
+	case *ast.UnaryExpr:
+		if ex.Op == token.AND {
+			return freshExpr(pkg, ex.X)
+		}
+	case *ast.CompositeLit:
+		found := false
+		ast.Inspect(ex, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if s, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					(s.Sel.Name == "NewInfo" || s.Sel.Name == "RestoredInfo") {
+					if tv, ok := pkg.Info.Types[call]; ok && isCkptNamed(tv.Type, "Info") {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	case *ast.CallExpr:
+		name := ""
+		switch fun := ex.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.IndexExpr: // generic instantiation
+			if id, ok := fun.X.(*ast.Ident); ok {
+				name = id.Name
+			}
+		}
+		return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+	}
+	return false
+}
+
+// setModifiedOwner matches owner.Info.SetModified() and
+// owner.CheckpointInfo().SetModified() calls, returning the printed owner
+// expression.
+func setModifiedOwner(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SetModified" {
+		return "", false
+	}
+	if tv, ok := pkg.Info.Types[sel.X]; !ok || !isCkptNamed(tv.Type, "Info") {
+		return "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr: // owner.Info.SetModified()
+		return exprString(pkg.Fset, x.X), true
+	case *ast.CallExpr: // owner.CheckpointInfo().SetModified()
+		if inner, ok := x.Fun.(*ast.SelectorExpr); ok && inner.Sel.Name == "CheckpointInfo" {
+			return exprString(pkg.Fset, inner.X), true
+		}
+	}
+	return "", false
+}
+
+// rootObject walks to the base identifier of an owner expression and
+// returns its object.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch ex := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[ex]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[ex]
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		case *ast.ParenExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}

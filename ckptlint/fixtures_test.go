@@ -1,0 +1,119 @@
+package ckptlint_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ickpt/ckptlint"
+)
+
+// fixtureAnalyzer maps each fixture package (by import-path basename) to
+// the analyzer it exercises.
+var fixtureAnalyzer = map[string]string{
+	"dirtywrite":  "dirtywrite",
+	"recordfold":  "recordfold",
+	"regcheck":    "regcheck",
+	"patternspec": "patternspec",
+}
+
+// wantRx matches one `// want` comment; each backtick-quoted segment is a
+// regexp one diagnostic on that line must match.
+var (
+	wantRx    = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	patternRx = regexp.MustCompile("`([^`]+)`")
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// TestFixtures runs each analyzer over its seeded fixture package and
+// requires an exact correspondence between the `// want` comments and the
+// reported diagnostics — every want matched, no diagnostic unaccounted
+// for, and at least two diagnostics per analyzer.
+func TestFixtures(t *testing.T) {
+	pkgs, err := ckptlint.Load("..", "ickpt/internal/lintfixtures/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(fixtureAnalyzer) {
+		t.Fatalf("loaded %d fixture packages, want %d", len(pkgs), len(fixtureAnalyzer))
+	}
+	byName := make(map[string]*ckptlint.Analyzer)
+	for _, a := range ckptlint.Analyzers() {
+		byName[a.Name] = a
+	}
+	for _, pkg := range pkgs {
+		base := pkg.PkgPath[strings.LastIndex(pkg.PkgPath, "/")+1:]
+		name, ok := fixtureAnalyzer[base]
+		if !ok {
+			t.Errorf("fixture package %s has no analyzer mapping", pkg.PkgPath)
+			continue
+		}
+		t.Run(base, func(t *testing.T) {
+			checkFixture(t, pkg, byName[name])
+		})
+	}
+}
+
+func checkFixture(t *testing.T, pkg *ckptlint.Package, a *ckptlint.Analyzer) {
+	wants := collectWants(t, pkg.GoFiles)
+	diags := ckptlint.Run([]*ckptlint.Package{pkg}, []*ckptlint.Analyzer{a})
+
+	if len(diags) < 2 {
+		t.Errorf("%s reported %d diagnostics on its fixture, want at least 2", a.Name, len(diags))
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q, but no diagnostic matched", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// collectWants parses the fixture sources for want comments.
+func collectWants(t *testing.T, files []string) []*want {
+	var wants []*want
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pm := range patternRx.FindAllStringSubmatch(m[1], -1) {
+				rx, err := regexp.Compile(pm[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", file, i+1, err)
+				}
+				wants = append(wants, &want{file: file, line: i + 1, rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches the message.
+func claim(wants []*want, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.rx.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package ckptlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset positions the package's files.
+	Fset *token.FileSet
+	// Files are the parsed source files, comments included, in GoFiles
+	// order.
+	Files []*ast.File
+	// GoFiles are the absolute paths of the parsed files.
+	GoFiles []string
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression annotations.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns (relative to dir, "" for
+// the current directory) and returns them sorted by import path.
+//
+// The loader shells out to `go list -export` for module-aware package and
+// dependency resolution — the one part of the job the standard library does
+// not expose — and does all parsing and type checking itself with go/parser
+// and go/types. Dependencies are resolved from compiler export data, so only
+// the matched packages are checked from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = io.Discard
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("ckptlint: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("ckptlint: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("ckptlint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			cp := lp
+			targets = append(targets, &cp)
+		}
+	}
+
+	// One importer shared across all targets keeps dependency type
+	// identities consistent within the load.
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("ckptlint: %w", err)
+			}
+			p.Files = append(p.Files, f)
+			p.GoFiles = append(p.GoFiles, path)
+		}
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(error) {}, // collect what we can; first hard error below
+		}
+		tp, err := conf.Check(lp.ImportPath, fset, p.Files, p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("ckptlint: type checking %s: %w", lp.ImportPath, err)
+		}
+		p.Types = tp
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}

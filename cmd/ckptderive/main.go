@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"ickpt/derive"
+	"ickpt/internal/genmark"
 )
 
 func main() {
@@ -57,7 +58,13 @@ func run(dir, out, typeList, prefix string, exported, check bool) error {
 	}
 	if check {
 		prev, err := os.ReadFile(out)
-		if err != nil || !bytes.Equal(prev, src) {
+		if err != nil {
+			return fmt.Errorf("%s is out of date; re-run ckptderive", out)
+		}
+		if !genmark.IsGeneratedSource(prev) {
+			return fmt.Errorf("%s is missing the generated-code marker (%s); re-run ckptderive", out, genmark.Comment("ckptderive"))
+		}
+		if !bytes.Equal(prev, src) {
 			return fmt.Errorf("%s is out of date; re-run ckptderive", out)
 		}
 		return nil

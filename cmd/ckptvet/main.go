@@ -1,0 +1,99 @@
+// Command ckptvet runs the ckptlint static-analysis suite over Go
+// packages and reports uses of the checkpointing protocol that would
+// corrupt or fail incremental checkpoints at run time.
+//
+// Usage:
+//
+//	ckptvet [flags] [packages]
+//
+// Packages default to ./... and accept the usual go-list patterns. The
+// exit status is 0 when the packages are clean, 1 when diagnostics were
+// reported, and 2 on a hard error (unparseable source, broken load).
+//
+// Flags:
+//
+//	-only a,b   run only the named analyzers
+//	-fixtures   include internal/lintfixtures packages (skipped by
+//	            default: they carry seeded defects for the test suite)
+//	-list       print the analyzers and exit
+//
+// See docs/LINTING.md for each analyzer and the suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ickpt/ckptlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ckptvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	fixtures := fs.Bool("fixtures", false, "include internal/lintfixtures packages")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := ckptlint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*ckptlint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "ckptvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := ckptlint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ckptvet: %v\n", err)
+		return 2
+	}
+	if !*fixtures {
+		kept := pkgs[:0]
+		for _, p := range pkgs {
+			if strings.Contains(p.PkgPath, "lintfixtures") {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pkgs = kept
+	}
+
+	diags := ckptlint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

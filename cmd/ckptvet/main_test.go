@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean self-applies the suite: every package of this module must
+// pass all four analyzers. Fixture packages are excluded by default — they
+// exist to carry seeded defects.
+func TestRepoIsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"ickpt/..."}, &out, &errOut); code != 0 {
+		t.Errorf("ckptvet ickpt/... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("ckptvet reported diagnostics on a clean repo:\n%s", out.String())
+	}
+}
+
+// TestFixturesFail pins the driver plumbing end to end: including the
+// fixture packages must produce diagnostics and exit status 1.
+func TestFixturesFail(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-fixtures", "ickpt/internal/lintfixtures/..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("ckptvet -fixtures = exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	for _, analyzer := range []string{"dirtywrite:", "recordfold:", "regcheck:", "patternspec:"} {
+		if !strings.Contains(out.String(), analyzer) {
+			t.Errorf("fixture run output lacks %s diagnostics:\n%s", analyzer, out.String())
+		}
+	}
+}
+
+// TestOnlyFilter restricts the run to one analyzer.
+func TestOnlyFilter(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-fixtures", "-only", "dirtywrite", "ickpt/internal/lintfixtures/..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("ckptvet -only dirtywrite = exit %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "recordfold:") {
+		t.Errorf("-only dirtywrite still ran recordfold:\n%s", out.String())
+	}
+}
+
+// TestUnknownAnalyzer is a usage error, exit status 2.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Errorf("ckptvet -only nosuch = exit %d, want 2", code)
+	}
+}

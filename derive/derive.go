@@ -36,6 +36,8 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+
+	"ickpt/internal/genmark"
 )
 
 // ErrDerive reports an annotation or structural problem in the scanned
@@ -112,7 +114,12 @@ func Generate(opts Options) ([]byte, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, "zz_") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(opts.Dir, name), nil, parser.SkipObjectResolution)
+		path := filepath.Join(opts.Dir, name)
+		if genmark.FileIsGenerated(path) {
+			// Output of this or another generator: never an input.
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("derive: parse %s: %w", name, err)
 		}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"go/format"
 	"strings"
+
+	"ickpt/internal/genmark"
 )
 
 // render emits the generated source file.
 func render(pkgName, prefix string, types []*typeInfo, exported bool) ([]byte, error) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "// Code generated by ckptderive; DO NOT EDIT.\n")
+	fmt.Fprintf(&b, "%s\n", genmark.Comment("ckptderive"))
 	fmt.Fprintf(&b, "//\n// Checkpoint protocol for the annotated structs of package %s:\n", pkgName)
 	fmt.Fprintf(&b, "// Record writes tagged fields in declaration order followed by child ids;\n")
 	fmt.Fprintf(&b, "// Fold traverses children in order; Restore is Record's inverse.\n\n")

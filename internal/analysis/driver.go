@@ -45,6 +45,8 @@ type phaseState struct {
 
 // RunSE runs side-effect analysis to fixpoint, invoking ck after each
 // iteration.
+//
+//ckptvet:phase PatternSE
 func (e *Engine) RunSE(ck CheckpointFn) ([]IterationStat, error) {
 	st := &seState{e: e, summaries: make(map[string]*seSummary)}
 	for _, fn := range e.File.Funcs {
@@ -73,6 +75,8 @@ func (e *Engine) RunSE(ck CheckpointFn) ([]IterationStat, error) {
 // RunBTA runs binding-time analysis to fixpoint under the division,
 // invoking ck after each iteration. It requires no prior phase, but the
 // engine retains its result for RunETA.
+//
+//ckptvet:phase PatternBTA
 func (e *Engine) RunBTA(div Division, ck CheckpointFn) ([]IterationStat, error) {
 	st, err := e.newBTAState(div)
 	if err != nil {
@@ -103,6 +107,8 @@ func (e *Engine) RunBTA(div Division, ck CheckpointFn) ([]IterationStat, error) 
 // iteration. RunBTA must have run first (ETA reads the surviving static
 // division); RunSE must have run first too (ETA reads the per-statement
 // read/write sets).
+//
+//ckptvet:phase PatternETA
 func (e *Engine) RunETA(ck CheckpointFn) ([]IterationStat, error) {
 	if e.bta == nil {
 		return nil, errors.New("analysis: RunETA requires RunBTA first")

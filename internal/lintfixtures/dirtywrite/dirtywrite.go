@@ -1,0 +1,67 @@
+// Package dirtywrite is a ckptvet test fixture. It seeds direct writes to
+// tracked checkpointable state that bypass modification tracking, next to
+// the accepted idioms the analyzer must not flag. Each `want` comment
+// declares, as a regexp, the diagnostic the dirtywrite analyzer must report
+// on that line; the harness in ckptlint/fixtures_test.go enforces an exact
+// match between wants and findings.
+//
+// The package is excluded from cmd/ckptvet runs by default (the defects are
+// the point) and carries no runtime behavior.
+package dirtywrite
+
+import "ickpt/ckpt"
+
+// Counter is a tracked object with a cell field and a tagged scalar.
+type Counter struct {
+	Info  ckpt.Info
+	Count ckpt.Cell[int]
+	Label string `ckpt:"label"`
+}
+
+// NewCounter builds a fresh counter. A new object's modified flag starts
+// set, so direct initialization writes are accepted.
+func NewCounter(d *ckpt.Domain) *Counter {
+	c := &Counter{Info: ckpt.NewInfo(d)}
+	c.Count.V = 1
+	c.Label = "new"
+	return c
+}
+
+// BadIncrement mutates the tracked cell twice without the write barrier:
+// the next incremental checkpoint would silently omit both changes.
+func BadIncrement(c *Counter) {
+	c.Count.V++                   // want `direct write to tracked cell c\.Count\.V bypasses modification tracking`
+	c.Count.V = c.Count.Get() + 1 // want `direct write to tracked cell c\.Count\.V bypasses modification tracking`
+}
+
+// BadLabel writes a ckpt-tagged field without dirtying the owner.
+func BadLabel(c *Counter) {
+	c.Label = "renamed" // want `write to ckpt-tagged field c\.Label does not mark c modified`
+}
+
+// GoodSet uses the write barrier; nothing to report.
+func GoodSet(c *Counter) {
+	c.Count.Set(&c.Info, c.Count.Get()+1)
+}
+
+// GoodPaired pairs the direct write with an explicit SetModified on the
+// same owner; the dirty bit is maintained by hand.
+func GoodPaired(c *Counter) {
+	c.Count.V = 7
+	c.Label = "paired"
+	c.Info.SetModified()
+}
+
+// GoodFresh initializes an object built by a New* constructor; freshness
+// exempts the writes.
+func GoodFresh(d *ckpt.Domain) *Counter {
+	c := NewCounter(d)
+	c.Count.V = 42
+	return c
+}
+
+// GoodWaived demonstrates the suppression syntax for a reviewed exception.
+func GoodWaived(c *Counter) {
+	//ckptvet:ignore dirtywrite fixture demonstrates the suppression syntax
+	c.Count.V = 9
+}

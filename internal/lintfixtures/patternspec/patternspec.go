@@ -1,0 +1,124 @@
+// Package patternspec is a ckptvet test fixture. It declares a two-class
+// structure (a Doc holding a Meta) and seeds phases whose writes contradict
+// their declared spec.Pattern — the unsound specialization-class
+// declarations that, at run time, only spec.WithVerify catches. Each `want`
+// comment declares the diagnostic the patternspec analyzer must report on
+// that line.
+//
+// The package's test proves static/dynamic agreement: executing the plan
+// compiled from the same unsound pattern with spec.WithVerify fails with
+// spec.ErrPatternViolated after running the statically flagged phase.
+//
+// The package is excluded from cmd/ckptvet runs by default.
+package patternspec
+
+import (
+	"ickpt/ckpt"
+	"ickpt/spec"
+	"ickpt/wire"
+)
+
+// Doc is the root of the fixture structure.
+type Doc struct {
+	Info  ckpt.Info
+	Title ckpt.Cell[string]
+	Meta  *Meta
+}
+
+// Meta is Doc's single child.
+type Meta struct {
+	Info ckpt.Info
+	Tag  ckpt.Cell[string]
+}
+
+// Catalog declares the specialization classes and bindings for the fixture
+// structure. The class literals below are what the patternspec analyzer
+// extracts.
+func Catalog() *spec.Catalog {
+	cat := spec.NewCatalog()
+	cat.MustRegister(spec.Class{
+		Name:      "Doc",
+		TypeID:    ckpt.TypeIDOf("lintfixtures.Doc"),
+		GoType:    "*Doc",
+		Fields:    []spec.Field{{Name: "Title", Kind: spec.String, Go: "o.Title.V"}},
+		Children:  []spec.Child{{Name: "Meta", Class: "Meta", Go: "o.Meta"}},
+		NextChild: -1,
+	}, spec.Binding{
+		Info: func(o any) *ckpt.Info { return &o.(*Doc).Info },
+		Record: func(o any, e *wire.Encoder) {
+			d := o.(*Doc)
+			e.String(d.Title.V)
+			if d.Meta != nil {
+				e.Uvarint(d.Meta.Info.ID())
+			} else {
+				e.Uvarint(ckpt.NilID)
+			}
+		},
+		Child: func(o any, i int) any {
+			if m := o.(*Doc).Meta; m != nil {
+				return m
+			}
+			return nil
+		},
+	})
+	cat.MustRegister(spec.Class{
+		Name:      "Meta",
+		TypeID:    ckpt.TypeIDOf("lintfixtures.Meta"),
+		GoType:    "*Meta",
+		Fields:    []spec.Field{{Name: "Tag", Kind: spec.String, Go: "o.Tag.V"}},
+		NextChild: -1,
+	}, spec.Binding{
+		Info: func(o any) *ckpt.Info { return &o.(*Meta).Info },
+		Record: func(o any, e *wire.Encoder) {
+			e.String(o.(*Meta).Tag.V)
+		},
+	})
+	return cat
+}
+
+// PatternScan declares the scan phase: Meta instances are claimed
+// unmodified. The claim is wrong — ScanPhase writes Meta through a helper —
+// which is exactly what the analyzer (statically) and spec.WithVerify
+// (dynamically) must both catch.
+func PatternScan() *spec.Pattern {
+	return &spec.Pattern{
+		Name:    "scan",
+		Classes: map[string]spec.ClassMod{"Meta": spec.ClassUnmodified},
+	}
+}
+
+// PatternFrozen prunes the whole Doc.Meta subtree from the traversal.
+func PatternFrozen() *spec.Pattern {
+	return &spec.Pattern{
+		Name:     "frozen",
+		Children: map[string]spec.ChildMod{"Doc.Meta": spec.ChildUnmodified},
+	}
+}
+
+// ScanPhase updates the title — allowed — and retags the metadata through a
+// helper, contradicting PatternScan's ClassUnmodified claim on Meta.
+//
+//ckptvet:phase PatternScan
+func ScanPhase(d *Doc) {
+	d.Title.Set(&d.Info, "scanned")
+	retag(d.Meta)
+}
+
+// retag is the transitive write ScanPhase's declared pattern misses.
+func retag(m *Meta) {
+	m.Tag.Set(&m.Info, "rescanned") // want `phase ScanPhase writes class Meta \(Cell\.Set of Tag\), but pattern "scan" declares the class unmodified`
+}
+
+// FreezePhase writes Meta although PatternFrozen prunes the only traversal
+// path leading to it: the specialized plan can never record the change.
+//
+//ckptvet:phase PatternFrozen
+func FreezePhase(d *Doc) {
+	d.Meta.Tag.Set(&d.Meta.Info, "thawed") // want `phase FreezePhase writes class Meta \(Cell\.Set of Tag\), but pattern "frozen" prunes every traversal path to it`
+}
+
+// OrphanPhase names a provider that does not exist; the annotation itself
+// must be reported rather than silently skipped.
+//
+//ckptvet:phase PatternMissing
+func OrphanPhase(d *Doc) {} // want `//ckptvet:phase names unknown pattern provider "PatternMissing"`

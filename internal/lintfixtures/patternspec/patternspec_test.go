@@ -1,0 +1,64 @@
+package patternspec
+
+import (
+	"errors"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+)
+
+// build returns a clean Doc/Meta pair: freshly created objects start
+// dirty, so both modified flags are reset to model a structure that has
+// already been checkpointed.
+func build() *Doc {
+	d := ckpt.NewDomain()
+	doc := &Doc{Info: ckpt.NewInfo(d), Meta: &Meta{Info: ckpt.NewInfo(d)}}
+	doc.Info.ResetModified()
+	doc.Meta.Info.ResetModified()
+	return doc
+}
+
+// execute compiles the pattern in verify mode and runs one incremental
+// checkpoint of doc under it.
+func execute(t *testing.T, doc *Doc, pat *spec.Pattern) error {
+	t.Helper()
+	plan, err := spec.Compile(Catalog(), "Doc", pat, spec.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	return plan.Execute(w, doc)
+}
+
+// TestScanPhaseTripsVerify is the dynamic counterpart of the analyzer's
+// static finding on ScanPhase: running the phase and then executing the
+// plan compiled from its own (unsound) pattern with WithVerify fails with
+// ErrPatternViolated — the same defect, caught at run time.
+func TestScanPhaseTripsVerify(t *testing.T) {
+	doc := build()
+	ScanPhase(doc)
+	if err := execute(t, doc, PatternScan()); !errors.Is(err, spec.ErrPatternViolated) {
+		t.Errorf("Execute after ScanPhase = %v, want ErrPatternViolated", err)
+	}
+}
+
+// TestFreezePhaseTripsVerify does the same for the pruned-subtree variant.
+func TestFreezePhaseTripsVerify(t *testing.T) {
+	doc := build()
+	FreezePhase(doc)
+	if err := execute(t, doc, PatternFrozen()); !errors.Is(err, spec.ErrPatternViolated) {
+		t.Errorf("Execute after FreezePhase = %v, want ErrPatternViolated", err)
+	}
+}
+
+// TestCleanPhaseSatisfiesVerify pins the contrapositive: a run that honors
+// the pattern executes cleanly under WithVerify.
+func TestCleanPhaseSatisfiesVerify(t *testing.T) {
+	doc := build()
+	doc.Title.Set(&doc.Info, "retitled") // Doc may modify under "scan"
+	if err := execute(t, doc, PatternScan()); err != nil {
+		t.Errorf("Execute of pattern-honoring run = %v, want nil", err)
+	}
+}

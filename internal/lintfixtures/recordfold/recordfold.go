@@ -1,0 +1,152 @@
+// Package recordfold is a ckptvet test fixture. It seeds hand-written
+// Record/Fold/Restore trios that violate the record convention — Fold
+// traversing children in a different order than Record writes their ids,
+// and Restore decoding a different wire sequence than Record encodes —
+// next to a correct trio the analyzer must accept. Each `want` comment
+// declares the diagnostic the recordfold analyzer must report on that line.
+//
+// The package compiles and its types are protocol-complete, but they are
+// deliberately corrupt: rebuilding their checkpoints would swap children or
+// misparse bodies. It is excluded from cmd/ckptvet runs by default.
+package recordfold
+
+import (
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+var (
+	typeTree = ckpt.TypeIDOf("lintfixtures.Tree")
+	typePair = ckpt.TypeIDOf("lintfixtures.Pair")
+	typeGood = ckpt.TypeIDOf("lintfixtures.Good")
+)
+
+// Tree's Fold visits its children in the opposite order of Record's child
+// ids: restored structures would swap Left and Right.
+type Tree struct {
+	Info        ckpt.Info
+	Val         int64
+	Left, Right *Tree
+}
+
+// CheckpointInfo returns the node's checkpoint metadata.
+func (t *Tree) CheckpointInfo() *ckpt.Info { return &t.Info }
+
+// CheckpointTypeID returns the node's stable type id.
+func (t *Tree) CheckpointTypeID() ckpt.TypeID { return typeTree }
+
+// Record writes the value, then the Left and Right ids — in that order.
+func (t *Tree) Record(e *wire.Encoder) {
+	e.Varint(t.Val)
+	if t.Left != nil {
+		e.Uvarint(t.Left.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+	if t.Right != nil {
+		e.Uvarint(t.Right.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold traverses Right first — the seeded defect.
+func (t *Tree) Fold(w *ckpt.Writer) error {
+	if t.Right != nil {
+		if err := w.Checkpoint(t.Right); err != nil { // want `Tree\.Fold visits child Right at position 1, but Tree\.Record writes the id of Left there`
+			return err
+		}
+	}
+	if t.Left != nil {
+		return w.Checkpoint(t.Left)
+	}
+	return nil
+}
+
+// Pair's Restore decodes the wire in the wrong order.
+type Pair struct {
+	Info ckpt.Info
+	A    int64
+	B    uint64
+	Next *Pair
+}
+
+// CheckpointInfo returns the pair's checkpoint metadata.
+func (p *Pair) CheckpointInfo() *ckpt.Info { return &p.Info }
+
+// CheckpointTypeID returns the pair's stable type id.
+func (p *Pair) CheckpointTypeID() ckpt.TypeID { return typePair }
+
+// Record encodes A (varint), B (uvarint), then the Next child id.
+func (p *Pair) Record(e *wire.Encoder) {
+	e.Varint(p.A)
+	e.Uint64(p.B)
+	if p.Next != nil {
+		e.Uvarint(p.Next.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold traverses the single child.
+func (p *Pair) Fold(w *ckpt.Writer) error {
+	if p.Next != nil {
+		return w.Checkpoint(p.Next)
+	}
+	return nil
+}
+
+// Restore decodes B where Record encoded A — the seeded defect: every
+// field after the first is misparsed.
+func (p *Pair) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	p.B = d.Uint64() // want `Pair\.Restore decodes wire\.Uint64 at wire position 1, but Pair\.Record encodes wire\.Varint there`
+	p.A = d.Varint()
+	next, err := ckpt.ResolveAs[*Pair](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	p.Next = next
+	return nil
+}
+
+// Good is a correct trio: the analyzer must stay silent on it.
+type Good struct {
+	Info ckpt.Info
+	Name string
+	Next *Good
+}
+
+// CheckpointInfo returns the object's checkpoint metadata.
+func (g *Good) CheckpointInfo() *ckpt.Info { return &g.Info }
+
+// CheckpointTypeID returns the object's stable type id.
+func (g *Good) CheckpointTypeID() ckpt.TypeID { return typeGood }
+
+// Record writes the name, then the Next id.
+func (g *Good) Record(e *wire.Encoder) {
+	e.String(g.Name)
+	if g.Next != nil {
+		e.Uvarint(g.Next.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold traverses the single child, matching Record.
+func (g *Good) Fold(w *ckpt.Writer) error {
+	if g.Next != nil {
+		return w.Checkpoint(g.Next)
+	}
+	return nil
+}
+
+// Restore reads exactly what Record wrote.
+func (g *Good) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	g.Name = d.String()
+	next, err := ckpt.ResolveAs[*Good](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	g.Next = next
+	return nil
+}

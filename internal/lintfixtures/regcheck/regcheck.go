@@ -1,0 +1,89 @@
+// Package regcheck is a ckptvet test fixture. It seeds registry mistakes
+// that make restore fail at run time: a Restorable type with no registered
+// factory (ErrUnknownType on rebuild), a factory registered under a name
+// other than the one the type's CheckpointTypeID derives its id from (the
+// stream's type id never finds the factory), and a registration whose name
+// is not a compile-time constant (the derived TypeID is not stable). Each
+// `want` comment declares the diagnostic the regcheck analyzer must report
+// on that line.
+//
+// The package is excluded from cmd/ckptvet runs by default.
+package regcheck
+
+import (
+	"os"
+
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// Gadget implements ckpt.Restorable but no factory is ever registered for
+// it: rebuilding a stream containing a Gadget fails with ErrUnknownType.
+type Gadget struct { // want `Gadget implements ckpt\.Restorable but no scanned package registers a factory for it`
+	Info ckpt.Info
+	N    int64
+}
+
+// CheckpointInfo returns the gadget's checkpoint metadata.
+func (g *Gadget) CheckpointInfo() *ckpt.Info { return &g.Info }
+
+// CheckpointTypeID returns the gadget's stable type id.
+func (g *Gadget) CheckpointTypeID() ckpt.TypeID { return ckpt.TypeIDOf("lintfixtures.Gadget") }
+
+// Record writes the local state.
+func (g *Gadget) Record(e *wire.Encoder) { e.Varint(g.N) }
+
+// Fold has no children to traverse.
+func (g *Gadget) Fold(w *ckpt.Writer) error { return nil }
+
+// Restore reads what Record wrote.
+func (g *Gadget) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	g.N = d.Varint()
+	return nil
+}
+
+// typeWidget is the id Widget stamps on its records.
+var typeWidget = ckpt.TypeIDOf("lintfixtures.Widget")
+
+// Widget is registered — but under the wrong name, so the factory lives at
+// a type id no Widget record carries.
+type Widget struct {
+	Info ckpt.Info
+	S    string
+}
+
+// CheckpointInfo returns the widget's checkpoint metadata.
+func (w *Widget) CheckpointInfo() *ckpt.Info { return &w.Info }
+
+// CheckpointTypeID returns the widget's stable type id.
+func (w *Widget) CheckpointTypeID() ckpt.TypeID { return typeWidget }
+
+// Record writes the local state.
+func (w *Widget) Record(e *wire.Encoder) { e.String(w.S) }
+
+// Fold has no children to traverse.
+func (w *Widget) Fold(wr *ckpt.Writer) error { return nil }
+
+// Restore reads what Record wrote.
+func (w *Widget) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	w.S = d.String()
+	return nil
+}
+
+// Registry builds the fixture's registry with both seeded defects.
+func Registry() *ckpt.Registry {
+	r := ckpt.NewRegistry()
+	r.MustRegister("lintfixtures.Gizmo", func(id uint64) ckpt.Restorable { // want `factory for Widget is registered as "lintfixtures\.Gizmo", but its CheckpointTypeID derives the type id from "lintfixtures\.Widget"`
+		return &Widget{Info: ckpt.RestoredInfo(id)}
+	})
+	r.MustRegister(dynamicName(), func(id uint64) ckpt.Restorable { // want `registered type name is not a compile-time constant`
+		return &Widget{Info: ckpt.RestoredInfo(id)}
+	})
+	return r
+}
+
+// dynamicName derives a registration name at run time — the instability the
+// analyzer reports: the TypeID changes with the environment.
+func dynamicName() string {
+	return "lintfixtures." + os.Getenv("FIXTURE_TYPE_NAME")
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ickpt/ckpt"
+	"ickpt/internal/genmark"
 )
 
 // GenConfig configures Go source generation for a plan.
@@ -69,7 +70,7 @@ func GenerateGo(p *Plan, cfg GenConfig) ([]byte, error) {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "// Code generated by ckptgen; DO NOT EDIT.\n")
+	fmt.Fprintf(&b, "%s\n", genmark.Comment("ckptgen"))
 	fmt.Fprintf(&b, "//\n")
 	if p.pattern != "" {
 		fmt.Fprintf(&b, "// Specialized %s checkpoint routine for %s under modification\n// pattern %q.\n",
