@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short generate check-generated experiments examples clean
+.PHONY: all build test lint race cover bench bench-short generate check-generated faultcheck experiments examples clean
 
 all: build test lint
 
@@ -40,6 +40,12 @@ generate:
 check-generated:
 	$(GO) run ./cmd/ckptgen -root . -check
 	$(GO) run ./cmd/ckptderive -dir internal/derivetest -exported -check
+
+# Crash-consistency suite: the fault-injection harness plus the stablelog
+# power-cut sweep and durability regressions (see docs/DURABILITY.md),
+# under the race detector and without cached results.
+faultcheck:
+	$(GO) test -race -count=1 ./internal/faultfs/ ./stablelog/
 
 # Paper-scale evaluation: prints every table/figure and writes CSVs.
 experiments:

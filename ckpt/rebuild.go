@@ -34,6 +34,10 @@ func NewRebuilder(reg *Registry) *Rebuilder {
 // A Full body resets the state: objects absent from a full checkpoint are
 // dead and must not resurface from older incrementals. The first body
 // applied must be Full.
+//
+// Apply is atomic: a body that fails to parse or validate leaves the
+// rebuilder exactly as it was, so recovery can skip a corrupt body (or a
+// body that a transient read error garbled) and continue from intact state.
 func (rb *Rebuilder) Apply(body []byte) error {
 	d := wire.NewDecoder(body)
 	h, err := parseBodyHeader(d)
@@ -43,12 +47,8 @@ func (rb *Rebuilder) Apply(body []byte) error {
 	if rb.seen == 0 && h.mode != Full {
 		return fmt.Errorf("%w: first body must be a full checkpoint", ErrBadBody)
 	}
-	if h.mode == Full {
-		clear(rb.latest)
-		rb.bodies = rb.bodies[:0]
-		rb.maxID = 0
-	}
-	rb.bodies = append(rb.bodies, body)
+	// Decode and validate every record before touching any state.
+	staged := make(map[uint64]record)
 	for {
 		rec, ok, err := nextRecord(d)
 		if err != nil {
@@ -60,13 +60,29 @@ func (rb *Rebuilder) Apply(body []byte) error {
 		if rec.id == NilID {
 			return fmt.Errorf("%w: record with nil id", ErrBadBody)
 		}
-		if prev, ok := rb.latest[rec.id]; ok && prev.typeID != rec.typeID {
+		prev, found := staged[rec.id]
+		if !found && h.mode != Full {
+			// A full body resets the state, so conflicts against the old
+			// generation do not apply.
+			prev, found = rb.latest[rec.id]
+		}
+		if found && prev.typeID != rec.typeID {
 			return fmt.Errorf("%w: object %d recorded as %q then %q",
 				ErrTypeConflict, rec.id, rb.reg.Name(prev.typeID), rb.reg.Name(rec.typeID))
 		}
-		rb.latest[rec.id] = rec
-		if rec.id > rb.maxID {
-			rb.maxID = rec.id
+		staged[rec.id] = rec
+	}
+	// Commit.
+	if h.mode == Full {
+		clear(rb.latest)
+		rb.bodies = rb.bodies[:0]
+		rb.maxID = 0
+	}
+	rb.bodies = append(rb.bodies, body)
+	for id, rec := range staged {
+		rb.latest[id] = rec
+		if id > rb.maxID {
+			rb.maxID = id
 		}
 	}
 	rb.seen++

@@ -1,0 +1,67 @@
+package ckpt_test
+
+import (
+	"errors"
+	"testing"
+
+	"ickpt/ckpt"
+)
+
+// TestApplyCorruptBodyIsAtomic: a body that fails mid-parse must leave the
+// rebuilder untouched, so recovery can skip it and continue. The old
+// record-by-record Apply half-applied the good records (and, for a full
+// body, had already thrown away the previous generation).
+func TestApplyCorruptBodyIsAtomic(t *testing.T) {
+	d := ckpt.NewDomain()
+	w := ckpt.NewWriter()
+	b := buildChain(d, 3)
+	full, _ := checkpointBody(t, w, ckpt.Full, b)
+
+	rb := ckpt.NewRebuilder(testRegistry(t))
+	if err := rb.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	want := rb.Objects()
+	if want == 0 {
+		t.Fatal("no objects in base checkpoint")
+	}
+
+	// An incremental body torn mid-record.
+	b.head.x = 99
+	b.head.CheckpointInfo().SetModified()
+	incr, _ := checkpointBody(t, w, ckpt.Incremental, b)
+	if err := rb.Apply(incr[:len(incr)-1]); !errors.Is(err, ckpt.ErrBadBody) {
+		t.Fatalf("torn incremental Apply = %v, want ErrBadBody", err)
+	}
+	if got := rb.Objects(); got != want {
+		t.Errorf("objects after failed incremental = %d, want %d (state mutated)", got, want)
+	}
+
+	// A torn FULL body must not wipe the previous generation either.
+	b.head.x = 100
+	b.head.CheckpointInfo().SetModified()
+	full2, _ := checkpointBody(t, w, ckpt.Full, b)
+	if err := rb.Apply(full2[:len(full2)-1]); !errors.Is(err, ckpt.ErrBadBody) {
+		t.Fatalf("torn full Apply = %v, want ErrBadBody", err)
+	}
+	if got := rb.Objects(); got != want {
+		t.Errorf("objects after failed full = %d, want %d (generation wiped)", got, want)
+	}
+
+	// The rebuilder still works: the intact incremental applies, and Build
+	// reflects it.
+	if err := rb.Apply(incr); err != nil {
+		t.Fatalf("intact incremental after failures: %v", err)
+	}
+	objs, err := rb.Build(d)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	head, ok := objs[b.head.CheckpointInfo().ID()].(*point)
+	if !ok {
+		t.Fatal("head not rebuilt as *point")
+	}
+	if head.x != 99 {
+		t.Errorf("head.x = %d, want 99 (incremental applied)", head.x)
+	}
+}

@@ -88,3 +88,69 @@ func TestInspectMissingFile(t *testing.T) {
 		t.Error("missing log accepted")
 	}
 }
+
+func TestVerifyIntactLog(t *testing.T) {
+	silence(t)
+	path := buildLog(t)
+	if err := verifyLog(path); err != nil {
+		t.Errorf("verify intact log: %v", err)
+	}
+	// A stale compaction temp file is worth a warning but is not a problem:
+	// the next Compact removes it.
+	if err := os.WriteFile(path+".compact", []byte("leftovers"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyLog(path); err != nil {
+		t.Errorf("verify with stale .compact: %v", err)
+	}
+}
+
+func TestVerifyEmptyLog(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "empty.log")
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+	if err := verifyLog(path); err != nil {
+		t.Errorf("verify empty log: %v", err)
+	}
+}
+
+func TestVerifyTornTail(t *testing.T) {
+	silence(t)
+	path := buildLog(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyLog(path); err == nil {
+		t.Error("verify accepted a torn tail")
+	}
+}
+
+func TestVerifyNoFullCheckpoint(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "nofull.log")
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := ckpt.NewWriter()
+	wr.Start(ckpt.Incremental)
+	body, _, err := wr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Append(ckpt.Incremental, 1, body); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+	if err := verifyLog(path); err == nil {
+		t.Error("verify accepted a log with no recoverable full checkpoint")
+	}
+}

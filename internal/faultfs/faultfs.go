@@ -1,0 +1,84 @@
+// Package faultfs is an injectable file abstraction for crash-consistency
+// testing of the storage layer.
+//
+// It defines the narrow [File] and [FS] interfaces that stablelog needs —
+// satisfied directly by *os.File and a thin wrapper over package os — plus
+// [Mem], an in-memory implementation that journals every mutation, injects
+// faults (failed or short writes, transient read errors, failed syncs), and
+// replays simulated power cuts: for any point in the journal it can produce
+// the directory contents a crash at that point could leave behind, so a test
+// can assert that recovery succeeds from every reachable on-disk state.
+//
+// The durability model mirrors POSIX fsync semantics: file data is durable
+// only once File.Sync has returned, and directory entries (creation, rename,
+// removal) are durable only once FS.SyncDir on the parent has returned. A
+// fsync of a file does not persist the directory entry that names it, which
+// is exactly the class of bug this package exists to expose.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File that the checkpoint log uses. Any
+// implementation must follow os.File semantics: ReadAt returns io.EOF for
+// reads past the end, WriteAt extends the file, WriteAt/Write return an
+// error whenever fewer bytes than requested were written.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Name() string
+}
+
+var _ File = (*os.File)(nil)
+
+// FS is the namespace side of the abstraction: opening files and the
+// directory-entry operations whose durability is governed by SyncDir.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making entry changes (created,
+	// renamed, or removed names) inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+var _ FS = OS{}
+
+// OpenFile opens name via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames via os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,437 @@
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Mem is an in-memory FS that journals every mutation so that simulated
+// power cuts can be replayed, and that can inject I/O faults on demand.
+//
+// Two crash families are enumerated by [Mem.CrashPlan]:
+//
+//   - prefix cuts: every issued operation up to the cut landed on disk, the
+//     last write possibly torn at an arbitrary byte boundary. This models a
+//     kernel that writes back eagerly and exercises torn tails.
+//   - lossy cuts: only operations hardened by a sync barrier survive. A
+//     File.Sync hardens the prior data writes of that file; an FS.SyncDir
+//     hardens the prior entry operations of that directory. This models
+//     maximal loss of cached state and exercises missing-fsync bugs (a
+//     synced file whose directory entry was never synced vanishes).
+//
+// Mem is safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	names   map[string]int // volatile namespace: path -> inode
+	inodes  map[int][]byte // volatile file contents
+	nextIno int
+	journal []op
+
+	writeCountdown int
+	writePartial   int
+	writeErr       error
+	readCountdown  int
+	readErr        error
+	syncCountdown  int
+	syncErr        error
+}
+
+type opKind int
+
+const (
+	opWrite    opKind = iota // data: ino, off, bytes
+	opTruncate               // data: ino, size
+	opCreate                 // entry: dir, name, ino
+	opRename                 // entry: dir, from, to
+	opRemove                 // entry: dir, name
+	opSyncFile               // barrier: hardens prior data ops on ino
+	opSyncDir                // barrier: hardens prior entry ops in dir
+	opMark                   // acknowledgment label, for durability assertions
+)
+
+type op struct {
+	kind opKind
+	ino  int
+	off  int64
+	size int64
+	data []byte
+	dir  string
+	name string
+	from string
+	to   string
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{names: make(map[string]int), inodes: make(map[int][]byte)}
+}
+
+// NewMemFromState returns a filesystem whose durable and volatile state both
+// equal state, with an empty journal. It is how a crash-sweep test reopens
+// the disk a power cut left behind.
+func NewMemFromState(state map[string][]byte) *Mem {
+	m := NewMem()
+	for name, data := range state {
+		m.nextIno++
+		m.names[name] = m.nextIno
+		m.inodes[m.nextIno] = append([]byte(nil), data...)
+	}
+	return m
+}
+
+var _ FS = (*Mem)(nil)
+
+// OpenFile implements FS. It honors the flag bits stablelog uses:
+// O_RDWR, O_CREATE, O_EXCL, and O_TRUNC.
+func (m *Mem) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, exists := m.names[name]
+	switch {
+	case exists && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !exists:
+		m.nextIno++
+		ino = m.nextIno
+		m.names[name] = ino
+		m.inodes[ino] = nil
+		m.journal = append(m.journal, op{kind: opCreate, dir: filepath.Dir(name), name: name, ino: ino})
+	case flag&os.O_TRUNC != 0:
+		m.inodes[ino] = nil
+		m.journal = append(m.journal, op{kind: opTruncate, ino: ino})
+	}
+	return &memFile{m: m, ino: ino, name: name}, nil
+}
+
+// Rename implements FS. Old and new must share a parent directory (all the
+// storage layer needs); the entry change is volatile until SyncDir.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.names[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	m.names[newpath] = ino
+	delete(m.names, oldpath)
+	m.journal = append(m.journal, op{kind: opRename, dir: filepath.Dir(newpath), from: oldpath, to: newpath})
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.names[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.names, name)
+	m.journal = append(m.journal, op{kind: opRemove, dir: filepath.Dir(name), name: name})
+	return nil
+}
+
+// SyncDir implements FS: a barrier hardening all prior entry operations in
+// dir.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.injectSync(); err != nil {
+		return err
+	}
+	m.journal = append(m.journal, op{kind: opSyncDir, dir: dir})
+	return nil
+}
+
+// Mark journals an acknowledgment label: the application believes fact
+// `label` is durable from this point on. CrashMarks reports which labels
+// precede a crash point, so sweeps can assert acknowledged durability.
+func (m *Mem) Mark(label string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journal = append(m.journal, op{kind: opMark, name: label})
+}
+
+// FailWrite arms a one-shot write fault: counting WriteAt calls from the
+// next one, the countdown-th applies only the first partial bytes and
+// returns err (countdown 1 fails the very next write). With partial 0 the
+// write has no effect at all.
+func (m *Mem) FailWrite(countdown, partial int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeCountdown, m.writePartial, m.writeErr = countdown, partial, err
+}
+
+// FailRead arms a one-shot, transient read fault on the countdown-th ReadAt.
+// The file is untouched; a retry succeeds.
+func (m *Mem) FailRead(countdown int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readCountdown, m.readErr = countdown, err
+}
+
+// FailSync arms a one-shot fault on the countdown-th Sync or SyncDir.
+func (m *Mem) FailSync(countdown int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncCountdown, m.syncErr = countdown, err
+}
+
+func (m *Mem) injectSync() error {
+	if m.syncCountdown > 0 {
+		m.syncCountdown--
+		if m.syncCountdown == 0 {
+			return m.syncErr
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current volatile view of the filesystem, as Open
+// would see it with no crash.
+func (m *Mem) Snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.names))
+	for name, ino := range m.names {
+		out[name] = append([]byte(nil), m.inodes[ino]...)
+	}
+	return out
+}
+
+// NumOps returns the journal length.
+func (m *Mem) NumOps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.journal)
+}
+
+// CrashPoint identifies one simulated power cut. Journal operations with
+// index < Op reached the disk (all of them for a prefix cut; only
+// barrier-hardened ones for a lossy cut). For a prefix cut, Partial > 0
+// additionally lands the first Partial bytes of the write at index Op — a
+// torn write.
+type CrashPoint struct {
+	Op      int
+	Partial int
+	Lossy   bool
+}
+
+// CrashPlan enumerates every power-cut point worth testing: both families
+// at every op boundary, plus every torn split of every write.
+func (m *Mem) CrashPlan() []CrashPoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var plan []CrashPoint
+	for i := 0; i <= len(m.journal); i++ {
+		plan = append(plan, CrashPoint{Op: i}, CrashPoint{Op: i, Lossy: true})
+		if i < len(m.journal) && m.journal[i].kind == opWrite {
+			for cut := 1; cut < len(m.journal[i].data); cut++ {
+				plan = append(plan, CrashPoint{Op: i, Partial: cut})
+			}
+		}
+	}
+	return plan
+}
+
+// CrashState replays the journal up to p and returns the directory contents
+// a crash at that point leaves behind: name -> file bytes.
+func (m *Mem) CrashState(p CrashPoint) map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	applied := func(i int) bool { return true }
+	if p.Lossy {
+		// An op survives only if a later barrier (before the cut) hardened it.
+		hardened := make([]bool, p.Op)
+		for j := 0; j < p.Op; j++ {
+			b := m.journal[j]
+			if b.kind != opSyncFile && b.kind != opSyncDir {
+				continue
+			}
+			for i := 0; i < j; i++ {
+				o := m.journal[i]
+				switch {
+				case b.kind == opSyncFile && (o.kind == opWrite || o.kind == opTruncate) && o.ino == b.ino:
+					hardened[i] = true
+				case b.kind == opSyncDir && (o.kind == opCreate || o.kind == opRename || o.kind == opRemove) && o.dir == b.dir:
+					hardened[i] = true
+				}
+			}
+		}
+		applied = func(i int) bool { return hardened[i] }
+	}
+
+	names := make(map[string]int)
+	datas := make(map[int][]byte)
+	apply := func(o op, bytes []byte) {
+		switch o.kind {
+		case opWrite:
+			d := datas[o.ino]
+			if need := o.off + int64(len(bytes)); int64(len(d)) < need {
+				d = append(d, make([]byte, need-int64(len(d)))...)
+			}
+			copy(d[o.off:], bytes)
+			datas[o.ino] = d
+		case opTruncate:
+			d := datas[o.ino]
+			if int64(len(d)) > o.size {
+				d = d[:o.size]
+			} else if int64(len(d)) < o.size {
+				d = append(d, make([]byte, o.size-int64(len(d)))...)
+			}
+			datas[o.ino] = d
+		case opCreate:
+			names[o.name] = o.ino
+		case opRename:
+			if ino, ok := names[o.from]; ok {
+				names[o.to] = ino
+				delete(names, o.from)
+			}
+		case opRemove:
+			delete(names, o.name)
+		}
+	}
+	for i := 0; i < p.Op; i++ {
+		if applied(i) {
+			apply(m.journal[i], m.journal[i].data)
+		}
+	}
+	if p.Partial > 0 && p.Op < len(m.journal) && m.journal[p.Op].kind == opWrite {
+		apply(m.journal[p.Op], m.journal[p.Op].data[:p.Partial])
+	}
+
+	out := make(map[string][]byte, len(names))
+	for name, ino := range names {
+		out[name] = append([]byte(nil), datas[ino]...)
+	}
+	return out
+}
+
+// CrashMarks returns the acknowledgment labels journaled before p: facts the
+// application had been told were durable when the power cut hit.
+func (m *Mem) CrashMarks(p CrashPoint) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for i := 0; i < p.Op; i++ {
+		if m.journal[i].kind == opMark {
+			out = append(out, m.journal[i].name)
+		}
+	}
+	return out
+}
+
+// memFile is a handle onto one Mem inode.
+type memFile struct {
+	m    *Mem
+	ino  int
+	name string
+	pos  int64
+}
+
+var _ File = (*memFile)(nil)
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.m.readCountdown > 0 {
+		f.m.readCountdown--
+		if f.m.readCountdown == 0 {
+			return 0, &os.PathError{Op: "read", Path: f.name, Err: f.m.readErr}
+		}
+	}
+	data := f.m.inodes[f.ino]
+	if off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.m.writeCountdown > 0 {
+		f.m.writeCountdown--
+		if f.m.writeCountdown == 0 {
+			n := f.m.writePartial
+			if n > len(p) {
+				n = len(p)
+			}
+			if n > 0 {
+				f.m.applyWrite(f.ino, off, p[:n])
+			}
+			return n, &os.PathError{Op: "write", Path: f.name, Err: f.m.writeErr}
+		}
+	}
+	f.m.applyWrite(f.ino, off, p)
+	return len(p), nil
+}
+
+// applyWrite mutates the volatile content and journals the write.
+// Caller holds m.mu.
+func (m *Mem) applyWrite(ino int, off int64, p []byte) {
+	d := m.inodes[ino]
+	if need := off + int64(len(p)); int64(len(d)) < need {
+		d = append(d, make([]byte, need-int64(len(d)))...)
+	}
+	copy(d[off:], p)
+	m.inodes[ino] = d
+	m.journal = append(m.journal, op{kind: opWrite, ino: ino, off: off, data: append([]byte(nil), p...)})
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	n, err := f.WriteAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.pos = offset
+	case io.SeekCurrent:
+		f.pos += offset
+	case io.SeekEnd:
+		f.pos = int64(len(f.m.inodes[f.ino])) + offset
+	}
+	return f.pos, nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	d := f.m.inodes[f.ino]
+	if int64(len(d)) > size {
+		d = d[:size]
+	} else {
+		d = append(d, make([]byte, size-int64(len(d)))...)
+	}
+	f.m.inodes[f.ino] = d
+	f.m.journal = append(f.m.journal, op{kind: opTruncate, ino: f.ino, size: size})
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if err := f.m.injectSync(); err != nil {
+		return &os.PathError{Op: "sync", Path: f.name, Err: err}
+	}
+	f.m.journal = append(f.m.journal, op{kind: opSyncFile, ino: f.ino})
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Name() string { return f.name }

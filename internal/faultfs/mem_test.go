@@ -1,0 +1,296 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func create(t *testing.T, m *Mem, name string) File {
+	t.Helper()
+	f, err := m.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	return f
+}
+
+func TestMemBasicReadWrite(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	if n, err := f.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if _, err := f.WriteAt([]byte("HE"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HEllo" {
+		t.Errorf("content = %q", buf)
+	}
+	// Reads past EOF follow os.File semantics.
+	if n, err := f.ReadAt(buf, 3); n != 2 || err != io.EOF {
+		t.Errorf("short ReadAt = %d, %v; want 2, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 99); err != io.EOF {
+		t.Errorf("ReadAt past end = %v, want EOF", err)
+	}
+}
+
+func TestMemOpenFlags(t *testing.T) {
+	m := NewMem()
+	create(t, m, "a")
+	if _, err := m.OpenFile("a", os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644); !errors.Is(err, fs.ErrExist) {
+		t.Errorf("O_EXCL on existing = %v, want ErrExist", err)
+	}
+	if _, err := m.OpenFile("missing", os.O_RDWR, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("open missing = %v, want ErrNotExist", err)
+	}
+	if err := m.Remove("missing"); !os.IsNotExist(err) {
+		t.Errorf("Remove missing = %v, want IsNotExist", err)
+	}
+}
+
+func TestMemRename(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	f.Write([]byte("data"))
+	create(t, m, "b")
+	if err := m.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if _, ok := snap["a"]; ok {
+		t.Error("old name survives rename")
+	}
+	if string(snap["b"]) != "data" {
+		t.Errorf("b = %q", snap["b"])
+	}
+}
+
+// TestMemLossyCrashDropsUnsynced is the heart of the model: only
+// barrier-hardened state survives a lossy cut.
+func TestMemLossyCrashDropsUnsynced(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	f.Write([]byte("synced"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("-lost"))
+
+	end := CrashPoint{Op: m.NumOps(), Lossy: true}
+	state := m.CrashState(end)
+	if string(state["a"]) != "synced" {
+		t.Errorf("lossy state = %q, want %q", state["a"], "synced")
+	}
+	// The prefix cut at the same point keeps everything.
+	state = m.CrashState(CrashPoint{Op: m.NumOps()})
+	if string(state["a"]) != "synced-lost" {
+		t.Errorf("prefix state = %q", state["a"])
+	}
+}
+
+// TestMemFsyncFileDoesNotHardenEntry reproduces the classic vanished-file
+// crash: file data synced, directory entry not.
+func TestMemFsyncFileDoesNotHardenEntry(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, filepath.Join("d", "a"))
+	f.Write([]byte("x"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	state := m.CrashState(CrashPoint{Op: m.NumOps(), Lossy: true})
+	if _, ok := state[filepath.Join("d", "a")]; ok {
+		t.Error("file visible after crash despite un-synced directory entry")
+	}
+	// After SyncDir the entry is durable.
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	state = m.CrashState(CrashPoint{Op: m.NumOps(), Lossy: true})
+	if string(state[filepath.Join("d", "a")]) != "x" {
+		t.Errorf("file = %q after dir sync", state[filepath.Join("d", "a")])
+	}
+}
+
+// TestMemLossyRenameRevert: an un-synced rename reverts at the cut,
+// resurrecting the old target.
+func TestMemLossyRenameRevert(t *testing.T) {
+	m := NewMem()
+	old := create(t, m, "log")
+	old.Write([]byte("old"))
+	old.Sync()
+	m.SyncDir(".")
+	tmp := create(t, m, "log.tmp")
+	tmp.Write([]byte("new"))
+	tmp.Sync()
+	if err := m.Rename("log.tmp", "log"); err != nil {
+		t.Fatal(err)
+	}
+
+	state := m.CrashState(CrashPoint{Op: m.NumOps(), Lossy: true})
+	if string(state["log"]) != "old" {
+		t.Errorf("lossy post-rename log = %q, want old content", state["log"])
+	}
+	m.SyncDir(".")
+	state = m.CrashState(CrashPoint{Op: m.NumOps(), Lossy: true})
+	if string(state["log"]) != "new" {
+		t.Errorf("post-SyncDir log = %q, want new content", state["log"])
+	}
+}
+
+func TestMemTornWritePrefixes(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	f.Write([]byte("abcd"))
+	// Find the write op's torn points in the plan.
+	var torn []CrashPoint
+	for _, p := range m.CrashPlan() {
+		if p.Partial > 0 {
+			torn = append(torn, p)
+		}
+	}
+	if len(torn) != 3 {
+		t.Fatalf("torn points = %d, want 3", len(torn))
+	}
+	for i, p := range torn {
+		state := m.CrashState(p)
+		if string(state["a"]) != "abcd"[:i+1] {
+			t.Errorf("torn cut %d: %q", i+1, state["a"])
+		}
+	}
+}
+
+func TestMemMarks(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	f.Write([]byte("x"))
+	m.Mark("wrote")
+	f.Write([]byte("y"))
+	before := CrashPoint{Op: 2} // create, write
+	after := CrashPoint{Op: m.NumOps()}
+	if got := m.CrashMarks(before); len(got) != 0 {
+		t.Errorf("marks before = %v", got)
+	}
+	if got := m.CrashMarks(after); len(got) != 1 || got[0] != "wrote" {
+		t.Errorf("marks after = %v", got)
+	}
+}
+
+func TestMemFaultInjection(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	wantErr := syscall.EIO
+
+	m.FailWrite(2, 1, wantErr)
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("xyz"))
+	if n != 1 || !errors.Is(err, wantErr) {
+		t.Fatalf("injected write = %d, %v; want 1, EIO", n, err)
+	}
+	// The partial byte landed; later writes succeed.
+	if _, err := f.WriteAt([]byte("!"), 3); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if string(snap["a"]) != "okx!" {
+		t.Errorf("content = %q", snap["a"])
+	}
+
+	m.FailRead(1, wantErr)
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, wantErr) {
+		t.Errorf("injected read = %v", err)
+	}
+	// Transient: the retry succeeds.
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Errorf("retry read = %v", err)
+	}
+
+	m.FailSync(1, wantErr)
+	if err := f.Sync(); !errors.Is(err, wantErr) {
+		t.Errorf("injected sync = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Errorf("retry sync = %v", err)
+	}
+}
+
+func TestMemTruncateJournaled(t *testing.T) {
+	m := NewMem()
+	f := create(t, m, "a")
+	f.Write([]byte("abcdef"))
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	state := m.CrashState(CrashPoint{Op: m.NumOps()})
+	if string(state["a"]) != "abc" {
+		t.Errorf("after truncate = %q", state["a"])
+	}
+	// Seek/Write interplay.
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("Z"))
+	if snap := m.Snapshot(); string(snap["a"]) != "abcZ" {
+		t.Errorf("after seek-end write = %q", snap["a"])
+	}
+}
+
+func TestNewMemFromState(t *testing.T) {
+	m := NewMemFromState(map[string][]byte{"a": []byte("seed")})
+	f, err := m.OpenFile("a", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "seed" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+}
+
+// TestOSRoundTrip exercises the real-filesystem implementation against a
+// temp dir, including SyncDir.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys OS
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package stablelog
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ickpt/ckpt"
 )
@@ -11,18 +12,30 @@ import (
 // goroutine, so that the application resumes as soon as the in-memory body
 // has been handed off — the paper's asynchronous stable-storage write.
 //
-// Appends are ordered. The first write error is sticky: it fails all
-// subsequent operations and is returned by Flush and Close. AsyncWriter is
-// safe for use by one producer goroutine.
+// The queue may be bounded (WithQueueLimit): when full, Append blocks until
+// the writer drains, so a slow disk applies backpressure instead of growing
+// memory without limit. Durability is governed by a group-commit fsync
+// policy (WithSyncEvery / WithSyncInterval); with a policy active, Flush
+// does not return until everything written has also been fsynced.
+//
+// Appends are ordered. The first write or sync error is sticky: it fails
+// all subsequent operations and is returned by Flush and Close. AsyncWriter
+// is safe for use by one producer goroutine.
 type AsyncWriter struct {
 	log *Log
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []asyncItem
-	err    error
-	closed bool
-	done   chan struct{}
+	queueLimit   int
+	syncEvery    int
+	syncInterval time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []asyncItem
+	dirty   int // segments appended since the last fsync
+	syncReq bool
+	err     error
+	closed  bool
+	done    chan struct{}
 }
 
 type asyncItem struct {
@@ -31,26 +44,71 @@ type asyncItem struct {
 	body  []byte
 }
 
+// AsyncOption configures NewAsyncWriter.
+type AsyncOption interface {
+	applyAsync(*AsyncWriter)
+}
+
+type asyncOptionFunc func(*AsyncWriter)
+
+func (f asyncOptionFunc) applyAsync(w *AsyncWriter) { f(w) }
+
+// WithQueueLimit bounds the number of queued bodies. When the queue is
+// full, Append blocks until the background writer catches up. n <= 0 means
+// unbounded (the default).
+func WithQueueLimit(n int) AsyncOption {
+	return asyncOptionFunc(func(w *AsyncWriter) { w.queueLimit = n })
+}
+
+// WithSyncEvery fsyncs the log after every n appended segments — group
+// commit by count. n <= 0 disables the policy (the default); n == 1 syncs
+// every append.
+func WithSyncEvery(n int) AsyncOption {
+	return asyncOptionFunc(func(w *AsyncWriter) { w.syncEvery = n })
+}
+
+// WithSyncInterval fsyncs the log at most d after a segment was appended —
+// group commit by time. It composes with WithSyncEvery; whichever trips
+// first wins.
+func WithSyncInterval(d time.Duration) AsyncOption {
+	return asyncOptionFunc(func(w *AsyncWriter) { w.syncInterval = d })
+}
+
 // NewAsyncWriter starts the background writer. The caller must not use log
 // directly until Close returns.
-func NewAsyncWriter(log *Log) *AsyncWriter {
+func NewAsyncWriter(log *Log, opts ...AsyncOption) *AsyncWriter {
 	w := &AsyncWriter{
 		log:  log,
 		done: make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	for _, o := range opts {
+		o.applyAsync(w)
+	}
 	go w.run()
+	if w.syncInterval > 0 {
+		go w.tick()
+	}
 	return w
 }
 
-// Append enqueues body for writing. The body is copied, so the caller may
-// reuse its buffer immediately (checkpoint writers recycle theirs).
+// policyActive reports whether a group-commit fsync policy is configured.
+func (w *AsyncWriter) policyActive() bool {
+	return w.syncEvery > 0 || w.syncInterval > 0
+}
+
+// Append enqueues body for writing, blocking while a bounded queue is full.
+// The body is copied, so the caller may reuse its buffer immediately
+// (checkpoint writers recycle theirs).
 func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
 	cp := make([]byte, len(body))
 	copy(cp, body)
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for w.queueLimit > 0 && len(w.queue) >= w.queueLimit && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
 	if w.closed {
 		return ErrClosed
 	}
@@ -58,23 +116,33 @@ func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
 		return w.err
 	}
 	w.queue = append(w.queue, asyncItem{mode: mode, epoch: epoch, body: cp})
-	w.cond.Signal()
+	w.cond.Broadcast()
 	return nil
 }
 
 // Flush blocks until every enqueued body has been written (or a write has
-// failed) and returns the first write error, if any.
+// failed) and returns the first write error, if any. With an fsync policy
+// active it additionally forces a group commit, so a nil return means the
+// flushed segments are durable.
 func (w *AsyncWriter) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for len(w.queue) > 0 && w.err == nil {
+	if w.closed {
+		return w.err
+	}
+	if w.policyActive() {
+		w.syncReq = true
+		w.cond.Broadcast()
+	}
+	for (len(w.queue) > 0 || w.syncReq) && w.err == nil {
 		w.cond.Wait()
 	}
 	return w.err
 }
 
-// Close flushes, stops the background goroutine, and returns the first
-// write error, if any. It does not close the underlying Log.
+// Close flushes, performs a final group commit if a policy is active, stops
+// the background goroutine, and returns the first write error, if any. It
+// does not close the underlying Log.
 func (w *AsyncWriter) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -97,12 +165,24 @@ func (w *AsyncWriter) run() {
 	defer close(w.done)
 	for {
 		w.mu.Lock()
-		for len(w.queue) == 0 && !w.closed {
+		for len(w.queue) == 0 && !w.syncReq && !w.closed {
 			w.cond.Wait()
 		}
-		if len(w.queue) == 0 && w.closed {
+		if len(w.queue) == 0 {
+			needSync := (w.syncReq || (w.closed && w.policyActive())) && w.dirty > 0
+			if w.syncReq && w.dirty == 0 {
+				w.syncReq = false
+				w.cond.Broadcast()
+			}
+			closed := w.closed
 			w.mu.Unlock()
-			return
+			if needSync && !w.doSync() {
+				return
+			}
+			if closed {
+				return
+			}
+			continue
 		}
 		item := w.queue[0]
 		w.mu.Unlock()
@@ -115,6 +195,11 @@ func (w *AsyncWriter) run() {
 			w.err = fmt.Errorf("async append: %w", err)
 		}
 		stop := w.err != nil
+		var syncNow bool
+		if !stop {
+			w.dirty++
+			syncNow = w.syncEvery > 0 && w.dirty >= w.syncEvery
+		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
 		if stop {
@@ -122,13 +207,60 @@ func (w *AsyncWriter) run() {
 			w.failRemaining()
 			return
 		}
+		if syncNow && !w.doSync() {
+			return
+		}
 	}
 }
 
-// failRemaining clears the queue after a write error so Flush does not hang.
+// doSync fsyncs the log and clears the dirty counter. It returns false when
+// the writer must stop because the sync failed.
+func (w *AsyncWriter) doSync() bool {
+	err := w.log.Sync()
+	w.mu.Lock()
+	if err != nil && w.err == nil {
+		w.err = fmt.Errorf("async sync: %w", err)
+	}
+	if err == nil {
+		w.dirty = 0
+		w.syncReq = false
+	}
+	stop := w.err != nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	if stop {
+		w.failRemaining()
+		return false
+	}
+	return true
+}
+
+// tick requests a group commit whenever un-synced segments have been
+// sitting for a full interval.
+func (w *AsyncWriter) tick() {
+	t := time.NewTicker(w.syncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			if w.dirty > 0 && w.err == nil && !w.closed {
+				w.syncReq = true
+				w.cond.Broadcast()
+			}
+			w.mu.Unlock()
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// failRemaining clears the queue after a write error so Flush and a blocked
+// Append do not hang.
 func (w *AsyncWriter) failRemaining() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.queue = nil
+	w.syncReq = false
 	w.cond.Broadcast()
 }

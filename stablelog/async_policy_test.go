@@ -1,0 +1,230 @@
+package stablelog_test
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"ickpt/ckpt"
+	"ickpt/internal/faultfs"
+	"ickpt/stablelog"
+)
+
+// durableSegments opens the state a maximal-loss power cut would leave
+// right now and reports how many segments survive.
+func durableSegments(t *testing.T, m *faultfs.Mem, path string) int {
+	t.Helper()
+	state := m.CrashState(faultfs.CrashPoint{Op: m.NumOps(), Lossy: true})
+	data, ok := state[path]
+	if !ok {
+		return -1
+	}
+	reopened := faultfs.NewMemFromState(map[string][]byte{path: data})
+	lg, err := stablelog.Open(path, stablelog.WithFS(reopened), stablelog.WithTruncateTorn())
+	if err != nil {
+		t.Fatalf("reopen durable state: %v", err)
+	}
+	defer lg.Close()
+	return len(lg.Segments())
+}
+
+func TestAsyncWriterFlushIsDurableWithPolicy(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("a.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithSyncEvery(100))
+	for i := 0; i < 5; i++ {
+		if err := aw.Append(ckpt.Incremental, uint64(i+1), []byte("body")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The every-100 threshold has not tripped, so only Flush's forced group
+	// commit makes these durable.
+	if err := aw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := durableSegments(t, m, "a.log"); got != 5 {
+		t.Errorf("durable segments after Flush = %d, want 5", got)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncWriterSyncEvery(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("a.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithSyncEvery(2))
+	for i := 0; i < 4; i++ {
+		if err := aw.Append(ckpt.Incremental, uint64(i+1), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without any Flush, the every-2 group commit must make all four
+	// durable once the queue drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for durableSegments(t, m, "a.log") < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("durable segments = %d after drain, want 4", durableSegments(t, m, "a.log"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncWriterSyncInterval(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("a.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithSyncInterval(5*time.Millisecond))
+	if err := aw.Append(ckpt.Full, 1, []byte("timed")); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush: only the interval timer can commit this segment.
+	deadline := time.Now().Add(5 * time.Second)
+	for durableSegments(t, m, "a.log") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval group commit never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncWriterCloseCommitsWithPolicy(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("a.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithSyncEvery(100))
+	for i := 0; i < 3; i++ {
+		if err := aw.Append(ckpt.Incremental, uint64(i+1), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := durableSegments(t, m, "a.log"); got != 3 {
+		t.Errorf("durable segments after Close = %d, want 3", got)
+	}
+}
+
+func TestAsyncWriterBoundedQueueDrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.log")
+	l, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithQueueLimit(2), stablelog.WithSyncEvery(8))
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := aw.Append(ckpt.Incremental, uint64(i+1), []byte{byte(i)}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := aw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := l.Segments()
+	if len(segs) != n {
+		t.Fatalf("segments = %d, want %d", len(segs), n)
+	}
+	for i, seg := range segs {
+		body, err := l.Read(seg.Seq)
+		if err != nil || len(body) != 1 || body[0] != byte(i) {
+			t.Fatalf("segment %d = %v, %v", i, body, err)
+		}
+	}
+}
+
+func TestAsyncWriterSyncErrorSticky(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("a.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Arm after Create (which performs its own file and directory syncs).
+	m.FailSync(1, syscall.EIO)
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithSyncEvery(1))
+	_ = aw.Append(ckpt.Full, 1, []byte("x"))
+	err1 := aw.Flush()
+	err2 := aw.Close()
+	if err1 == nil && err2 == nil {
+		t.Fatal("sync failure was swallowed")
+	}
+	for _, err := range []error{err1, err2} {
+		if err != nil && !errors.Is(err, syscall.EIO) {
+			t.Errorf("error does not wrap the device fault: %v", err)
+		}
+	}
+}
+
+// TestAsyncWriterBlockedAppendReleasedByError: a producer blocked on a full
+// queue must be released when the writer hits a sticky error.
+func TestAsyncWriterBlockedAppendReleasedByError(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("a.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Every append from now on fails (header write is the next WriteAt).
+	m.FailWrite(1, 0, syscall.EIO)
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithQueueLimit(1))
+	defer aw.Close()
+	deadline := time.After(5 * time.Second)
+	doneC := make(chan error, 1)
+	go func() {
+		var appendErr error
+		for i := 0; i < 100; i++ {
+			if appendErr = aw.Append(ckpt.Incremental, uint64(i+1), []byte("x")); appendErr != nil {
+				break
+			}
+		}
+		doneC <- appendErr
+	}()
+	select {
+	case err := <-doneC:
+		if err == nil {
+			// All 100 made it in before the error propagated; Flush must
+			// still surface it.
+			err = aw.Flush()
+		}
+		if !errors.Is(err, syscall.EIO) {
+			t.Errorf("producer error = %v, want EIO", err)
+		}
+	case <-deadline:
+		t.Fatal("producer deadlocked on a full queue after writer error")
+	}
+}

@@ -1,0 +1,239 @@
+package stablelog_test
+
+// Regression tests for the durability bugs the fault-injection harness
+// exposed. Each test pins one fix:
+//
+//   - a crashed compaction's stale <path>.compact must not wedge Compact;
+//   - Compact's rename must be committed with a directory fsync;
+//   - a transient read error must never truncate good data, even under
+//     WithTruncateTorn;
+//   - a failed Append must not leave a garbage suffix that a later,
+//     shorter append exposes to plain Open.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/faultfs"
+	"ickpt/stablelog"
+)
+
+// newFullLog creates a log with one full checkpoint and one incremental.
+func newFullLog(t *testing.T, path string, opts ...stablelog.Option) *stablelog.Log {
+	t.Helper()
+	l, err := stablelog.Create(path, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(ckpt.Full, 1, []byte("full-body")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(ckpt.Incremental, 2, []byte("delta-body")); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestCompactRecoversFromStaleTempFile: a compaction that crashed after
+// creating <path>.compact used to wedge every later Compact forever,
+// because Create opens with O_EXCL.
+func TestCompactRecoversFromStaleTempFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.log")
+	l := newFullLog(t, path)
+	defer l.Close()
+
+	// Simulate the crashed predecessor's leftovers.
+	stale := path + ".compact"
+	if err := os.WriteFile(stale, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact with stale temp file: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survives compaction: %v", err)
+	}
+	segs := l.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments after compact = %d, want 2", len(segs))
+	}
+	if body, err := l.Read(1); err != nil || string(body) != "full-body" {
+		t.Errorf("Read(1) = %q, %v", body, err)
+	}
+}
+
+// TestCompactCommitDurable: once Compact returns, a maximal-loss power cut
+// must still show the compacted log — the rename is hardened by a directory
+// fsync.
+func TestCompactCommitDurable(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("c.log", stablelog.WithFS(m), stablelog.WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	bodies := [][]byte{[]byte("dead-full"), []byte("live-full"), []byte("live-delta")}
+	modes := []ckpt.Mode{ckpt.Full, ckpt.Full, ckpt.Incremental}
+	for i, b := range bodies {
+		if _, err := l.Append(modes[i], uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	state := m.CrashState(faultfs.CrashPoint{Op: m.NumOps(), Lossy: true})
+	reopened := faultfs.NewMemFromState(state)
+	lg, err := stablelog.Open("c.log", stablelog.WithFS(reopened))
+	if err != nil {
+		t.Fatalf("reopen after power cut: %v", err)
+	}
+	defer lg.Close()
+	segs := lg.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("post-cut segments = %d, want the 2 compacted ones", len(segs))
+	}
+	if body, err := lg.Read(1); err != nil || string(body) != "live-full" {
+		t.Errorf("Read(1) = %q, %v; pre-compaction log resurrected?", body, err)
+	}
+}
+
+// TestCreateDurableEntry: the empty log survives a maximal-loss power cut
+// the moment Create returns — file content and directory entry are both
+// fsynced.
+func TestCreateDurableEntry(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("c.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	state := m.CrashState(faultfs.CrashPoint{Op: m.NumOps(), Lossy: true})
+	data, ok := state["c.log"]
+	if !ok {
+		t.Fatal("log file vanished at power cut right after Create returned")
+	}
+	reopened := faultfs.NewMemFromState(map[string][]byte{"c.log": data})
+	lg, err := stablelog.Open("c.log", stablelog.WithFS(reopened))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	lg.Close()
+}
+
+// TestTransientReadErrorDoesNotTruncate: an EIO while scanning under
+// WithTruncateTorn used to be mistaken for corruption, silently truncating
+// perfectly good segments. It must surface as ErrIO and leave the file
+// alone.
+func TestTransientReadErrorDoesNotTruncate(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("t.log", stablelog.WithFS(m), stablelog.WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(ckpt.Full, 1, []byte("good-full")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(ckpt.Incremental, 2, []byte("good-delta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := len(m.Snapshot()["t.log"])
+
+	// Fail each of the reads Open issues in turn (magic, headers, payloads):
+	// none may truncate, none may report corruption.
+	for nth := 1; nth <= 5; nth++ {
+		m.FailRead(nth, syscall.EIO)
+		_, err := stablelog.Open("t.log", stablelog.WithFS(m), stablelog.WithTruncateTorn())
+		if err == nil {
+			t.Fatalf("read %d: Open succeeded despite injected EIO", nth)
+		}
+		if errors.Is(err, stablelog.ErrCorrupt) {
+			t.Errorf("read %d: transient EIO misreported as corruption: %v", nth, err)
+		}
+		if !errors.Is(err, stablelog.ErrIO) || !errors.Is(err, syscall.EIO) {
+			t.Errorf("read %d: err = %v, want ErrIO wrapping EIO", nth, err)
+		}
+		if after := len(m.Snapshot()["t.log"]); after != before {
+			t.Fatalf("read %d: file truncated from %d to %d bytes on a transient error", nth, before, after)
+		}
+	}
+
+	// With the fault gone, everything is still there.
+	lg, err := stablelog.Open("t.log", stablelog.WithFS(m), stablelog.WithTruncateTorn())
+	if err != nil {
+		t.Fatalf("clean reopen: %v", err)
+	}
+	defer lg.Close()
+	if len(lg.Segments()) != 2 {
+		t.Errorf("segments = %d, want 2", len(lg.Segments()))
+	}
+}
+
+// TestAppendFailureNoGarbageSuffix: a failed body write used to leave its
+// partial bytes past l.end; a later shorter append then left a garbage
+// suffix that plain Open rejected. The failed append must truncate back.
+func TestAppendFailureNoGarbageSuffix(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("g.log", stablelog.WithFS(m), stablelog.WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The next two WriteAt calls are this append's header and body; fail
+	// the body after 7 garbage-to-be bytes landed.
+	m.FailWrite(2, 7, syscall.EIO)
+	long := []byte("a rather long body that will be torn mid-write")
+	if _, err := l.Append(ckpt.Full, 1, long); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected Append = %v, want EIO", err)
+	}
+
+	// A shorter append must fully cover what is left of the failed one.
+	if _, err := l.Append(ckpt.Full, 2, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain Open — no torn-tail forgiveness — must accept the file.
+	lg, err := stablelog.Open("g.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatalf("Open after failed+retried append: %v", err)
+	}
+	defer lg.Close()
+	segs := lg.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d, want 1", len(segs))
+	}
+	if body, err := lg.Read(1); err != nil || string(body) != "short" {
+		t.Errorf("Read(1) = %q, %v", body, err)
+	}
+}
+
+// TestAppendSyncFailureSurfaced: WithSync must propagate fsync failures.
+func TestAppendSyncFailureSurfaced(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("s.log", stablelog.WithFS(m), stablelog.WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	m.FailSync(1, syscall.EIO)
+	if _, err := l.Append(ckpt.Full, 1, []byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Append with failing fsync = %v, want EIO", err)
+	}
+	// The failed segment is not in the index; a retry starts fresh at seq 1.
+	if seq, err := l.Append(ckpt.Full, 1, []byte("x")); err != nil || seq != 1 {
+		t.Errorf("retry = %d, %v; want seq 1", seq, err)
+	}
+}

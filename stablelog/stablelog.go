@@ -10,6 +10,11 @@
 // Recovery tolerates a torn tail: a crash while appending leaves a final
 // partial or corrupt segment, which Open detects (via length and CRC checks)
 // and can truncate away, exposing the longest consistent prefix.
+//
+// The exact durability guarantees — which operations fsync which file or
+// directory, and what survives a power cut — are documented in
+// docs/DURABILITY.md and enforced by the crash sweep in crashsweep_test.go,
+// which replays every possible power-cut point through internal/faultfs.
 package stablelog
 
 import (
@@ -22,6 +27,7 @@ import (
 	"path/filepath"
 
 	"ickpt/ckpt"
+	"ickpt/internal/faultfs"
 )
 
 // File layout constants.
@@ -36,6 +42,11 @@ const (
 var (
 	// ErrCorrupt reports a segment whose framing or checksum is invalid.
 	ErrCorrupt = errors.New("stablelog: corrupt segment")
+	// ErrIO reports a transient I/O failure (for example EIO from a flaky
+	// device). It is deliberately distinct from ErrCorrupt: an I/O error
+	// says nothing about the bytes on disk, so recovery must not truncate
+	// — the caller should retry or surface the fault instead.
+	ErrIO = errors.New("stablelog: i/o error")
 	// ErrNotFound reports a missing segment sequence number.
 	ErrNotFound = errors.New("stablelog: segment not found")
 	// ErrNoFull reports a log with no full checkpoint to recover from.
@@ -59,7 +70,8 @@ type SegmentInfo struct {
 // Log is not safe for concurrent use; wrap it in an AsyncWriter for
 // background appends.
 type Log struct {
-	f      *os.File
+	fs     faultfs.FS
+	f      faultfs.File
 	path   string
 	segs   []SegmentInfo
 	end    int64 // offset one past the last valid segment
@@ -75,6 +87,7 @@ type Option interface {
 type openOptions struct {
 	truncateTorn bool
 	sync         bool
+	fs           faultfs.FS
 }
 
 type optionFunc func(*openOptions)
@@ -92,36 +105,58 @@ func WithSync() Option {
 	return optionFunc(func(o *openOptions) { o.sync = true })
 }
 
-// Create creates a new, empty log at path, failing if the file exists.
-func Create(path string, opts ...Option) (*Log, error) {
-	var oo openOptions
+// WithFS substitutes the filesystem the log runs on. The default is the real
+// OS; the fault-injection tests pass a faultfs.Mem to replay power cuts and
+// inject I/O errors.
+func WithFS(fsys faultfs.FS) Option {
+	return optionFunc(func(o *openOptions) { o.fs = fsys })
+}
+
+func resolveOptions(opts []Option) openOptions {
+	oo := openOptions{fs: faultfs.OS{}}
 	for _, o := range opts {
 		o.apply(&oo)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	return oo
+}
+
+// Create creates a new, empty log at path, failing if the file exists. The
+// empty log is durable when Create returns: the header is fsynced and so is
+// the parent directory, so a power cut cannot make the file vanish.
+func Create(path string, opts ...Option) (*Log, error) {
+	oo := resolveOptions(opts)
+	f, err := oo.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("create log: %w", err)
 	}
-	if _, err := f.Write([]byte(fileMagic)); err != nil {
+	fail := func(err error) (*Log, error) {
 		f.Close()
+		_ = oo.fs.Remove(path)
 		return nil, fmt.Errorf("create log: %w", err)
 	}
-	return &Log{f: f, path: path, end: int64(len(fileMagic)), sync: oo.sync}, nil
+	if _, err := f.Write([]byte(fileMagic)); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := oo.fs.SyncDir(filepath.Dir(path)); err != nil {
+		return fail(err)
+	}
+	return &Log{fs: oo.fs, f: f, path: path, end: int64(len(fileMagic)), sync: oo.sync}, nil
 }
 
 // Open opens an existing log, scanning and validating every segment.
 // Without WithTruncateTorn, any corruption is an error; with it, the log is
-// truncated at the first invalid segment.
+// truncated at the first invalid segment. Transient read failures (ErrIO)
+// are never grounds for truncation.
 func Open(path string, opts ...Option) (*Log, error) {
-	var oo openOptions
-	for _, o := range opts {
-		o.apply(&oo)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	oo := resolveOptions(opts)
+	f, err := oo.fs.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("open log: %w", err)
 	}
-	l := &Log{f: f, path: path, sync: oo.sync}
+	l := &Log{fs: oo.fs, f: f, path: path, sync: oo.sync}
 	if err := l.scan(oo.truncateTorn); err != nil {
 		f.Close()
 		return nil, err
@@ -130,21 +165,31 @@ func Open(path string, opts ...Option) (*Log, error) {
 }
 
 // scan reads and validates the file, populating the segment index.
+//
+// Only genuine framing, checksum, or end-of-file corruption may truncate
+// under truncateTorn; a transient read failure (ErrIO) aborts the scan
+// without touching the file, because the bytes on disk may be perfectly
+// good.
 func (l *Log) scan(truncateTorn bool) error {
 	magic := make([]byte, len(fileMagic))
-	if _, err := io.ReadFull(l.f, magic); err != nil || string(magic) != fileMagic {
+	if n, err := l.f.ReadAt(magic, 0); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: file magic: %w", ErrIO, err)
+	} else if n < len(magic) || string(magic) != fileMagic {
 		return fmt.Errorf("%w: bad file magic", ErrCorrupt)
 	}
 	off := int64(len(fileMagic))
 	hdr := make([]byte, segmentHeaderSize)
 	for {
 		n, err := l.f.ReadAt(hdr, off)
-		if err == io.EOF && n == 0 {
+		if err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("%w: header at %d: %w", ErrIO, off, err)
+		}
+		if n == 0 {
 			break // clean end
 		}
 		seg, payload, segErr := l.readSegmentAt(off, hdr[:n])
 		if segErr != nil {
-			if truncateTorn {
+			if truncateTorn && errors.Is(segErr, ErrCorrupt) {
 				if err := l.f.Truncate(off); err != nil {
 					return fmt.Errorf("truncate torn tail: %w", err)
 				}
@@ -187,8 +232,13 @@ func (l *Log) readSegmentAt(off int64, hdr []byte) (SegmentInfo, []byte, error) 
 		return SegmentInfo{}, nil, fmt.Errorf("%w: seq %d at %d, want %d", ErrCorrupt, seg.Seq, off, want)
 	}
 	payload := make([]byte, seg.Length)
-	if _, err := l.f.ReadAt(payload, off+segmentHeaderSize); err != nil {
-		return SegmentInfo{}, nil, fmt.Errorf("%w: short payload at %d", ErrCorrupt, off)
+	if seg.Length > 0 {
+		if _, err := l.f.ReadAt(payload, off+segmentHeaderSize); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return SegmentInfo{}, nil, fmt.Errorf("%w: short payload at %d", ErrCorrupt, off)
+			}
+			return SegmentInfo{}, nil, fmt.Errorf("%w: payload at %d: %w", ErrIO, off, err)
+		}
 	}
 	if crc32.ChecksumIEEE(payload) != seg.CRC {
 		return SegmentInfo{}, nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, off)
@@ -212,13 +262,16 @@ func (l *Log) Append(mode ckpt.Mode, epoch uint64, body []byte) (uint64, error) 
 	binary.LittleEndian.PutUint32(hdr[25:], crc32.ChecksumIEEE(body))
 
 	if _, err := l.f.WriteAt(hdr, l.end); err != nil {
+		l.discardTail()
 		return 0, fmt.Errorf("append segment %d: %w", seq, err)
 	}
 	if _, err := l.f.WriteAt(body, l.end+segmentHeaderSize); err != nil {
+		l.discardTail()
 		return 0, fmt.Errorf("append segment %d: %w", seq, err)
 	}
 	if l.sync {
 		if err := l.f.Sync(); err != nil {
+			l.discardTail()
 			return 0, fmt.Errorf("append segment %d: %w", seq, err)
 		}
 	}
@@ -232,6 +285,15 @@ func (l *Log) Append(mode ckpt.Mode, epoch uint64, body []byte) (uint64, error) 
 	})
 	l.end += int64(segmentHeaderSize + len(body))
 	return seq, nil
+}
+
+// discardTail truncates the file back to the last valid segment after a
+// failed append. Without it, a partially written segment would linger past
+// l.end; a later, shorter append would then leave a garbage suffix that a
+// plain Open (without WithTruncateTorn) rejects as corruption. Best effort:
+// if the truncate itself fails, recovery with WithTruncateTorn still works.
+func (l *Log) discardTail() {
+	_ = l.f.Truncate(l.end)
 }
 
 // Segments returns a copy of the segment index.
@@ -251,8 +313,10 @@ func (l *Log) Read(seq uint64) ([]byte, error) {
 	}
 	seg := l.segs[seq-1]
 	payload := make([]byte, seg.Length)
-	if _, err := l.f.ReadAt(payload, seg.Offset+segmentHeaderSize); err != nil {
-		return nil, fmt.Errorf("read segment %d: %w", seq, err)
+	if seg.Length > 0 {
+		if _, err := l.f.ReadAt(payload, seg.Offset+segmentHeaderSize); err != nil {
+			return nil, fmt.Errorf("%w: read segment %d: %w", ErrIO, seq, err)
+		}
 	}
 	if crc32.ChecksumIEEE(payload) != seg.CRC {
 		return nil, fmt.Errorf("read segment %d: %w: checksum mismatch", seq, ErrCorrupt)
@@ -293,8 +357,14 @@ func (l *Log) Recover(rb *ckpt.Rebuilder) error {
 }
 
 // Compact rewrites the log to contain only the latest recovery run,
-// renumbering segments from 1. The rewrite is atomic: it writes a sibling
-// temporary file and renames it over the log.
+// renumbering segments from 1. The rewrite is atomic and durable: it writes
+// a sibling temporary file, fsyncs it, renames it over the log, and fsyncs
+// the parent directory so the rename cannot be undone by a power cut. When
+// Compact returns nil, the compacted log is what any future Open sees.
+//
+// A `<path>.compact` file left behind by a compaction that crashed before
+// its rename is garbage by construction (the rename is the commit point) and
+// is removed before retrying, so a crashed compaction never wedges the log.
 func (l *Log) Compact() error {
 	if l.closed {
 		return ErrClosed
@@ -304,11 +374,14 @@ func (l *Log) Compact() error {
 		return err
 	}
 	tmp := l.path + ".compact"
-	nl, err := Create(tmp)
+	if err := l.fs.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("remove stale compact file: %w", err)
+	}
+	nl, err := Create(tmp, WithFS(l.fs))
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp)
+	defer l.fs.Remove(tmp)
 	for _, seg := range run {
 		body, err := l.Read(seg.Seq)
 		if err != nil {
@@ -327,14 +400,19 @@ func (l *Log) Compact() error {
 	if err := nl.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, l.path); err != nil {
+	if err := l.fs.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	// Commit point: harden the directory entry so the pre-compaction log
+	// cannot resurrect (or the file vanish) after a crash.
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
 		return err
 	}
 	// Reopen over the compacted file.
 	if err := l.f.Close(); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(l.path, os.O_RDWR, 0)
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
