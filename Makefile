@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short generate check-generated faultcheck experiments examples clean
+.PHONY: all build test lint race cover bench bench-short generate check-generated faultcheck difftest fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -43,9 +43,24 @@ check-generated:
 
 # Crash-consistency suite: the fault-injection harness plus the stablelog
 # power-cut sweep and durability regressions (see docs/DURABILITY.md),
-# under the race detector and without cached results.
+# plus the parallel fold and the differential harness, under the race
+# detector and without cached results.
 faultcheck:
-	$(GO) test -race -count=1 ./internal/faultfs/ ./stablelog/
+	$(GO) test -race -count=1 ./internal/faultfs/ ./stablelog/ ./ckpt/parfold/ ./internal/difftest/
+
+# Cross-engine differential equivalence suite: every engine, sequential and
+# parallel, byte-level and rebuild-level (see internal/difftest).
+difftest:
+	$(GO) test -count=1 -v -run 'TestDifferential' ./internal/difftest/
+
+# Short coverage-guided fuzzing of the wire decoder, the checkpoint body
+# decoder, and the rebuilder (go test -fuzz runs one target at a time).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./wire/
+	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./wire/
+	$(GO) test -run '^$$' -fuzz FuzzInspectBody -fuzztime $(FUZZTIME) ./ckpt/
+	$(GO) test -run '^$$' -fuzz FuzzRebuilderApply -fuzztime $(FUZZTIME) ./ckpt/
 
 # Paper-scale evaluation: prints every table/figure and writes CSVs.
 experiments:

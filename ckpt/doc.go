@@ -38,4 +38,30 @@
 // The writer, infos and cells are not safe for concurrent use; checkpointing
 // uses a blocking protocol (mutators must be quiescent during a checkpoint),
 // matching the paper's assumptions.
+//
+// # Memory model for parallel folding
+//
+// Package parfold folds disjoint subtrees of the registered graph on a pool
+// of workers, each driving its own Writer. No lock or atomic guards the Info
+// modified flag — that would tax the sequential fast path the paper is about
+// — so the parallel fold is sound only under the following contract:
+//
+//   - Quiescence. Mutators are stopped for the duration of the fold, exactly
+//     as in the sequential blocking protocol. The fork (starting the worker
+//     goroutines) and the join (sync.WaitGroup.Wait before the merge) give
+//     the happens-before edges: mutations before the fold are visible to
+//     every worker, and flag resets by workers are visible to mutators that
+//     resume after the fold returns.
+//   - Disjoint roots. Every object must be reachable from exactly one of the
+//     roots handed to the fold. Two roots sharing a descendant would race on
+//     its modified flag from two workers, and — worse for correctness — the
+//     sequential fold records a shared object once (the first visit clears
+//     the flag) while a parallel fold could record it twice, diverging from
+//     the sequential bytes. The difftest harness checks this property cannot
+//     bite on the shipped workloads; the race detector enforces it on any
+//     new one.
+//
+// Within one worker everything is ordinary sequential Go; across workers the
+// only shared state is the per-root chunk table, written at distinct indices
+// and published by the join.
 package ckpt

@@ -23,6 +23,26 @@ type Stats struct {
 	Bytes int
 }
 
+// Add accumulates the counters of o into s. Bytes is summed like the other
+// counters; callers merging shard bodies under a single header (package
+// parfold) overwrite it with the merged length afterwards.
+func (s *Stats) Add(o Stats) {
+	s.Visited += o.Visited
+	s.Recorded += o.Recorded
+	s.Skipped += o.Skipped
+	s.Bytes += o.Bytes
+}
+
+// AppendBodyHeader writes the checkpoint body header — format version, mode,
+// epoch — to dst. It is the one place the header is encoded: Emitter.Reset
+// uses it, and the parfold merge uses it to frame shard bodies produced with
+// ResetShard under a single header.
+func AppendBodyHeader(dst *wire.Encoder, mode Mode, epoch uint64) {
+	dst.Byte(bodyVersion)
+	dst.Byte(byte(mode))
+	dst.Uvarint(epoch)
+}
+
 // Emitter frames object records into a checkpoint body. It is the shared
 // low-level sink used by the generic Writer, by compiled specialization
 // plans, and by generated specialized checkpoint functions, guaranteeing
@@ -40,12 +60,19 @@ type Emitter struct {
 // Reset points the emitter at dst, writes the body header, and clears the
 // statistics.
 func (em *Emitter) Reset(dst *wire.Encoder, mode Mode, epoch uint64) {
+	em.ResetShard(dst)
+	AppendBodyHeader(dst, mode, epoch)
+}
+
+// ResetShard points the emitter at dst and clears the statistics without
+// writing a body header. The records framed afterwards form a shard body: a
+// headerless run of records that a merge step (package parfold) concatenates
+// with other shard bodies under one AppendBodyHeader to reconstitute a
+// complete checkpoint body.
+func (em *Emitter) ResetShard(dst *wire.Encoder) {
 	em.dst = dst
 	em.stats = Stats{}
 	em.open = false
-	dst.Byte(bodyVersion)
-	dst.Byte(byte(mode))
-	dst.Uvarint(epoch)
 }
 
 // Begin starts the record for one object and returns the encoder into which

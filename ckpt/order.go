@@ -1,0 +1,15 @@
+package ckpt
+
+import "sort"
+
+// SortRoots sorts roots in place by ascending checkpoint id. This is the
+// canonical root order: the order a sequential fold visits independent roots
+// and the order the parallel fold merges per-root chunks, so the two produce
+// byte-identical bodies. Workload builders that hand out roots in issue order
+// are already canonical; SortRoots makes the ordering explicit for callers
+// that collected roots from a map or other unordered source.
+func SortRoots(roots []Checkpointable) {
+	sort.Slice(roots, func(i, j int) bool {
+		return roots[i].CheckpointInfo().ID() < roots[j].CheckpointInfo().ID()
+	})
+}

@@ -1,0 +1,259 @@
+// Package parfold folds the registered object graph on a pool of workers and
+// merges the result into a checkpoint body byte-identical to the sequential
+// fold.
+//
+// The sequential drivers — the generic ckpt.Writer, reflectckpt, compiled
+// spec plans, and generated specialized routines — all walk the roots one
+// goroutine at a time. parfold partitions the roots into deterministic
+// shards (stable assignment by checkpoint id), folds the shards concurrently
+// into per-worker wire.Encoder buffers via headerless shard writers
+// (ckpt.Writer.StartShard), and concatenates the per-root chunks in
+// canonical id order under a single body header. Because each root's subtree
+// encoding is independent of every other root's — the emitter frames records
+// from a per-object scratch buffer — the merged body reproduces, byte for
+// byte, what a sequential fold over the id-sorted roots would have written.
+// Shard and worker counts influence scheduling only, never bytes.
+//
+// The fold is subject to the parallel memory-model contract documented in
+// package ckpt: mutators quiescent, roots with disjoint subtrees. The
+// internal/difftest harness replays recorded mutation traces through every
+// engine sequentially and in parallel to prove the equivalence holds on the
+// repo's workloads.
+package parfold
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// FoldFunc folds the subtree rooted at root into w, recording objects
+// according to w's mode. The generic driver's fold is w.Checkpoint(root);
+// the specialized engines provide their own (reflectckpt.ShardFold,
+// spec.Plan.ShardFold, FoldEmitter for generated routines).
+type FoldFunc func(w *ckpt.Writer, root ckpt.Checkpointable) error
+
+// Generic returns the virtual-dispatch fold: the paper's Checkpoint driver.
+func Generic() FoldFunc {
+	return func(w *ckpt.Writer, root ckpt.Checkpointable) error {
+		return w.Checkpoint(root)
+	}
+}
+
+// FoldEmitter adapts a generated specialized checkpoint routine — a function
+// from root object to emitter calls, as produced by cmd/ckptgen — into a
+// FoldFunc. The routine must tolerate the writer's mode the caller folds in
+// (generated routines are incremental-only).
+func FoldEmitter(fn func(ckpt.Checkpointable, *ckpt.Emitter)) FoldFunc {
+	return func(w *ckpt.Writer, root ckpt.Checkpointable) error {
+		fn(root, w.Emitter())
+		return nil
+	}
+}
+
+// Sink accepts merged checkpoint bodies; *stablelog.AsyncWriter satisfies it,
+// so a parallel fold can land its batch on the group-commit path and overlap
+// the encoding of the next checkpoint with the fsync of this one.
+type Sink interface {
+	Append(mode ckpt.Mode, epoch uint64, body []byte) error
+}
+
+// Option configures a Folder.
+type Option interface {
+	apply(*Folder)
+}
+
+type optionFunc func(*Folder)
+
+func (f optionFunc) apply(fo *Folder) { f(fo) }
+
+// WithWorkers sets the number of fold goroutines. n <= 0 (the default) means
+// runtime.GOMAXPROCS(0). Worker count never affects the merged bytes.
+func WithWorkers(n int) Option {
+	return optionFunc(func(fo *Folder) { fo.workers = n })
+}
+
+// WithShards sets the number of shards the roots are partitioned into; a
+// shard is the unit of work a worker claims. n <= 0 (the default) means
+// 4x the worker count, enough slack for shards of uneven weight to balance.
+// A root with checkpoint id i always lands in shard i mod n — stable across
+// runs — and shard count never affects the merged bytes.
+func WithShards(n int) Option {
+	return optionFunc(func(fo *Folder) { fo.shards = n })
+}
+
+// Folder is a reusable parallel fold driver. Like ckpt.Writer it keeps an
+// epoch counter and recycles its buffers; unlike the writer it may be handed
+// roots in any order — chunks are merged in canonical (ascending id) order
+// regardless.
+//
+// A Folder must not be used from multiple goroutines at once; it owns the
+// goroutines it spawns.
+type Folder struct {
+	newFold func() FoldFunc
+	workers int
+	shards  int
+
+	epoch uint64
+	out   wire.Encoder
+	pool  []*worker
+}
+
+// worker is the per-goroutine state, cached across folds so engines with
+// warm-up cost (reflectckpt schema caches) keep their caches.
+type worker struct {
+	wr    *ckpt.Writer
+	fold  FoldFunc
+	spans []span
+}
+
+// span locates one root's chunk inside a worker's shard body.
+type span struct {
+	pos        int // canonical position of the root
+	start, end int // byte range in the worker's shard body
+}
+
+// New returns a Folder. newFold is called once per worker goroutine to
+// produce that worker's fold closure, so engines with mutable per-fold state
+// (reflectckpt) get an instance each; stateless or read-only engines may
+// return a shared closure.
+func New(newFold func() FoldFunc, opts ...Option) *Folder {
+	f := &Folder{newFold: newFold}
+	for _, o := range opts {
+		o.apply(f)
+	}
+	return f
+}
+
+// NewGeneric returns a Folder driving the generic virtual-dispatch fold.
+func NewGeneric(opts ...Option) *Folder {
+	return New(Generic, opts...)
+}
+
+// Fold takes one checkpoint of roots in the given mode, advancing the
+// folder's epoch (the first fold has epoch 1, like ckpt.Writer.Start). The
+// returned body aliases the folder's buffer and is invalidated by the next
+// fold; copy it if it must outlive the folder's reuse.
+func (f *Folder) Fold(mode ckpt.Mode, roots []ckpt.Checkpointable) ([]byte, ckpt.Stats, error) {
+	f.epoch++
+	return f.FoldAt(mode, f.epoch, roots)
+}
+
+// FoldTo folds and hands the merged body to sink — typically a
+// stablelog.AsyncWriter, whose Append copies the body and returns as soon as
+// it is queued, so the next fold's encoding overlaps this body's write and
+// group-commit fsync.
+func (f *Folder) FoldTo(sink Sink, mode ckpt.Mode, roots []ckpt.Checkpointable) (ckpt.Stats, error) {
+	body, stats, err := f.Fold(mode, roots)
+	if err != nil {
+		return stats, err
+	}
+	return stats, sink.Append(mode, f.epoch, body)
+}
+
+// FoldAt is Fold with an explicit epoch, for callers that interleave a
+// folder with other writers of the same stream (the difftest harness pins
+// sequential and parallel replays to the same epoch sequence). It also
+// updates the folder's epoch, so a later Fold continues from epoch+1.
+func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointable) ([]byte, ckpt.Stats, error) {
+	f.epoch = epoch
+
+	// Canonical order: ascending checkpoint id. The sequential reference is
+	// a fold over the roots in this order.
+	order := make([]int, len(roots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return roots[order[a]].CheckpointInfo().ID() < roots[order[b]].CheckpointInfo().ID()
+	})
+
+	nw := f.workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	ns := f.shards
+	if ns <= 0 {
+		ns = 4 * nw
+	}
+	if nw > ns {
+		nw = ns
+	}
+
+	// Stable shard assignment: root id mod shard count. Within a shard the
+	// canonical order is preserved, so a shard body is a contiguous run of
+	// chunks only when ns == 1; in general the chunk table below re-orders.
+	shardRoots := make([][]int, ns)
+	for _, p := range order {
+		s := int(roots[p].CheckpointInfo().ID() % uint64(ns))
+		shardRoots[s] = append(shardRoots[s], p)
+	}
+
+	for len(f.pool) < nw {
+		f.pool = append(f.pool, &worker{wr: ckpt.NewWriter(), fold: f.newFold()})
+	}
+
+	chunks := make([][]byte, len(roots))
+	errs := make([]error, ns)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		w := f.pool[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.spans = w.spans[:0]
+			w.wr.StartShard(mode, epoch)
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= ns {
+					break
+				}
+				for _, p := range shardRoots[s] {
+					start := w.wr.BodyLen()
+					if err := w.fold(w.wr, roots[p]); err != nil {
+						errs[s] = err
+						break
+					}
+					w.spans = append(w.spans, span{pos: p, start: start, end: w.wr.BodyLen()})
+				}
+			}
+			body, _, _ := w.wr.Finish()
+			for _, sp := range w.spans {
+				chunks[sp.pos] = body[sp.start:sp.end]
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: the failure in the lowest shard wins,
+	// independent of worker scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, ckpt.Stats{}, err
+		}
+	}
+
+	f.out.Reset()
+	ckpt.AppendBodyHeader(&f.out, mode, epoch)
+	var stats ckpt.Stats
+	for _, w := range f.pool[:nw] {
+		st := w.wr.Emitter().Stats()
+		st.Bytes = 0
+		stats.Add(st)
+	}
+	// Merge the per-root chunks in canonical order; canonical positions map
+	// 1:1 onto chunk-table slots via order.
+	for _, p := range order {
+		f.out.Raw(chunks[p])
+	}
+	stats.Bytes = f.out.Len()
+	return f.out.Bytes(), stats, nil
+}
+
+// Epoch returns the epoch of the last fold (0 before the first).
+func (f *Folder) Epoch() uint64 { return f.epoch }

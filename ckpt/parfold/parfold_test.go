@@ -1,0 +1,354 @@
+package parfold_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/ckpt/parfold"
+	"ickpt/internal/synth"
+	"ickpt/reflectckpt"
+	"ickpt/spec"
+	"ickpt/stablelog"
+	"ickpt/wire"
+)
+
+// twin builds two identical synth populations so one can be folded
+// sequentially and the other in parallel without the folds interfering
+// through the shared modified flags.
+func twin(shape synth.Shape) (*synth.Workload, *synth.Workload) {
+	return synth.Build(shape), synth.Build(shape)
+}
+
+// drain clears every modified flag of w, failing the test on error.
+func drain(t *testing.T, w *synth.Workload) {
+	t.Helper()
+	if err := w.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// seqFold folds the roots in ascending id order with the generic driver into
+// a fresh body at the writer's next epoch.
+func seqFold(t *testing.T, wr *ckpt.Writer, mode ckpt.Mode, roots []ckpt.Checkpointable) ([]byte, ckpt.Stats) {
+	t.Helper()
+	wr.Start(mode)
+	for _, r := range roots {
+		if err := wr.Checkpoint(r); err != nil {
+			t.Fatalf("sequential checkpoint: %v", err)
+		}
+	}
+	body, stats, err := wr.Finish()
+	if err != nil {
+		t.Fatalf("sequential finish: %v", err)
+	}
+	return body, stats
+}
+
+// shuffled returns a copy of roots in a deterministic non-canonical order,
+// exercising the folder's canonical re-ordering.
+func shuffled(roots []ckpt.Checkpointable, seed int64) []ckpt.Checkpointable {
+	out := append([]ckpt.Checkpointable(nil), roots...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(out), func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+func TestParallelMatchesSequentialSynth(t *testing.T) {
+	shape := synth.Shape{Structures: 60, ListLen: 5, Kind: synth.Ints1}
+	pat := synth.ModPattern{Percent: 50, ModifiableLists: 3}
+	const rounds = 3
+
+	for _, mode := range []ckpt.Mode{ckpt.Full, ckpt.Incremental} {
+		for _, workers := range []int{1, 2, 4} {
+			for _, shards := range []int{0, 1, 3, 16} {
+				name := fmt.Sprintf("%v/w%d/s%d", mode, workers, shards)
+				t.Run(name, func(t *testing.T) {
+					wa, wb := twin(shape)
+					drain(t, wa)
+					drain(t, wb)
+					rngA := rand.New(rand.NewSource(7))
+					rngB := rand.New(rand.NewSource(7))
+					wr := ckpt.NewWriter()
+					folder := parfold.NewGeneric(
+						parfold.WithWorkers(workers), parfold.WithShards(shards))
+					for round := 0; round < rounds; round++ {
+						wa.Mutate(rngA, pat)
+						wb.Mutate(rngB, pat)
+						want, wantStats := seqFold(t, wr, mode, wa.Roots())
+						got, gotStats, err := folder.Fold(mode, shuffled(wb.Roots(), int64(round)))
+						if err != nil {
+							t.Fatalf("round %d: parallel fold: %v", round, err)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatalf("round %d: parallel body differs from sequential (%d vs %d bytes)",
+								round, len(got), len(want))
+						}
+						if gotStats != wantStats {
+							t.Errorf("round %d: stats = %+v, want %+v", round, gotStats, wantStats)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestEngineShardFoldsMatchSequential(t *testing.T) {
+	shape := synth.Shape{Structures: 40, ListLen: 4, Kind: synth.Ints1}
+	mod := synth.ModPattern{Percent: 100, ModifiableLists: 3}
+	pat := mod.SpecPattern(shape.Kind)
+
+	plan, err := synth.CompilePlan(shape.Kind, pat, spec.WithMode(ckpt.Incremental))
+	if err != nil {
+		t.Fatalf("compile plan: %v", err)
+	}
+	genKey := synth.GenKey(shape.Kind, pat.Name)
+	gen, ok := synth.Generated(genKey)
+	if !ok {
+		t.Fatalf("no generated routine %q", genKey)
+	}
+
+	cases := []struct {
+		name    string
+		seq     func(w *synth.Workload, wr *ckpt.Writer) error
+		newFold func() parfold.FoldFunc
+	}{
+		{
+			name: "reflect",
+			seq: func(w *synth.Workload, wr *ckpt.Writer) error {
+				return w.CheckpointReflect(reflectckpt.NewEngine(), wr)
+			},
+			newFold: func() parfold.FoldFunc { return reflectckpt.ShardFold() },
+		},
+		{
+			name:    "plan",
+			seq:     func(w *synth.Workload, wr *ckpt.Writer) error { return w.CheckpointPlan(plan, wr) },
+			newFold: func() parfold.FoldFunc { return plan.ShardFold() },
+		},
+		{
+			name:    "codegen",
+			seq:     func(w *synth.Workload, wr *ckpt.Writer) error { return w.CheckpointGenerated(genKey, wr) },
+			newFold: func() parfold.FoldFunc { return parfold.FoldEmitter(gen) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wa, wb := twin(shape)
+			drain(t, wa)
+			drain(t, wb)
+			rngA := rand.New(rand.NewSource(3))
+			rngB := rand.New(rand.NewSource(3))
+			wr := ckpt.NewWriter()
+			folder := parfold.New(tc.newFold, parfold.WithWorkers(3), parfold.WithShards(5))
+			for round := 0; round < 2; round++ {
+				wa.Mutate(rngA, mod)
+				wb.Mutate(rngB, mod)
+				wr.Start(ckpt.Incremental)
+				if err := tc.seq(wa, wr); err != nil {
+					t.Fatalf("round %d: sequential: %v", round, err)
+				}
+				want, _, err := wr.Finish()
+				if err != nil {
+					t.Fatalf("round %d: finish: %v", round, err)
+				}
+				got, _, err := folder.Fold(ckpt.Incremental, wb.Roots())
+				if err != nil {
+					t.Fatalf("round %d: parallel: %v", round, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("round %d: parallel %s body differs from sequential", round, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestFoldDeterminism100 pins the determinism regression from the issue: a
+// hundred parallel folds of the same quiescent population, across goroutine
+// schedules, must produce identical bytes — and the bytes of the sequential
+// fold at that.
+func TestFoldDeterminism100(t *testing.T) {
+	shape := synth.Shape{Structures: 50, ListLen: 3, Kind: synth.Ints1}
+	w := synth.Build(shape)
+	wr := ckpt.NewWriter()
+	want, _ := seqFold(t, wr, ckpt.Full, w.Roots())
+	want = append([]byte(nil), want...)
+
+	folder := parfold.NewGeneric(parfold.WithWorkers(4), parfold.WithShards(7))
+	for i := 0; i < 100; i++ {
+		got, _, err := folder.FoldAt(ckpt.Full, 1, shuffled(w.Roots(), int64(i)))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run %d: body differs from reference", i)
+		}
+	}
+}
+
+func TestFoldToAsyncWriter(t *testing.T) {
+	shape := synth.Shape{Structures: 30, ListLen: 3, Kind: synth.Ints10}
+	pat := synth.ModPattern{Percent: 100, ModifiableLists: 2}
+	w := synth.Build(shape)
+
+	lg, err := stablelog.Create(filepath.Join(t.TempDir(), "par.log"))
+	if err != nil {
+		t.Fatalf("create log: %v", err)
+	}
+	async := stablelog.NewAsyncWriter(lg, stablelog.WithSyncEvery(2))
+	folder := parfold.NewGeneric(parfold.WithWorkers(4))
+
+	var want [][]byte
+	record := func(mode ckpt.Mode) {
+		t.Helper()
+		body, _, err := folder.Fold(mode, w.Roots())
+		if err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+		want = append(want, append([]byte(nil), body...))
+		if err := async.Append(mode, folder.Epoch(), body); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	record(ckpt.Full)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3; i++ {
+		w.Mutate(rng, pat)
+		record(ckpt.Incremental)
+	}
+	// One more through the FoldTo convenience path.
+	w.Mutate(rng, pat)
+	stats, err := folder.FoldTo(async, ckpt.Incremental, w.Roots())
+	if err != nil {
+		t.Fatalf("FoldTo: %v", err)
+	}
+	if stats.Recorded == 0 {
+		t.Fatalf("FoldTo recorded nothing")
+	}
+	if err := async.Close(); err != nil {
+		t.Fatalf("close async: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	lg2, err := stablelog.Open(filepath.Join(lg.Path()))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer lg2.Close()
+	segs := lg2.Segments()
+	if len(segs) != len(want)+1 {
+		t.Fatalf("segments = %d, want %d", len(segs), len(want)+1)
+	}
+	for i, wantBody := range want {
+		got, err := lg2.Read(segs[i].Seq)
+		if err != nil {
+			t.Fatalf("read segment %d: %v", i, err)
+		}
+		if !bytes.Equal(got, wantBody) {
+			t.Fatalf("segment %d differs from folded body", i)
+		}
+	}
+	rb := ckpt.NewRebuilder(synth.Registry())
+	if err := lg2.Recover(rb); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rb.Objects() != w.Objects() {
+		t.Fatalf("recovered %d objects, want %d", rb.Objects(), w.Objects())
+	}
+	if _, err := rb.Build(ckpt.NewDomain()); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+}
+
+// leaf is a minimal checkpointable for error-path tests.
+type leaf struct {
+	Info ckpt.Info
+	V    int64
+}
+
+func (l *leaf) CheckpointInfo() *ckpt.Info    { return &l.Info }
+func (l *leaf) CheckpointTypeID() ckpt.TypeID { return ckpt.TypeIDOf("parfold.leaf") }
+func (l *leaf) Record(e *wire.Encoder)        { e.Varint(l.V) }
+func (l *leaf) Fold(w *ckpt.Writer) error     { return nil }
+
+func TestFoldErrorDeterministic(t *testing.T) {
+	d := ckpt.NewDomain()
+	roots := make([]ckpt.Checkpointable, 40)
+	for i := range roots {
+		roots[i] = &leaf{Info: ckpt.NewInfo(d), V: int64(i)}
+	}
+	newFold := func() parfold.FoldFunc {
+		return func(w *ckpt.Writer, root ckpt.Checkpointable) error {
+			if id := root.CheckpointInfo().ID(); id%5 == 2 {
+				return fmt.Errorf("boom at %d", id)
+			}
+			return w.Checkpoint(root)
+		}
+	}
+	folder := parfold.New(newFold, parfold.WithWorkers(4), parfold.WithShards(8))
+	var first string
+	for i := 0; i < 50; i++ {
+		_, _, err := folder.FoldAt(ckpt.Full, 1, roots)
+		if err == nil {
+			t.Fatalf("run %d: fold succeeded, want error", i)
+		}
+		if i == 0 {
+			first = err.Error()
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("run %d: error %q, want %q (deterministic selection)", i, err, first)
+		}
+	}
+}
+
+func TestEpochsAndEmptyFold(t *testing.T) {
+	folder := parfold.NewGeneric(parfold.WithWorkers(2))
+	inspect := func(body []byte) ckpt.BodyInfo {
+		t.Helper()
+		info, err := ckpt.InspectBody(body, nil)
+		if err != nil {
+			t.Fatalf("inspect: %v", err)
+		}
+		return info
+	}
+
+	body, stats, err := folder.Fold(ckpt.Full, nil)
+	if err != nil {
+		t.Fatalf("empty fold: %v", err)
+	}
+	if info := inspect(body); info.Epoch != 1 || info.Records != 0 || info.Mode != ckpt.Full {
+		t.Fatalf("empty fold header = %+v", info)
+	}
+	if stats.Bytes != len(body) {
+		t.Fatalf("stats.Bytes = %d, body = %d", stats.Bytes, len(body))
+	}
+
+	body, _, err = folder.Fold(ckpt.Incremental, nil)
+	if err != nil {
+		t.Fatalf("second fold: %v", err)
+	}
+	if info := inspect(body); info.Epoch != 2 {
+		t.Fatalf("second fold epoch = %d, want 2", info.Epoch)
+	}
+	if _, _, err := folder.FoldAt(ckpt.Incremental, 9, nil); err != nil {
+		t.Fatalf("FoldAt: %v", err)
+	}
+	if folder.Epoch() != 9 {
+		t.Fatalf("epoch after FoldAt = %d, want 9", folder.Epoch())
+	}
+	body, _, err = folder.Fold(ckpt.Incremental, nil)
+	if err != nil {
+		t.Fatalf("fold after FoldAt: %v", err)
+	}
+	if info := inspect(body); info.Epoch != 10 {
+		t.Fatalf("epoch after FoldAt+Fold = %d, want 10", info.Epoch)
+	}
+}

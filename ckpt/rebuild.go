@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"fmt"
+	"slices"
 
 	"ickpt/wire"
 )
@@ -100,10 +101,15 @@ func (rb *Rebuilder) MaxID() uint64 { return rb.maxID }
 // references through a Resolver. If d is non-nil it is advanced past the
 // largest restored id.
 //
+// Objects are created and restored in ascending id order — never in Go map
+// order — so a given set of bodies always builds (or fails) the same way.
+//
 // The returned map is keyed by object id.
 func (rb *Rebuilder) Build(d *Domain) (map[uint64]Restorable, error) {
+	ids := rb.sortedIDs()
 	objs := make(map[uint64]Restorable, len(rb.latest))
-	for id, rec := range rb.latest {
+	for _, id := range ids {
+		rec := rb.latest[id]
 		f, ok := rb.reg.factory(rec.typeID)
 		if !ok {
 			return nil, fmt.Errorf("%w: %d (object %d)", ErrUnknownType, rec.typeID, id)
@@ -116,7 +122,8 @@ func (rb *Rebuilder) Build(d *Domain) (map[uint64]Restorable, error) {
 		objs[id] = o
 	}
 	res := &Resolver{objects: objs}
-	for id, rec := range rb.latest {
+	for _, id := range ids {
+		rec := rb.latest[id]
 		dec := wire.NewDecoder(rec.payload)
 		if err := objs[id].Restore(dec, res); err != nil {
 			return nil, fmt.Errorf("restore object %d (%s): %w", id, rb.reg.Name(rec.typeID), err)
@@ -129,6 +136,16 @@ func (rb *Rebuilder) Build(d *Domain) (map[uint64]Restorable, error) {
 		d.Advance(rb.maxID)
 	}
 	return objs, nil
+}
+
+// sortedIDs returns the known object ids in ascending order.
+func (rb *Rebuilder) sortedIDs() []uint64 {
+	ids := make([]uint64, 0, len(rb.latest))
+	for id := range rb.latest {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 // Resolver resolves child ids to rebuilt objects during Restore.

@@ -74,6 +74,27 @@ func (w *Writer) Start(mode Mode) {
 	clear(w.onStack)
 }
 
+// StartShard begins a headerless shard body in the given mode: the writer
+// frames records exactly as Start does but emits no body header, and its
+// epoch is pinned to the merged checkpoint's epoch instead of advancing. A
+// parallel fold (package parfold) gives each worker a shard writer, then
+// concatenates the shard bodies in canonical id order after a single
+// AppendBodyHeader, reconstituting a body byte-identical to a sequential
+// fold over the same roots in the same order.
+func (w *Writer) StartShard(mode Mode, epoch uint64) {
+	w.epoch = epoch
+	w.enc.Reset()
+	w.emitter.ResetShard(&w.enc)
+	w.mode = mode
+	w.started = true
+	clear(w.onStack)
+}
+
+// BodyLen returns the number of bytes written to the body in progress.
+// Together with StartShard it lets a parallel fold slice the per-root chunks
+// out of a worker's shard body.
+func (w *Writer) BodyLen() int { return w.enc.Len() }
+
 // Checkpoint traverses the structure rooted at o, recording objects
 // according to the writer's mode. It corresponds to the paper's
 // Checkpoint.checkpoint method: in Incremental mode, record o if its

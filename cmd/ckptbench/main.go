@@ -2,15 +2,22 @@
 //
 // Usage:
 //
-//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations]
+//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel]
 //	          [-n STRUCTURES] [-scale N] [-reps R] [-warmup W] [-seed S]
-//	          [-csv DIR]
+//	          [-csv DIR] [-parallel WORKERS] [-shards N]
+//
+// The parallel experiment measures the sharded parallel fold (ckpt/parfold)
+// against the sequential writer across a worker grid, and writes the result
+// as BENCH_parallel.json. -parallel N routes every synthetic experiment
+// through the parallel folder with N workers; -shards overrides the shard
+// count (0 = 4x workers).
 //
 // Each experiment prints a table whose rows mirror the corresponding paper
 // result; with -csv the tables are also written as CSV files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +36,8 @@ func main() {
 		warmup     = flag.Int("warmup", 1, "warmup checkpoints per cell")
 		seed       = flag.Int64("seed", 1, "mutation seed")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		parallel   = flag.Int("parallel", 0, "run synthetic experiments through the parallel fold with this many workers (0 = sequential)")
+		shards     = flag.Int("shards", 0, "shard count for the parallel fold (0 = 4x workers)")
 	)
 	flag.Parse()
 
@@ -38,7 +47,10 @@ func main() {
 		Warmup:      *warmup,
 		Seed:        *seed,
 	}
-	if err := run(*experiment, opts, *scale, *workload, *csvDir); err != nil {
+	if *parallel > 0 {
+		opts.Par = harness.ParConfig{Enabled: true, Workers: *parallel, Shards: *shards}
+	}
+	if err := run(*experiment, opts, *scale, *workload, *csvDir, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "ckptbench:", err)
 		os.Exit(1)
 	}
@@ -46,12 +58,22 @@ func main() {
 
 type experimentFn func() (*harness.Table, error)
 
-func run(experiment string, opts harness.Options, scale int, workload, csvDir string) error {
+func run(experiment string, opts harness.Options, scale int, workload, csvDir string, shards int) error {
 	aw, err := harness.WorkloadByName(workload)
 	if err != nil {
 		return err
 	}
 	exps := map[string][]experimentFn{
+		"parallel": {func() (*harness.Table, error) {
+			tbl, rep, err := harness.ParallelScaling(opts, aw, scale, shards)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeJSON("BENCH_parallel.json", rep); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}},
 		"table1":         {func() (*harness.Table, error) { return harness.Table1For(aw, scale) }},
 		"table1-profile": {func() (*harness.Table, error) { return harness.Table1ProfileFor(aw, scale) }},
 		"table2":         {func() (*harness.Table, error) { return harness.Table2(opts) }},
@@ -68,7 +90,7 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			func() (*harness.Table, error) { return harness.AblationAsync(opts) },
 		},
 	}
-	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations"}
+	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel"}
 
 	var selected []experimentFn
 	if experiment == "all" {
@@ -109,4 +131,13 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 		}
 	}
 	return nil
+}
+
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

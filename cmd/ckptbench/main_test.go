@@ -26,7 +26,7 @@ func TestRunSingleExperiment(t *testing.T) {
 		devnull.Close()
 	}()
 
-	if err := run("fig7", tinyOpts(), 1, "image", ""); err != nil {
+	if err := run("fig7", tinyOpts(), 1, "image", "", 0); err != nil {
 		t.Fatalf("run(fig7): %v", err)
 	}
 }
@@ -42,16 +42,48 @@ func TestRunDSPWorkload(t *testing.T) {
 		os.Stdout = old
 		devnull.Close()
 	}()
-	if err := run("table1", tinyOpts(), 1, "dsp", ""); err != nil {
+	if err := run("table1", tinyOpts(), 1, "dsp", "", 0); err != nil {
 		t.Fatalf("run(table1, dsp): %v", err)
 	}
-	if err := run("table1", tinyOpts(), 1, "nope", ""); err == nil {
+	if err := run("table1", tinyOpts(), 1, "nope", "", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
+func TestRunParallelExperiment(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	// The parallel experiment writes BENCH_parallel.json into the working
+	// directory.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	if err := run("parallel", tinyOpts(), 1, "image", "", 0); err != nil {
+		t.Fatalf("run(parallel): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_parallel.json")); err != nil {
+		t.Errorf("BENCH_parallel.json not written: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", tinyOpts(), 1, "image", ""); err == nil {
+	if err := run("nope", tinyOpts(), 1, "image", "", 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +101,7 @@ func TestRunWritesCSV(t *testing.T) {
 	}()
 
 	dir := t.TempDir()
-	if err := run("fig8", tinyOpts(), 1, "image", dir); err != nil {
+	if err := run("fig8", tinyOpts(), 1, "image", dir, 0); err != nil {
 		t.Fatalf("run(fig8): %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {

@@ -1,0 +1,291 @@
+// Package difftest is a differential test harness for the checkpoint
+// engines: it replays recorded mutation traces through every engine
+// (virtual, reflect, plan, codegen), sequentially and through the parallel
+// sharded fold, and asserts that all of them produce equivalent checkpoints.
+//
+// Equivalence is checked at two levels:
+//
+//   - byte level: every strategy's body stream is byte-identical to the
+//     reference stream (the generic virtual driver folding sequentially in
+//     canonical id order) — the repo-wide invariant that specialization and
+//     parallelism are strictly optimizations;
+//   - rebuild level: ckpt.Rebuilder.Apply over each stream reaches the same
+//     object graph as the live population the stream was recorded from.
+//
+// The harness is reusable: a Trace bundles a deterministic population
+// builder with a replayable mutation script and the engine entry points that
+// population supports; RunDiff drives the full engine x strategy matrix.
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/ckpt/parfold"
+	"ickpt/wire"
+)
+
+// Take requests one checkpoint of the population's roots: the replay script
+// calls it at every point of the trace where the application would
+// checkpoint. phase tags the program phase (analysis phase name, "" when the
+// workload has only one), selecting phase-specialized engine routines.
+type Take func(mode ckpt.Mode, phase string) error
+
+// EngineSpec is one engine's entry points over a population.
+type EngineSpec struct {
+	// Name identifies the engine: "virtual", "reflect", "plan", "codegen".
+	Name string
+	// NewFold returns a factory of per-goroutine fold closures for a
+	// checkpoint in the given mode and phase. A nil NewFold — or a nil
+	// factory for a particular (mode, phase) — falls back to the generic
+	// virtual fold, mirroring production use where specialized routines
+	// cover the steady-state phases and the generic driver takes base full
+	// checkpoints.
+	NewFold func(mode ckpt.Mode, phase string) func() parfold.FoldFunc
+}
+
+// Population is a built object graph plus its replayable mutation script.
+type Population struct {
+	// Roots are the graph's fold roots (disjoint subtrees).
+	Roots []ckpt.Checkpointable
+	// Registry resolves the graph's types for rebuilding.
+	Registry *ckpt.Registry
+	// Replay runs the trace: it applies the scripted mutations and calls
+	// take at every checkpoint point, deterministically.
+	Replay func(take Take) error
+	// Engines lists the engines the population supports.
+	Engines []EngineSpec
+}
+
+// Trace names a deterministic workload. Build must construct an identical
+// population (same ids, same state, same mutation script) on every call, so
+// each engine x strategy combination replays the exact same history.
+type Trace struct {
+	Name  string
+	Build func() (*Population, error)
+}
+
+// Strategy selects sequential or parallel folding.
+type Strategy struct {
+	// Name identifies the strategy in test output.
+	Name string
+	// Workers <= 0 folds sequentially; otherwise the parallel driver runs
+	// with this many workers and Shards shards.
+	Workers int
+	Shards  int
+}
+
+// Strategies is the standard strategy axis: the sequential reference and a
+// parallel configuration with enough workers and a shard count that is
+// neither 1 nor a divisor-friendly power of two.
+var Strategies = []Strategy{
+	{Name: "sequential"},
+	{Name: "parallel", Workers: 4, Shards: 7},
+}
+
+// factory resolves the fold factory for one checkpoint, falling back to the
+// generic fold.
+func (e EngineSpec) factory(mode ckpt.Mode, phase string) func() parfold.FoldFunc {
+	if e.NewFold != nil {
+		if nf := e.NewFold(mode, phase); nf != nil {
+			return nf
+		}
+	}
+	return parfold.Generic
+}
+
+// Replay builds the trace's population and replays it under one engine and
+// strategy. It returns the checkpoint bodies in trace order (copied) and the
+// final population, for rebuild-equivalence checks against the live graph.
+func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error) {
+	pop, err := tr.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: build: %w", tr.Name, err)
+	}
+	var eng *EngineSpec
+	for i := range pop.Engines {
+		if pop.Engines[i].Name == engine {
+			eng = &pop.Engines[i]
+			break
+		}
+	}
+	if eng == nil {
+		return nil, nil, fmt.Errorf("%s: no engine %q", tr.Name, engine)
+	}
+
+	roots := append([]ckpt.Checkpointable(nil), pop.Roots...)
+	ckpt.SortRoots(roots)
+
+	var bodies [][]byte
+	var epoch uint64
+	var take Take
+	if st.Workers <= 0 {
+		wr := ckpt.NewWriter()
+		take = func(mode ckpt.Mode, phase string) error {
+			epoch++
+			fold := eng.factory(mode, phase)()
+			wr.Start(mode)
+			for _, r := range roots {
+				if err := fold(wr, r); err != nil {
+					return err
+				}
+			}
+			body, _, err := wr.Finish()
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, append([]byte(nil), body...))
+			return nil
+		}
+	} else {
+		take = func(mode ckpt.Mode, phase string) error {
+			epoch++
+			folder := parfold.New(eng.factory(mode, phase),
+				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+			body, _, err := folder.FoldAt(mode, epoch, roots)
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, append([]byte(nil), body...))
+			return nil
+		}
+	}
+	if err := pop.Replay(take); err != nil {
+		return nil, nil, fmt.Errorf("%s/%s/%s: replay: %w", tr.Name, engine, st.Name, err)
+	}
+	return bodies, pop, nil
+}
+
+// RunDiff replays tr through every engine x strategy combination and asserts
+// byte- and rebuild-equivalence. The reference stream is the virtual engine
+// folding sequentially; the trace's population must list a "virtual" engine.
+func RunDiff(t *testing.T, tr Trace) {
+	t.Helper()
+	refBodies, refPop, err := Replay(tr, "virtual", Strategies[0])
+	if err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+	if len(refBodies) == 0 {
+		t.Fatalf("trace %s produced no checkpoints", tr.Name)
+	}
+	refDump, err := LiveDump(refPop)
+	if err != nil {
+		t.Fatalf("live dump: %v", err)
+	}
+
+	for _, eng := range refPop.Engines {
+		for _, st := range Strategies {
+			t.Run(eng.Name+"/"+st.Name, func(t *testing.T) {
+				bodies, pop, err := Replay(tr, eng.Name, st)
+				if err != nil {
+					t.Fatalf("replay: %v", err)
+				}
+				if len(bodies) != len(refBodies) {
+					t.Fatalf("took %d checkpoints, reference took %d", len(bodies), len(refBodies))
+				}
+				for i := range bodies {
+					if !bytes.Equal(bodies[i], refBodies[i]) {
+						t.Fatalf("checkpoint %d of %d: body differs from reference (%d vs %d bytes)",
+							i, len(bodies), len(bodies[i]), len(refBodies[i]))
+					}
+				}
+				rebuilt, err := RebuildDump(pop.Registry, bodies)
+				if err != nil {
+					t.Fatalf("rebuild: %v", err)
+				}
+				live, err := LiveDump(pop)
+				if err != nil {
+					t.Fatalf("live dump: %v", err)
+				}
+				if !bytes.Equal(rebuilt, live) {
+					t.Fatalf("rebuilt graph differs from live population")
+				}
+				if !bytes.Equal(live, refDump) {
+					t.Fatalf("final live state differs from reference replay's")
+				}
+			})
+		}
+	}
+}
+
+// RebuildDump applies the bodies to a fresh Rebuilder, materializes the
+// graph, and returns its canonical dump.
+func RebuildDump(reg *ckpt.Registry, bodies [][]byte) ([]byte, error) {
+	rb := ckpt.NewRebuilder(reg)
+	for i, b := range bodies {
+		if err := rb.Apply(b); err != nil {
+			return nil, fmt.Errorf("apply body %d: %w", i, err)
+		}
+	}
+	objs, err := rb.Build(ckpt.NewDomain())
+	if err != nil {
+		return nil, err
+	}
+	dump := make(map[uint64]dumpRec, len(objs))
+	var e wire.Encoder
+	for id, o := range objs {
+		e.Reset()
+		o.Record(&e)
+		dump[id] = dumpRec{typeID: o.CheckpointTypeID(), payload: append([]byte(nil), e.Bytes()...)}
+	}
+	return canonical(dump), nil
+}
+
+// LiveDump captures the population's current object graph as a canonical
+// dump: one entry per object reachable from the roots, keyed and sorted by
+// id. It takes a throwaway full checkpoint with the generic driver (which
+// also verifies no object is reachable from two roots — the disjointness
+// half of the parallel memory-model contract), so the population's modified
+// flags are consumed; call it only after the replay is done.
+func LiveDump(pop *Population) ([]byte, error) {
+	roots := append([]ckpt.Checkpointable(nil), pop.Roots...)
+	ckpt.SortRoots(roots)
+	wr := ckpt.NewWriter()
+	wr.Start(ckpt.Full)
+	for _, r := range roots {
+		if err := wr.Checkpoint(r); err != nil {
+			return nil, err
+		}
+	}
+	body, _, err := wr.Finish()
+	if err != nil {
+		return nil, err
+	}
+	dump := make(map[uint64]dumpRec)
+	if _, err := ckpt.InspectBody(body, func(id uint64, t ckpt.TypeID, payload []byte) error {
+		if _, dup := dump[id]; dup {
+			return fmt.Errorf("object %d reachable twice: roots are not disjoint", id)
+		}
+		dump[id] = dumpRec{typeID: t, payload: append([]byte(nil), payload...)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return canonical(dump), nil
+}
+
+// dumpRec is one object's canonical dump entry.
+type dumpRec struct {
+	typeID  ckpt.TypeID
+	payload []byte
+}
+
+// canonical serializes a dump in ascending id order.
+func canonical(dump map[uint64]dumpRec) []byte {
+	ids := make([]uint64, 0, len(dump))
+	for id := range dump {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	var e wire.Encoder
+	for _, id := range ids {
+		rec := dump[id]
+		e.Uvarint(id)
+		e.Uvarint(uint64(rec.typeID))
+		e.BytesField(rec.payload)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}

@@ -1,0 +1,276 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ickpt/ckpt"
+	"ickpt/ckpt/parfold"
+	"ickpt/reflectckpt"
+	"ickpt/spec"
+	"ickpt/wire"
+)
+
+// The editor workload mirrors examples/editor — documents holding linked
+// lists of paragraphs, mutated through Cells — as a difftest-local
+// population (the example is package main and cannot be imported). Several
+// documents act as fold roots so the parallel strategy has real shards.
+
+var (
+	typeDocument  = ckpt.TypeIDOf("difftest.document")
+	typeParagraph = ckpt.TypeIDOf("difftest.paragraph")
+)
+
+type paragraph struct {
+	Info ckpt.Info
+	Text ckpt.Cell[string] `ckpt:"field"`
+	Revs ckpt.Cell[int64]  `ckpt:"field"`
+	Next *paragraph        `ckpt:"next"`
+}
+
+var _ ckpt.Restorable = (*paragraph)(nil)
+
+func (p *paragraph) CheckpointInfo() *ckpt.Info    { return &p.Info }
+func (p *paragraph) CheckpointTypeID() ckpt.TypeID { return typeParagraph }
+func (p *paragraph) Record(e *wire.Encoder) {
+	e.String(p.Text.V)
+	e.Varint(p.Revs.V)
+	if p.Next != nil {
+		e.Uvarint(p.Next.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+func (p *paragraph) Fold(w *ckpt.Writer) error {
+	if p.Next != nil {
+		return w.Checkpoint(p.Next)
+	}
+	return nil
+}
+func (p *paragraph) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	p.Text.V = d.String()
+	p.Revs.V = d.Varint()
+	next, err := ckpt.ResolveAs[*paragraph](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	p.Next = next
+	return nil
+}
+
+type document struct {
+	Info  ckpt.Info
+	Title ckpt.Cell[string] `ckpt:"field"`
+	Edits ckpt.Cell[int64]  `ckpt:"field"`
+	Head  *paragraph        `ckpt:"list"`
+}
+
+var _ ckpt.Restorable = (*document)(nil)
+
+func (doc *document) CheckpointInfo() *ckpt.Info    { return &doc.Info }
+func (doc *document) CheckpointTypeID() ckpt.TypeID { return typeDocument }
+func (doc *document) Record(e *wire.Encoder) {
+	e.String(doc.Title.V)
+	e.Varint(doc.Edits.V)
+	if doc.Head != nil {
+		e.Uvarint(doc.Head.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+func (doc *document) Fold(w *ckpt.Writer) error {
+	if doc.Head != nil {
+		return w.Checkpoint(doc.Head)
+	}
+	return nil
+}
+func (doc *document) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	doc.Title.V = d.String()
+	doc.Edits.V = d.Varint()
+	head, err := ckpt.ResolveAs[*paragraph](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	doc.Head = head
+	return nil
+}
+
+func editorRegistry() *ckpt.Registry {
+	reg := ckpt.NewRegistry()
+	reg.MustRegister("difftest.document", func(id uint64) ckpt.Restorable {
+		return &document{Info: ckpt.RestoredInfo(id)}
+	})
+	reg.MustRegister("difftest.paragraph", func(id uint64) ckpt.Restorable {
+		return &paragraph{Info: ckpt.RestoredInfo(id)}
+	})
+	return reg
+}
+
+// editorCatalog declares the specialization classes for the editor
+// structure, for the plan engine.
+func editorCatalog() *spec.Catalog {
+	cat := spec.NewCatalog()
+	cat.MustRegister(spec.Class{
+		Name:   "document",
+		TypeID: typeDocument,
+		GoType: "*document",
+		Fields: []spec.Field{
+			{Name: "Title", Kind: spec.String, Go: "o.Title.V"},
+			{Name: "Edits", Kind: spec.Int, Go: "o.Edits.V"},
+		},
+		Children:  []spec.Child{{Name: "Head", Class: "paragraph", List: true, Go: "o.Head"}},
+		NextChild: -1,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*document).Info },
+		Record: func(o any, e *wire.Encoder) { o.(*document).Record(e) },
+		Child: func(o any, i int) any {
+			if h := o.(*document).Head; h != nil {
+				return h
+			}
+			return nil
+		},
+	})
+	cat.MustRegister(spec.Class{
+		Name:   "paragraph",
+		TypeID: typeParagraph,
+		GoType: "*paragraph",
+		Fields: []spec.Field{
+			{Name: "Text", Kind: spec.String, Go: "o.Text.V"},
+			{Name: "Revs", Kind: spec.Int, Go: "o.Revs.V"},
+		},
+		Children:  []spec.Child{{Name: "Next", Class: "paragraph", Go: "o.Next"}},
+		NextChild: 0,
+	}, spec.Binding{
+		Info:   func(o any) *ckpt.Info { return &o.(*paragraph).Info },
+		Record: func(o any, e *wire.Encoder) { o.(*paragraph).Record(e) },
+		Child: func(o any, i int) any {
+			if n := o.(*paragraph).Next; n != nil {
+				return n
+			}
+			return nil
+		},
+	})
+	return cat
+}
+
+// checkpointEditorIncr is the hand-written analog of a generated specialized
+// incremental routine for the editor structure (no pattern: every class may
+// be modified), in the exact shape cmd/ckptgen emits — it stands in for the
+// codegen engine on this workload.
+func checkpointEditorIncr(root ckpt.Checkpointable, em *ckpt.Emitter) {
+	doc := root.(*document)
+	em.Visit()
+	if doc.Info.Modified() {
+		p := em.Begin(&doc.Info, typeDocument)
+		p.String(doc.Title.V)
+		p.Varint(doc.Edits.V)
+		if c := doc.Head; c != nil {
+			p.Uvarint(c.Info.ID())
+		} else {
+			p.Uvarint(ckpt.NilID)
+		}
+		em.End()
+		doc.Info.ResetModified()
+	} else {
+		em.Skip()
+	}
+	for c := doc.Head; c != nil; c = c.Next {
+		em.Visit()
+		if c.Info.Modified() {
+			p := em.Begin(&c.Info, typeParagraph)
+			p.String(c.Text.V)
+			p.Varint(c.Revs.V)
+			if n := c.Next; n != nil {
+				p.Uvarint(n.Info.ID())
+			} else {
+				p.Uvarint(ckpt.NilID)
+			}
+			em.End()
+			c.Info.ResetModified()
+		} else {
+			em.Skip()
+		}
+	}
+}
+
+// EditorTrace builds a trace over the editor workload: docs documents of
+// paras paragraphs each, a base full checkpoint, then rounds of seeded
+// editing-through-Cells with one incremental checkpoint per round.
+func EditorTrace(docs, paras, rounds int, seed int64) Trace {
+	name := fmt.Sprintf("editor-d%d-p%d", docs, paras)
+	return Trace{Name: name, Build: func() (*Population, error) {
+		domain := ckpt.NewDomain()
+		population := make([]*document, 0, docs)
+		roots := make([]ckpt.Checkpointable, 0, docs)
+		for di := 0; di < docs; di++ {
+			doc := &document{Info: ckpt.NewInfo(domain)}
+			doc.Title.V = fmt.Sprintf("doc %d", di)
+			for pi := paras - 1; pi >= 0; pi-- {
+				p := &paragraph{Info: ckpt.NewInfo(domain)}
+				p.Text.V = fmt.Sprintf("d%d p%d", di, pi)
+				p.Next = doc.Head
+				doc.Head = p
+			}
+			population = append(population, doc)
+			roots = append(roots, doc)
+		}
+
+		planIncr, err := spec.Compile(editorCatalog(), "document", nil, spec.WithMode(ckpt.Incremental))
+		if err != nil {
+			return nil, err
+		}
+		planFull, err := spec.Compile(editorCatalog(), "document", nil, spec.WithMode(ckpt.Full))
+		if err != nil {
+			return nil, err
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		return &Population{
+			Roots:    roots,
+			Registry: editorRegistry(),
+			Replay: func(take Take) error {
+				if err := take(ckpt.Full, ""); err != nil {
+					return err
+				}
+				for r := 0; r < rounds; r++ {
+					for _, doc := range population {
+						n := 0
+						for p := doc.Head; p != nil; p = p.Next {
+							if rng.Intn(3) == 0 {
+								p.Text.Set(&p.Info, p.Text.V+"+")
+								p.Revs.Set(&p.Info, p.Revs.V+1)
+								n++
+							}
+						}
+						if n > 0 {
+							doc.Edits.Set(&doc.Info, doc.Edits.V+int64(n))
+						}
+					}
+					if err := take(ckpt.Incremental, ""); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Engines: []EngineSpec{
+				{Name: "virtual"},
+				{Name: "reflect", NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
+					return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
+				}},
+				{Name: "plan", NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
+					plan := planIncr
+					if mode == ckpt.Full {
+						plan = planFull
+					}
+					return func() parfold.FoldFunc { return plan.ShardFold() }
+				}},
+				{Name: "codegen", NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
+					if mode != ckpt.Incremental {
+						return nil
+					}
+					return func() parfold.FoldFunc { return parfold.FoldEmitter(checkpointEditorIncr) }
+				}},
+			},
+		}, nil
+	}}
+}

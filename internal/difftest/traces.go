@@ -1,0 +1,37 @@
+package difftest
+
+import (
+	"ickpt/internal/harness"
+	"ickpt/internal/synth"
+)
+
+// Traces returns the standard differential suite: two synthetic traces (the
+// list pattern and the harder last-element-only pattern), the minic analysis
+// engine on the paper's image program, and the editor workload.
+func Traces() []Trace {
+	return []Trace{
+		SynthTrace(
+			synth.Shape{Structures: 40, ListLen: 5, Kind: synth.Ints1},
+			synth.ModPattern{Percent: 50, ModifiableLists: 3}, 3, 5),
+		SynthTrace(
+			synth.Shape{Structures: 24, ListLen: 4, Kind: synth.Ints10},
+			synth.ModPattern{Percent: 100, ModifiableLists: 3, LastOnly: true}, 3, 9),
+		AnalysisTrace(harness.ImageWorkload, 1),
+		EditorTrace(8, 6, 4, 13),
+	}
+}
+
+// SeedBodies replays every standard trace with the reference engine and
+// returns all checkpoint bodies produced, in order — a corpus of valid
+// bodies for fuzz targets over the body decoder and the rebuilder.
+func SeedBodies() ([][]byte, error) {
+	var out [][]byte
+	for _, tr := range Traces() {
+		bodies, _, err := Replay(tr, "virtual", Strategies[0])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bodies...)
+	}
+	return out, nil
+}

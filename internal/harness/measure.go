@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ickpt/ckpt"
+	"ickpt/ckpt/parfold"
 	"ickpt/internal/synth"
 	"ickpt/reflectckpt"
 	"ickpt/spec"
@@ -28,6 +29,18 @@ const (
 	EnginePlan    Engine = "plan"
 	EngineCodegen Engine = "codegen"
 )
+
+// ParConfig routes a measurement through the sharded parallel fold driver
+// (ckpt/parfold) instead of the sequential Writer. The parallel fold is
+// byte-identical to the sequential one, so timings remain comparable.
+type ParConfig struct {
+	// Enabled turns on the parallel fold.
+	Enabled bool
+	// Workers is the fold worker count (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the shard count (0 = 4x workers).
+	Shards int
+}
 
 // SynthConfig describes one synthetic measurement cell.
 type SynthConfig struct {
@@ -57,6 +70,9 @@ type SynthConfig struct {
 	// each checkpoint, making full and incremental record identical
 	// object sets; it overrides Mod.
 	TouchAll bool
+	// Par, when enabled, measures the sharded parallel fold instead of
+	// the sequential writer.
+	Par ParConfig
 }
 
 // Measurement is the result of one cell.
@@ -89,6 +105,9 @@ func MeasureSynth(cfg SynthConfig) (Measurement, error) {
 	w := synth.Build(cfg.Shape)
 	if err := w.Drain(); err != nil {
 		return Measurement{}, err
+	}
+	if cfg.Par.Enabled {
+		return measureSynthParallel(cfg, w)
 	}
 
 	run, err := NewRunner(cfg, w)
@@ -130,6 +149,85 @@ func MeasureSynth(cfg SynthConfig) (Measurement, error) {
 	}
 	last.NsPerCheckpoint = median(times)
 	return last, nil
+}
+
+// measureSynthParallel is the parallel counterpart of the MeasureSynth
+// timing loop: each checkpoint is one Folder.Fold over the workload roots,
+// timed end to end (shard folds plus merge).
+func measureSynthParallel(cfg SynthConfig, w *synth.Workload) (Measurement, error) {
+	newFold, err := NewShardFold(cfg, w)
+	if err != nil {
+		return Measurement{}, err
+	}
+	folder := parfold.New(newFold,
+		parfold.WithWorkers(cfg.Par.Workers), parfold.WithShards(cfg.Par.Shards))
+	roots := w.Roots()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		times    []float64
+		last     Measurement
+		modified int
+	)
+	total := cfg.Warmup + cfg.Repetitions
+	for i := 0; i < total; i++ {
+		switch {
+		case cfg.Traversal:
+		case cfg.TouchAll:
+			w.TouchAll()
+			modified = w.Objects()
+		default:
+			modified = w.Mutate(rng, cfg.Mod)
+		}
+		t0 := time.Now()
+		body, stats, err := folder.Fold(cfg.Mode, roots)
+		dt := time.Since(t0)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if i >= cfg.Warmup {
+			times = append(times, float64(dt.Nanoseconds()))
+			last = Measurement{Bytes: len(body), Stats: stats, Modified: modified}
+		}
+	}
+	last.NsPerCheckpoint = median(times)
+	return last, nil
+}
+
+// NewShardFold builds the per-engine shard fold factory for the parallel
+// driver: every call of the returned factory yields a FoldFunc that is safe
+// for one parfold worker to use concurrently with the others.
+func NewShardFold(cfg SynthConfig, w *synth.Workload) (func() parfold.FoldFunc, error) {
+	switch cfg.Engine {
+	case EngineVirtual, "":
+		return func() parfold.FoldFunc { return parfold.Generic() }, nil
+	case EngineReflect:
+		// One reflection engine per worker: Engine caches are not
+		// concurrency-safe.
+		return func() parfold.FoldFunc { return reflectckpt.ShardFold() }, nil
+	case EnginePlan:
+		plan, err := synth.CompilePlan(cfg.Shape.Kind, patternFor(cfg), spec.WithMode(cfg.Mode))
+		if err != nil {
+			return nil, err
+		}
+		return func() parfold.FoldFunc { return plan.ShardFold() }, nil
+	case EngineCodegen:
+		if cfg.Mode != ckpt.Incremental {
+			return nil, fmt.Errorf("harness: codegen engine supports incremental mode only")
+		}
+		name := ""
+		if pat := patternFor(cfg); pat != nil {
+			name = pat.Name
+		}
+		key := synth.GenKey(cfg.Shape.Kind, name)
+		fn, ok := synth.Generated(key)
+		if !ok {
+			return nil, fmt.Errorf("harness: no generated routine %q", key)
+		}
+		return func() parfold.FoldFunc { return parfold.FoldEmitter(fn) }, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown engine %q", cfg.Engine)
+	}
 }
 
 // NewRunner builds the per-engine checkpoint closure for a workload: the
@@ -195,6 +293,9 @@ type Options struct {
 	Warmup      int
 	// Seed feeds the mutation driver.
 	Seed int64
+	// Par routes every synthetic measurement through the parallel fold
+	// driver (ckptbench -parallel).
+	Par ParConfig
 }
 
 // withDefaults fills unset fields with paper-faithful values.

@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ickpt/ckpt"
 	"ickpt/reflectckpt"
@@ -311,12 +312,15 @@ func Generated(key string) (func(ckpt.Checkpointable, *ckpt.Emitter), bool) {
 	return fn, ok
 }
 
-// GeneratedKeys returns the registered generated-routine keys.
+// GeneratedKeys returns the registered generated-routine keys in sorted
+// order, never in Go map order, so callers that iterate the registry behave
+// identically run to run.
 func GeneratedKeys() []string {
 	keys := make([]string, 0, len(generatedFuncs))
 	for k := range generatedFuncs {
 		keys = append(keys, k)
 	}
+	sort.Strings(keys)
 	return keys
 }
 

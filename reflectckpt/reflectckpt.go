@@ -79,6 +79,15 @@ func NewEngine() *Engine {
 	return &Engine{schemas: make(map[reflect.Type]*schema)}
 }
 
+// ShardFold returns a fold closure for the parallel fold driver
+// (ckpt/parfold). Each call builds a fresh Engine, so every fold worker owns
+// its schema cache: Engine is not safe for concurrent use, and per-worker
+// instances are how reflection joins the sharded fold. The cache is retained
+// across folds by workers that keep the closure.
+func ShardFold() func(w *ckpt.Writer, root ckpt.Checkpointable) error {
+	return NewEngine().Checkpoint
+}
+
 // Checkpoint traverses the structure rooted at root by reflection, recording
 // objects into w according to w's mode. The writer must be started.
 func (en *Engine) Checkpoint(w *ckpt.Writer, root ckpt.Checkpointable) error {
