@@ -43,10 +43,11 @@ check-generated:
 
 # Crash-consistency suite: the fault-injection harness plus the stablelog
 # power-cut sweep and durability regressions (see docs/DURABILITY.md),
-# plus the parallel fold and the differential harness, under the race
-# detector and without cached results.
+# the epoch commit/abort session, the parallel fold, and the differential
+# harness (including the fault sweep), under the race detector and without
+# cached results.
 faultcheck:
-	$(GO) test -race -count=1 ./internal/faultfs/ ./stablelog/ ./ckpt/parfold/ ./internal/difftest/
+	$(GO) test -race -count=1 ./internal/faultfs/ ./stablelog/ ./ckpt/ ./ckpt/parfold/ ./internal/difftest/
 
 # Cross-engine differential equivalence suite: every engine, sequential and
 # parallel, byte-level and rebuild-level (see internal/difftest).

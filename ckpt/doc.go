@@ -39,6 +39,30 @@
 // uses a blocking protocol (mutators must be quiescent during a checkpoint),
 // matching the paper's assumptions.
 //
+// # Failure atomicity: the epoch commit/abort protocol
+//
+// Clearing a modified flag is a bet that the body being encoded will reach
+// stable storage. If the body is lost — a fold error, a failed append, a
+// failed fsync — the cleared flags become lost updates: the next incremental
+// checkpoint skips exactly the objects whose latest state was just lost.
+// [Session] makes the bet safe. The emitter records every cleared id into a
+// per-epoch clear-set; a writer built [WithSession] hands each epoch's
+// clear-set to the session, where it stays pending until the caller resolves
+// it:
+//
+//   - [Session.Commit] once the body is durable — the flags stay cleared;
+//   - [Session.Abort] if the body is lost — every cleared flag is re-marked,
+//     so the next incremental checkpoint recaptures the lost state;
+//   - [Session.Ack] adapts both to an (epoch, error) callback, matching
+//     stablelog's asynchronous acknowledgement.
+//
+// The writer aborts on its own when a fold fails ([Writer.Finish] refuses a
+// half-built body) or when [Writer.Start] discards an unfinished body. If an
+// abort cannot re-mark an object (no captured Info and no [InfoResolver]
+// match), the session degrades and [Session.NextMode] forces the next
+// checkpoint to Full — the safe fallback. See docs/DURABILITY.md for the
+// end-to-end contract including the log.
+//
 // # Memory model for parallel folding
 //
 // Package parfold folds disjoint subtrees of the registered graph on a pool

@@ -51,6 +51,7 @@ type Emitter struct {
 	dst     *wire.Encoder
 	scratch wire.Encoder
 	stats   Stats
+	clears  []ClearEntry
 
 	curID   uint64
 	curType TypeID
@@ -72,13 +73,24 @@ func (em *Emitter) Reset(dst *wire.Encoder, mode Mode, epoch uint64) {
 func (em *Emitter) ResetShard(dst *wire.Encoder) {
 	em.dst = dst
 	em.stats = Stats{}
+	em.clears = nil
 	em.open = false
 }
 
 // Begin starts the record for one object and returns the encoder into which
 // the object's payload (its Record output) must be written. Each Begin must
 // be paired with End before the next Begin.
+//
+// Begin is also where the epoch's clear-set is captured: if the object's
+// modified flag is set now, the caller is about to record the object and
+// clear the flag (every engine — Emit/EmitIfModified, reflectckpt, compiled
+// plans, generated routines — funnels through Begin before it resets the
+// flag), so the object's id and Info are appended to the clear-set for
+// commit/abort accounting. See Session.
 func (em *Emitter) Begin(info *Info, t TypeID) *wire.Encoder {
+	if info.Modified() {
+		em.clears = append(em.clears, ClearEntry{ID: info.ID(), Info: info})
+	}
 	em.curID = info.ID()
 	em.curType = t
 	em.open = true
@@ -128,6 +140,20 @@ func (em *Emitter) Visit() { em.stats.Visited++ }
 // Skip counts an object whose modified flag was tested and found clear, for
 // callers that perform the test themselves (specialized plans).
 func (em *Emitter) Skip() { em.stats.Skipped++ }
+
+// Clears returns the clear-set accumulated since Reset: one entry per
+// object whose modified flag was set when its record began. The slice is
+// owned by the emitter; TakeClears transfers ownership.
+func (em *Emitter) Clears() []ClearEntry { return em.clears }
+
+// TakeClears returns the accumulated clear-set and detaches it from the
+// emitter, transferring ownership to the caller (a Writer finishing an
+// epoch, or a parallel fold gathering per-worker sets).
+func (em *Emitter) TakeClears() []ClearEntry {
+	c := em.clears
+	em.clears = nil
+	return c
+}
 
 // Stats returns the counters accumulated since Reset, with Bytes set to the
 // destination length so far.

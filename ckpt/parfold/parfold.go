@@ -86,6 +86,18 @@ func WithShards(n int) Option {
 	return optionFunc(func(fo *Folder) { fo.shards = n })
 }
 
+// WithSession attaches a commit/abort session to the folder: each fold's
+// merged clear-set (the modified flags the epoch's records cleared, gathered
+// across all workers) is handed to s when the fold completes, pending until
+// s.Commit or s.Abort; a failed fold aborts its epoch through s immediately,
+// covering the shards that succeeded before the failure. Without a session
+// the folder still re-marks cleared flags itself when a fold or a FoldTo
+// sink fails, but cannot protect bodies handed to an asynchronous sink —
+// pair the session with stablelog.WithAck(s.Ack) for that. See ckpt.Session.
+func WithSession(s *ckpt.Session) Option {
+	return optionFunc(func(fo *Folder) { fo.session = s })
+}
+
 // Folder is a reusable parallel fold driver. Like ckpt.Writer it keeps an
 // epoch counter and recycles its buffers; unlike the writer it may be handed
 // roots in any order — chunks are merged in canonical (ascending id) order
@@ -97,18 +109,25 @@ type Folder struct {
 	newFold func() FoldFunc
 	workers int
 	shards  int
+	session *ckpt.Session
 
 	epoch uint64
 	out   wire.Encoder
 	pool  []*worker
+
+	// lastClears is the previous fold's merged clear-set when no session
+	// holds it, kept so FoldTo can re-mark after a sink failure.
+	lastClears []ckpt.ClearEntry
 }
 
 // worker is the per-goroutine state, cached across folds so engines with
 // warm-up cost (reflectckpt schema caches) keep their caches.
 type worker struct {
-	wr    *ckpt.Writer
-	fold  FoldFunc
-	spans []span
+	wr     *ckpt.Writer
+	fold   FoldFunc
+	spans  []span
+	clears []ckpt.ClearEntry
+	err    error
 }
 
 // span locates one root's chunk inside a worker's shard body.
@@ -147,12 +166,28 @@ func (f *Folder) Fold(mode ckpt.Mode, roots []ckpt.Checkpointable) ([]byte, ckpt
 // stablelog.AsyncWriter, whose Append copies the body and returns as soon as
 // it is queued, so the next fold's encoding overlaps this body's write and
 // group-commit fsync.
+//
+// A sink.Append error aborts the epoch: the flags its records cleared are
+// re-marked (through the folder's session when one is attached). A nil
+// return from an asynchronous sink means only "queued" — attach a session
+// and wire the sink's acknowledgements to it (stablelog.WithAck(s.Ack)) so
+// the epoch commits on durable fsync and aborts on a failed or dropped
+// write.
 func (f *Folder) FoldTo(sink Sink, mode ckpt.Mode, roots []ckpt.Checkpointable) (ckpt.Stats, error) {
 	body, stats, err := f.Fold(mode, roots)
 	if err != nil {
 		return stats, err
 	}
-	return stats, sink.Append(mode, f.epoch, body)
+	if err := sink.Append(mode, f.epoch, body); err != nil {
+		if f.session != nil {
+			f.session.Abort(f.epoch)
+		} else {
+			ckpt.Remark(f.lastClears)
+			f.lastClears = nil
+		}
+		return stats, err
+	}
+	return stats, nil
 }
 
 // FoldAt is Fold with an explicit epoch, for callers that interleave a
@@ -200,6 +235,7 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 	chunks := make([][]byte, len(roots))
 	errs := make([]error, ns)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for wi := 0; wi < nw; wi++ {
 		w := f.pool[wi]
@@ -207,8 +243,12 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 		go func() {
 			defer wg.Done()
 			w.spans = w.spans[:0]
+			w.err = nil
 			w.wr.StartShard(mode, epoch)
-			for {
+			// Claim loop: once any shard has failed the epoch is doomed —
+			// its body will be discarded — so stop claiming new shards
+			// rather than burning CPU encoding records nobody will merge.
+			for !failed.Load() {
 				s := int(next.Add(1)) - 1
 				if s >= ns {
 					break
@@ -217,12 +257,20 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 					start := w.wr.BodyLen()
 					if err := w.fold(w.wr, roots[p]); err != nil {
 						errs[s] = err
+						failed.Store(true)
 						break
 					}
 					w.spans = append(w.spans, span{pos: p, start: start, end: w.wr.BodyLen()})
 				}
 			}
-			body, _, _ := w.wr.Finish()
+			// Gather the shard's clear-set before Finish consumes it: the
+			// folder aborts or observes the whole epoch's set at merge time.
+			w.clears = w.wr.Emitter().TakeClears()
+			body, _, err := w.wr.Finish()
+			if err != nil {
+				w.err = err
+				return
+			}
 			for _, sp := range w.spans {
 				chunks[sp.pos] = body[sp.start:sp.end]
 			}
@@ -230,12 +278,43 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 	}
 	wg.Wait()
 
-	// Deterministic error selection: the failure in the lowest shard wins,
-	// independent of worker scheduling.
+	// Merge the per-worker clear-sets: on failure the whole epoch —
+	// including shards that folded cleanly — must be re-marked, because the
+	// merged body is discarded as a unit.
+	var clears []ckpt.ClearEntry
+	for _, w := range f.pool[:nw] {
+		clears = append(clears, w.clears...)
+		w.clears = nil
+	}
+
+	// Error selection prefers the failure in the lowest shard among those
+	// attempted. (Early stopping means later shards may never run, so which
+	// failure is reported can vary with scheduling; that a failure is
+	// reported — and the epoch aborted — is deterministic.)
+	var foldErr error
 	for _, err := range errs {
 		if err != nil {
-			return nil, ckpt.Stats{}, err
+			foldErr = err
+			break
 		}
+	}
+	if foldErr == nil {
+		for _, w := range f.pool[:nw] {
+			if w.err != nil {
+				foldErr = w.err
+				break
+			}
+		}
+	}
+	if foldErr != nil {
+		f.lastClears = nil
+		if f.session != nil {
+			f.session.Observe(epoch, mode, clears)
+			f.session.Abort(epoch)
+		} else {
+			ckpt.Remark(clears)
+		}
+		return nil, ckpt.Stats{}, foldErr
 	}
 
 	f.out.Reset()
@@ -252,6 +331,12 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 		f.out.Raw(chunks[p])
 	}
 	stats.Bytes = f.out.Len()
+	if f.session != nil {
+		f.session.Observe(epoch, mode, clears)
+		f.lastClears = nil
+	} else {
+		f.lastClears = clears
+	}
 	return f.out.Bytes(), stats, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"ickpt/ckpt"
@@ -350,5 +351,165 @@ func TestEpochsAndEmptyFold(t *testing.T) {
 	}
 	if info := inspect(body); info.Epoch != 10 {
 		t.Fatalf("epoch after FoldAt+Fold = %d, want 10", info.Epoch)
+	}
+}
+
+// TestNoClaimsAfterFailure pins the early-stop regression: once one shard's
+// fold has failed, the epoch is doomed and workers must stop claiming new
+// shards. A single worker makes the schedule deterministic: it folds the
+// first claimed shard cleanly, fails on the lowest id (which lives in the
+// second claimed shard), and must then stop instead of folding the ~30
+// remaining roots of an epoch whose body will be discarded.
+func TestNoClaimsAfterFailure(t *testing.T) {
+	const nRoots, nShards = 40, 8
+	d := ckpt.NewDomain()
+	roots := make([]ckpt.Checkpointable, nRoots)
+	lowest := uint64(1<<63 - 1)
+	inFirstShard := 0
+	for i := range roots {
+		l := &leaf{Info: ckpt.NewInfo(d), V: int64(i)}
+		roots[i] = l
+		if id := l.Info.ID(); id < lowest {
+			lowest = id
+		}
+		if l.Info.ID()%nShards == 0 {
+			inFirstShard++
+		}
+	}
+
+	var calls atomic.Int32
+	newFold := func() parfold.FoldFunc {
+		return func(w *ckpt.Writer, root ckpt.Checkpointable) error {
+			calls.Add(1)
+			if root.CheckpointInfo().ID() == lowest {
+				return fmt.Errorf("boom at %d", lowest)
+			}
+			return w.Checkpoint(root)
+		}
+	}
+	folder := parfold.New(newFold, parfold.WithWorkers(1), parfold.WithShards(nShards))
+	if _, _, err := folder.Fold(ckpt.Full, roots); err == nil {
+		t.Fatal("fold succeeded, want error")
+	}
+	// Shard 0 folds cleanly, then the failing call on the lowest id; nothing
+	// after that. Before the fix the worker kept claiming all eight shards.
+	want := int32(inFirstShard + 1)
+	if got := calls.Load(); got != want {
+		t.Fatalf("fold calls after failure = %d, want %d (claiming must stop)", got, want)
+	}
+}
+
+// TestFoldSessionAbortRecapture: with a session attached, an aborted epoch's
+// re-marked flags make a retake of the same epoch byte-identical to the
+// fold whose body was lost.
+func TestFoldSessionAbortRecapture(t *testing.T) {
+	shape := synth.Shape{Structures: 30, ListLen: 4, Kind: synth.Ints1}
+	w := synth.Build(shape)
+
+	s := ckpt.NewSession()
+	folder := parfold.NewGeneric(parfold.WithWorkers(4), parfold.WithSession(s))
+	first, _, err := folder.FoldAt(ckpt.Incremental, 1, w.Roots())
+	if err != nil {
+		t.Fatalf("first fold: %v", err)
+	}
+	first = append([]byte(nil), first...)
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d after fold, want 1", s.Pending())
+	}
+	// The body is lost downstream; abort re-marks every cleared flag ...
+	if got := s.Abort(1); got == 0 {
+		t.Fatal("abort re-marked nothing")
+	}
+	// ... so retaking the same epoch recaptures exactly the lost bytes.
+	second, _, err := folder.FoldAt(ckpt.Incremental, 1, w.Roots())
+	if err != nil {
+		t.Fatalf("retake: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("retake after abort differs from lost body (%d vs %d bytes)", len(second), len(first))
+	}
+	s.Commit(1)
+	if st := s.Stats(); st.Aborts != 1 || st.Commits != 1 {
+		t.Fatalf("session stats = %+v, want 1 abort + 1 commit", st)
+	}
+}
+
+// TestFoldFailureRemarks: a failed parallel fold re-marks every flag its
+// workers cleared — including shards that folded cleanly — with and without
+// a session attached.
+func TestFoldFailureRemarks(t *testing.T) {
+	for _, withSession := range []bool{false, true} {
+		t.Run(fmt.Sprintf("session=%v", withSession), func(t *testing.T) {
+			d := ckpt.NewDomain()
+			roots := make([]ckpt.Checkpointable, 40)
+			var failID uint64
+			for i := range roots {
+				l := &leaf{Info: ckpt.NewInfo(d), V: int64(i)}
+				roots[i] = l
+				failID = l.Info.ID() // fail on the highest id: most flags cleared first
+			}
+			newFold := func() parfold.FoldFunc {
+				return func(w *ckpt.Writer, root ckpt.Checkpointable) error {
+					if root.CheckpointInfo().ID() == failID {
+						return fmt.Errorf("boom at %d", failID)
+					}
+					return w.Checkpoint(root)
+				}
+			}
+			s := ckpt.NewSession()
+			opts := []parfold.Option{parfold.WithWorkers(4), parfold.WithShards(8)}
+			if withSession {
+				opts = append(opts, parfold.WithSession(s))
+			}
+			folder := parfold.New(newFold, opts...)
+			if _, _, err := folder.Fold(ckpt.Incremental, roots); err == nil {
+				t.Fatal("fold succeeded, want error")
+			}
+			for _, r := range roots {
+				if !r.CheckpointInfo().Modified() {
+					t.Fatalf("id %d lost its modified flag in the failed epoch", r.CheckpointInfo().ID())
+				}
+			}
+			if withSession {
+				if st := s.Stats(); st.Aborts != 1 || st.Remarked == 0 {
+					t.Fatalf("session stats = %+v, want 1 abort with re-marks", st)
+				}
+			}
+		})
+	}
+}
+
+// errSink fails every Append.
+type errSink struct{ err error }
+
+func (s errSink) Append(ckpt.Mode, uint64, []byte) error { return s.err }
+
+// TestFoldToSinkFailureRemarks: a sink that rejects the merged body aborts
+// the epoch — flags re-marked through the session when one is attached,
+// directly otherwise.
+func TestFoldToSinkFailureRemarks(t *testing.T) {
+	for _, withSession := range []bool{false, true} {
+		t.Run(fmt.Sprintf("session=%v", withSession), func(t *testing.T) {
+			d := ckpt.NewDomain()
+			roots := make([]ckpt.Checkpointable, 20)
+			for i := range roots {
+				roots[i] = &leaf{Info: ckpt.NewInfo(d), V: int64(i)}
+			}
+			s := ckpt.NewSession()
+			opts := []parfold.Option{parfold.WithWorkers(2)}
+			if withSession {
+				opts = append(opts, parfold.WithSession(s))
+			}
+			folder := parfold.New(parfold.Generic, opts...)
+			boom := fmt.Errorf("sink on fire")
+			if _, err := folder.FoldTo(errSink{boom}, ckpt.Incremental, roots); err != boom {
+				t.Fatalf("FoldTo = %v, want sink error", err)
+			}
+			for _, r := range roots {
+				if !r.CheckpointInfo().Modified() {
+					t.Fatalf("id %d lost its modified flag to the failed sink", r.CheckpointInfo().ID())
+				}
+			}
+		})
 	}
 }

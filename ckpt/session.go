@@ -1,0 +1,309 @@
+package ckpt
+
+import "sync"
+
+// This file implements the epoch commit/abort protocol that makes
+// incremental checkpoints abort-safe.
+//
+// The incremental protocol clears an object's modified flag as the object is
+// *encoded* (Emitter.Begin), on the assumption that the encoded body reaches
+// stable storage. When it does not — a fold error mid-traversal, a sink
+// failure, an asynchronous write dropped after a sticky log error — the
+// cleared flags are a lost update: every later incremental checkpoint skips
+// the objects, and recovery silently rebuilds a stale graph. The fix is a
+// two-phase discipline: the emitter records every flag it clears into a
+// per-epoch clear-set, and the epoch is either committed (the body is
+// durable; drop the set) or aborted (re-mark every object in the set, so the
+// next incremental checkpoint recaptures the lost state).
+
+// ClearEntry records one modified flag cleared while encoding an epoch: the
+// object's id and its Info at the time of the clear.
+type ClearEntry struct {
+	ID   uint64
+	Info *Info
+}
+
+// Remark sets the modified flag of every object in clears and reports how
+// many entries it covered. It is the raw re-marking primitive behind
+// Session.Abort, used directly by drivers that fail an epoch without a
+// session attached (Writer.Finish after a fold error, a parfold worker
+// failure).
+func Remark(clears []ClearEntry) int {
+	n := 0
+	for _, c := range clears {
+		if c.Info != nil {
+			c.Info.SetModified()
+			n++
+		}
+	}
+	return n
+}
+
+// InfoResolver maps an object id to its current Info, or nil when the id no
+// longer resolves (the object was freed or detached since the epoch was
+// encoded). RootIndex.Resolve is the standard implementation.
+type InfoResolver func(id uint64) *Info
+
+// SessionStats counts protocol events over a session's lifetime.
+type SessionStats struct {
+	// Epochs counts epochs observed (clear-sets registered).
+	Epochs int
+	// Commits and Aborts count resolved epochs.
+	Commits int
+	Aborts  int
+	// Remarked counts modified flags re-set by aborts.
+	Remarked int
+	// Unresolved counts clear-set entries no resolver could cover; each one
+	// degrades the session to a forced Full checkpoint.
+	Unresolved int
+	// ForcedFull counts NextMode calls that upgraded a requested
+	// Incremental checkpoint to Full because the session was degraded.
+	ForcedFull int
+}
+
+// Session tracks the clear-sets of in-flight checkpoint epochs and resolves
+// each epoch with Commit or Abort. It spans every engine: the generic
+// Writer, reflectckpt, compiled spec plans, and generated routines all clear
+// flags through Emitter.Begin, so one session protects them all, sequential
+// or parallel (attach with WithSession on the Writer or parfold.WithSession
+// on the Folder).
+//
+// The intended loop:
+//
+//	s := ckpt.NewSession()
+//	w := ckpt.NewWriter(ckpt.WithSession(s))
+//	...
+//	w.Start(s.NextMode(ckpt.Incremental))
+//	... fold ...
+//	body, _, err := w.Finish()        // error: epoch already aborted
+//	if err == nil {
+//		if persist(body) == nil {  // or an async ack: stablelog.WithAck(s.Ack)
+//			s.Commit(w.Epoch())
+//		} else {
+//			s.Abort(w.Epoch())
+//		}
+//	}
+//
+// Session is safe for concurrent use: acknowledgements may arrive from a
+// background writer goroutine while the application encodes the next epoch.
+type Session struct {
+	mu       sync.Mutex
+	resolver InfoResolver
+	pending  map[uint64]*epochClears
+	degraded bool
+	stats    SessionStats
+}
+
+// epochClears is one in-flight epoch's clear-set.
+type epochClears struct {
+	mode   Mode
+	clears []ClearEntry
+}
+
+// SessionOption configures a Session.
+type SessionOption interface {
+	applySession(*Session)
+}
+
+type sessionOptionFunc func(*Session)
+
+func (f sessionOptionFunc) applySession(s *Session) { f(s) }
+
+// WithInfoResolver makes Abort resolve clear-set ids through r instead of
+// the Info pointers captured at encode time. Use it when aborted objects may
+// have been freed or replaced between the failed epoch and the abort: a
+// captured pointer would re-mark the stale Info, while a resolver re-marks
+// the object now reachable under that id — and reports (by returning nil)
+// the ids it cannot cover, degrading the session to a forced Full
+// checkpoint. The resolver can be replaced at any time with SetResolver.
+func WithInfoResolver(r InfoResolver) SessionOption {
+	return sessionOptionFunc(func(s *Session) { s.resolver = r })
+}
+
+// NewSession returns an empty session.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{pending: make(map[uint64]*epochClears)}
+	for _, o := range opts {
+		o.applySession(s)
+	}
+	return s
+}
+
+// SetResolver replaces the session's id resolver (nil reverts to captured
+// Info pointers). Typically called just before an Abort, with a RootIndex
+// built over the current roots.
+func (s *Session) SetResolver(r InfoResolver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resolver = r
+}
+
+// Observe registers epoch's clear-set, leaving the epoch in-flight until
+// Commit or Abort. Drivers call it when an epoch's body is complete (or when
+// its fold has failed, immediately before aborting); applications using the
+// Writer or Folder integration never call it directly.
+//
+// Observing an epoch that is already pending merges the clear-sets (a retake
+// under the same epoch number after a partial failure).
+func (s *Session) Observe(epoch uint64, mode Mode, clears []ClearEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ec, ok := s.pending[epoch]; ok {
+		ec.clears = append(ec.clears, clears...)
+		return
+	}
+	s.pending[epoch] = &epochClears{mode: mode, clears: clears}
+	s.stats.Epochs++
+}
+
+// Commit resolves epoch as durable: its clear-set is dropped, and a
+// committed Full checkpoint clears the session's degraded state (everything
+// live is recaptured by a full body, so nothing can be stale). It reports
+// whether the epoch was pending.
+func (s *Session) Commit(epoch uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ec, ok := s.pending[epoch]
+	if !ok {
+		return false
+	}
+	delete(s.pending, epoch)
+	s.stats.Commits++
+	if ec.mode == Full {
+		s.degraded = false
+	}
+	return true
+}
+
+// Abort resolves epoch as lost: every object in its clear-set is re-marked
+// so the next incremental checkpoint recaptures the state the discarded
+// body carried. Entries are resolved through the session's InfoResolver
+// when one is set; ids the resolver cannot cover are counted and degrade
+// the session, so NextMode forces a Full checkpoint that recaptures
+// everything live regardless. It returns the number of objects re-marked.
+func (s *Session) Abort(epoch uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ec, ok := s.pending[epoch]
+	if !ok {
+		return 0
+	}
+	delete(s.pending, epoch)
+	return s.abortLocked(ec)
+}
+
+// AbortAll aborts every pending epoch — the teardown path after a sticky
+// sink error, where no per-epoch acknowledgement will ever arrive. It
+// returns the total number of objects re-marked.
+func (s *Session) AbortAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for epoch, ec := range s.pending {
+		delete(s.pending, epoch)
+		n += s.abortLocked(ec)
+	}
+	return n
+}
+
+// abortLocked re-marks one epoch's clear-set. Callers hold s.mu.
+func (s *Session) abortLocked(ec *epochClears) int {
+	s.stats.Aborts++
+	n := 0
+	for _, c := range ec.clears {
+		info := c.Info
+		if s.resolver != nil {
+			info = s.resolver(c.ID)
+		}
+		if info == nil {
+			s.stats.Unresolved++
+			s.degraded = true
+			continue
+		}
+		info.SetModified()
+		n++
+	}
+	s.stats.Remarked += n
+	return n
+}
+
+// Ack resolves epoch from a persistence acknowledgement: Commit on nil,
+// Abort otherwise. Its signature matches stablelog's per-append callback,
+// so a session rides the group-commit path directly:
+//
+//	aw := stablelog.NewAsyncWriter(log, stablelog.WithSyncEvery(8),
+//		stablelog.WithAck(s.Ack))
+func (s *Session) Ack(epoch uint64, err error) {
+	if err == nil {
+		s.Commit(epoch)
+	} else {
+		s.Abort(epoch)
+	}
+}
+
+// Degraded reports whether an abort left state no resolver could cover, so
+// that only a Full checkpoint restores the incremental invariant.
+func (s *Session) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// NextMode returns the mode the next checkpoint must use: want, upgraded to
+// Full while the session is degraded. The degradation clears when a Full
+// epoch commits.
+func (s *Session) NextMode(want Mode) Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.degraded && want != Full {
+		s.stats.ForcedFull++
+		return Full
+	}
+	return want
+}
+
+// Pending returns the number of in-flight epochs.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// RootIndex is an id→Info index over the object graphs reachable from a set
+// of roots, for resolving clear-set ids at abort time. Build it with
+// IndexRoots immediately before the abort so it reflects the current graph.
+type RootIndex struct {
+	infos map[uint64]*Info
+}
+
+// IndexRoots traverses the graphs reachable from roots — through the same
+// Fold methods a checkpoint uses, without recording anything or touching
+// any modified flag — and returns the id→Info index.
+func IndexRoots(roots ...Checkpointable) (*RootIndex, error) {
+	w := NewWriter()
+	w.collect = make(map[uint64]*Info)
+	w.Start(Full)
+	for _, r := range roots {
+		if err := w.Checkpoint(r); err != nil {
+			return nil, err
+		}
+	}
+	idx := &RootIndex{infos: w.collect}
+	w.collect = nil
+	w.started = false
+	return idx, nil
+}
+
+// Resolve returns the Info of the object currently reachable under id, or
+// nil. Its signature matches InfoResolver.
+func (x *RootIndex) Resolve(id uint64) *Info { return x.infos[id] }
+
+// Len returns the number of indexed objects.
+func (x *RootIndex) Len() int { return len(x.infos) }

@@ -29,6 +29,22 @@ type Writer struct {
 	epoch   uint64
 	started bool
 
+	// visitErr is the first error any Checkpoint call returned for the body
+	// in progress. Finish refuses to hand out the half-built body once it is
+	// set: a truncated body would rebuild into a corrupted graph.
+	visitErr error
+
+	// session, when set, receives each epoch's clear-set on Finish and is
+	// the commit/abort authority for it. Without a session the writer still
+	// re-marks cleared flags itself when an epoch fails (see Finish), but
+	// cannot protect bodies lost after a successful Finish.
+	session *Session
+
+	// collect, when non-nil, switches visit into traversal-only mode:
+	// reachable Infos are indexed by id and nothing is emitted or cleared.
+	// Used by IndexRoots.
+	collect map[uint64]*Info
+
 	cycleCheck bool
 	onStack    map[uint64]struct{}
 }
@@ -50,6 +66,14 @@ func WithCycleCheck() WriterOption {
 	return writerOptionFunc(func(w *Writer) { w.cycleCheck = true })
 }
 
+// WithSession attaches a commit/abort session: every epoch's clear-set is
+// handed to s when the epoch finishes (pending until s.Commit or s.Abort),
+// and an epoch that fails — a fold error, or a Start that discards a body
+// in progress — is aborted through s immediately. See Session.
+func WithSession(s *Session) WriterOption {
+	return writerOptionFunc(func(w *Writer) { w.session = s })
+}
+
 // NewWriter returns a Writer.
 func NewWriter(opts ...WriterOption) *Writer {
 	w := &Writer{}
@@ -63,14 +87,18 @@ func NewWriter(opts ...WriterOption) *Writer {
 }
 
 // Start begins a new checkpoint body in the given mode. Any body in progress
-// is discarded. The writer's epoch is incremented; the first checkpoint has
-// epoch 1.
+// is discarded — and its epoch aborted: the modified flags the discarded
+// body cleared are re-marked (through the session when one is attached), so
+// the abandoned state is recaptured rather than silently lost. The writer's
+// epoch is incremented; the first checkpoint has epoch 1.
 func (w *Writer) Start(mode Mode) {
+	w.abandon()
 	w.epoch++
 	w.enc.Reset()
 	w.emitter.Reset(&w.enc, mode, w.epoch)
 	w.mode = mode
 	w.started = true
+	w.visitErr = nil
 	clear(w.onStack)
 }
 
@@ -82,12 +110,33 @@ func (w *Writer) Start(mode Mode) {
 // AppendBodyHeader, reconstituting a body byte-identical to a sequential
 // fold over the same roots in the same order.
 func (w *Writer) StartShard(mode Mode, epoch uint64) {
+	w.abandon()
 	w.epoch = epoch
 	w.enc.Reset()
 	w.emitter.ResetShard(&w.enc)
 	w.mode = mode
 	w.started = true
+	w.visitErr = nil
 	clear(w.onStack)
+}
+
+// abandon aborts a body in progress that was never finished. The flags its
+// records cleared are lost updates unless re-marked; a session attached to
+// the writer accounts the abort, otherwise the writer re-marks directly.
+func (w *Writer) abandon() {
+	if !w.started {
+		return
+	}
+	w.started = false
+	clears := w.emitter.TakeClears()
+	if w.session != nil {
+		// Observe+Abort even when no flag was cleared: the session's abort
+		// count tracks failed epochs, not just non-empty clear-sets.
+		w.session.Observe(w.epoch, w.mode, clears)
+		w.session.Abort(w.epoch)
+	} else {
+		Remark(clears)
+	}
 }
 
 // BodyLen returns the number of bytes written to the body in progress.
@@ -104,10 +153,22 @@ func (w *Writer) Checkpoint(o Checkpointable) error {
 	if !w.started {
 		return ErrNotStarted
 	}
-	return w.visit(o)
+	err := w.visit(o)
+	if err != nil && w.visitErr == nil {
+		w.visitErr = err
+	}
+	return err
 }
 
 func (w *Writer) visit(o Checkpointable) error {
+	if w.collect != nil {
+		info := o.CheckpointInfo()
+		if _, seen := w.collect[info.ID()]; seen {
+			return nil
+		}
+		w.collect[info.ID()] = info
+		return o.Fold(w)
+	}
 	w.emitter.Visit()
 	if w.cycleCheck {
 		id := o.CheckpointInfo().ID()
@@ -128,11 +189,35 @@ func (w *Writer) visit(o Checkpointable) error {
 // Finish completes the body and returns it along with traversal statistics.
 // The returned slice aliases the writer's buffer and is invalidated by the
 // next Start; copy it if it must outlive the writer's reuse.
+//
+// If any Checkpoint call failed since Start, Finish refuses the half-built
+// body: it returns a nil body and the first visit error, and aborts the
+// epoch — re-marking every modified flag the partial encode cleared
+// (through the session when one is attached) so the next incremental
+// checkpoint recaptures the state the discarded body carried.
+//
+// On success with a session attached, the epoch's clear-set is handed to
+// the session and stays pending until Session.Commit or Session.Abort.
 func (w *Writer) Finish() ([]byte, Stats, error) {
 	if !w.started {
 		return nil, Stats{}, ErrNotStarted
 	}
 	w.started = false
+	clears := w.emitter.TakeClears()
+	if w.visitErr != nil {
+		err := w.visitErr
+		w.visitErr = nil
+		if w.session != nil {
+			w.session.Observe(w.epoch, w.mode, clears)
+			w.session.Abort(w.epoch)
+		} else {
+			Remark(clears)
+		}
+		return nil, w.emitter.Stats(), fmt.Errorf("ckpt: epoch %d aborted, body discarded: %w", w.epoch, err)
+	}
+	if w.session != nil {
+		w.session.Observe(w.epoch, w.mode, clears)
+	}
 	return w.enc.Bytes(), w.emitter.Stats(), nil
 }
 

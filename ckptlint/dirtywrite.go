@@ -27,6 +27,10 @@ import (
 //     composite literal carrying ckpt.NewInfo/ckpt.RestoredInfo, or
 //     returned by a New*/new* constructor — a new object's flag starts
 //     set, so direct initialization is safe;
+//   - the function runs the abort side of the epoch commit/abort protocol
+//     (ckpt.Session.Abort/AbortAll/Ack or ckpt.Remark), which re-marks
+//     every object the failed epoch touched — rollback writes there are
+//     protocol-covered;
 //   - the file is generated, or the line carries a suppression comment.
 func DirtyWriteAnalyzer() *Analyzer {
 	return &Analyzer{
@@ -70,6 +74,7 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	var writes []trackedWrite
 	fresh := make(map[types.Object]bool)
 	dirtied := make(map[string]bool) // owner exprString -> SetModified seen
+	remarked := false                // abort-protocol re-mark seen
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch st := n.(type) {
@@ -90,9 +95,19 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 			if owner, ok := setModifiedOwner(pkg, st); ok {
 				dirtied[owner] = true
 			}
+			if remarksClearedFlags(pkg, st) {
+				remarked = true
+			}
 		}
 		return true
 	})
+	if remarked {
+		// The function runs the abort side of the commit/abort protocol:
+		// Session.Abort/AbortAll/Ack (or raw ckpt.Remark) re-marks every
+		// object the failed epoch touched, so direct rollback writes here
+		// keep their dirty bit through the protocol, not SetModified.
+		return nil
+	}
 
 	var out []Diagnostic
 	for _, w := range writes {

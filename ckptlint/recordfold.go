@@ -92,7 +92,11 @@ func runRecordFold(pass *Pass) []Diagnostic {
 		if !ok {
 			continue // delegating or opaque Record: nothing to compare
 		}
-		if pm.fold != nil {
+		// A Fold that drives the commit/abort protocol (Session.Abort /
+		// Commit / ckpt.Remark) wraps its child traversal in failure
+		// control flow — retries and rollbacks — that the linear child
+		// extraction cannot model; skip it rather than guess.
+		if pm.fold != nil && !usesSessionProtocol(pkg, pm.fold) {
 			out = append(out, checkFoldSymmetry(pkg, name, recOps, pm.fold)...)
 		}
 		if pm.restore != nil {

@@ -1,0 +1,80 @@
+package ckptlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Session-protocol awareness shared by the analyzers.
+//
+// The epoch commit/abort protocol (ckpt.Session) is part of the
+// checkpointing contract: Session.Abort / AbortAll / Ack — and the raw
+// primitive ckpt.Remark — re-mark the modified flag of every object a
+// failed epoch touched. Code in an abort path may therefore rewrite
+// tracked state without a visible per-owner SetModified (dirtywrite), and
+// a Fold that wraps child traversal in abort/retry control flow defeats
+// the linear child extraction (recordfold). Both analyzers treat protocol
+// calls as fulfilling the contract instead of reporting false positives.
+
+// remarkingMethods are the Session methods that (may) re-mark cleared
+// flags: Abort and AbortAll always, Ack on its error path.
+var remarkingMethods = map[string]bool{
+	"Abort": true, "AbortAll": true, "Ack": true,
+}
+
+// protocolMethods are all Session methods that drive the commit/abort
+// protocol.
+var protocolMethods = map[string]bool{
+	"Abort": true, "AbortAll": true, "Ack": true,
+	"Commit": true, "Observe": true,
+}
+
+// sessionMethodCall reports whether call invokes one of the given methods
+// on a ckpt.Session receiver.
+func sessionMethodCall(pkg *Package, call *ast.CallExpr, methods map[string]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !methods[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	return ok && isCkptNamed(tv.Type, "Session")
+}
+
+// isCkptRemark matches the raw re-marking primitive ckpt.Remark(clears).
+func isCkptRemark(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Remark" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == ckptPath
+}
+
+// remarksClearedFlags reports whether call re-marks modified flags through
+// the abort protocol.
+func remarksClearedFlags(pkg *Package, call *ast.CallExpr) bool {
+	return sessionMethodCall(pkg, call, remarkingMethods) || isCkptRemark(pkg, call)
+}
+
+// usesSessionProtocol reports whether fd's body contains any epoch
+// commit/abort protocol call.
+func usesSessionProtocol(pkg *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sessionMethodCall(pkg, call, protocolMethods) || isCkptRemark(pkg, call) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

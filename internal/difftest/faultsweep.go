@@ -1,0 +1,201 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"ickpt/ckpt"
+	"ickpt/ckpt/parfold"
+)
+
+// This file extends the differential harness with fault injection: a replay
+// where one checkpoint step fails — the fold errors mid-traversal, or the
+// body is produced and then lost on the way to stable storage — and the
+// epoch commit/abort protocol (ckpt.Session) must recover: the abort
+// re-marks the flags the failed epoch cleared, one retake recaptures them,
+// and recovery from the surviving bodies is byte-identical to the live
+// graph. FaultSilent replays the pre-protocol behavior (drop the body,
+// tell no one) so the sweep demonstrably catches the lost-update bug the
+// protocol exists to fix.
+
+// ErrInjected marks a fault introduced by the sweep.
+var ErrInjected = errors.New("difftest: injected fault")
+
+// Fault selects where the injected failure strikes.
+type Fault int
+
+const (
+	// FaultFold fails the fold mid-traversal: some objects are already
+	// encoded (flags cleared) when the epoch dies.
+	FaultFold Fault = iota
+	// FaultSink completes the body, then the stable write fails and the
+	// sink acknowledges the epoch with an error, aborting it.
+	FaultSink
+	// FaultSilent reproduces the legacy bug: the body is dropped with no
+	// abort and no retake. The cleared flags are a lost update; recovery
+	// from the surviving bodies is stale.
+	FaultSilent
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultFold:
+		return "fold"
+	case FaultSink:
+		return "sink"
+	case FaultSilent:
+		return "silent"
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// FaultResult is one fault-injected replay's outcome.
+type FaultResult struct {
+	// Bodies are the checkpoint bodies that survived (committed epochs and,
+	// for FaultFold/FaultSink, the post-abort retake), in stream order.
+	Bodies [][]byte
+	// Pop is the final population, for live-vs-rebuilt comparison.
+	Pop *Population
+	// Session is the session that governed the replay.
+	Session *ckpt.Session
+	// DroppedRecords counts the records of the discarded body (sink faults
+	// only): 0 means the injected drop lost nothing.
+	DroppedRecords int
+	// Steps is the trace's checkpoint count.
+	Steps int
+}
+
+// FaultReplay replays tr under one engine and strategy with a fault of the
+// given kind injected at checkpoint step failStep (0-based). Every
+// successful epoch is committed through a ckpt.Session as if a durable
+// write had been acknowledged; the faulted epoch is aborted (except
+// FaultSilent) and retaken at the mode Session.NextMode selects.
+func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault) (*FaultResult, error) {
+	pop, err := tr.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: build: %w", tr.Name, err)
+	}
+	var eng *EngineSpec
+	for i := range pop.Engines {
+		if pop.Engines[i].Name == engine {
+			eng = &pop.Engines[i]
+			break
+		}
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("%s: no engine %q", tr.Name, engine)
+	}
+
+	roots := append([]ckpt.Checkpointable(nil), pop.Roots...)
+	ckpt.SortRoots(roots)
+	// The fold fault strikes at a mid-order root, so the epoch dies with
+	// earlier roots already encoded and their flags cleared.
+	victim := roots[len(roots)/2].CheckpointInfo().ID()
+
+	sess := ckpt.NewSession()
+	res := &FaultResult{Pop: pop, Session: sess}
+
+	var epoch uint64
+	var wr *ckpt.Writer
+	if st.Workers <= 0 {
+		wr = ckpt.NewWriter(ckpt.WithSession(sess))
+	}
+
+	// takeOnce folds one checkpoint, optionally with the fold fault armed.
+	// It returns the epoch the body was (or would have been) taken under.
+	takeOnce := func(mode ckpt.Mode, phase string, inject bool) ([]byte, uint64, error) {
+		epoch++
+		nf := eng.factory(mode, phase)
+		if inject {
+			inner := nf
+			nf = func() parfold.FoldFunc {
+				fold := inner()
+				return func(w *ckpt.Writer, r ckpt.Checkpointable) error {
+					if r.CheckpointInfo().ID() == victim {
+						return fmt.Errorf("%w: fold of object %d", ErrInjected, victim)
+					}
+					return fold(w, r)
+				}
+			}
+		}
+		if st.Workers <= 0 {
+			fold := nf()
+			wr.Start(mode)
+			for _, r := range roots {
+				if err := fold(wr, r); err != nil {
+					// Body abandoned mid-fold; the retake's Start aborts it
+					// through the session (Writer.abandon).
+					return nil, wr.Epoch(), err
+				}
+			}
+			body, _, err := wr.Finish()
+			if err != nil {
+				return nil, wr.Epoch(), err
+			}
+			return append([]byte(nil), body...), wr.Epoch(), nil
+		}
+		folder := parfold.New(nf, parfold.WithWorkers(st.Workers),
+			parfold.WithShards(st.Shards), parfold.WithSession(sess))
+		body, _, err := folder.FoldAt(mode, epoch, roots)
+		if err != nil {
+			// The folder has already aborted the epoch through the session.
+			return nil, epoch, err
+		}
+		return append([]byte(nil), body...), epoch, nil
+	}
+
+	step := -1
+	take := func(mode ckpt.Mode, phase string) error {
+		step++
+		if step != failStep {
+			body, ep, err := takeOnce(mode, phase, false)
+			if err != nil {
+				return err
+			}
+			res.Bodies = append(res.Bodies, body)
+			sess.Ack(ep, nil) // durable write acknowledged
+			return nil
+		}
+		switch kind {
+		case FaultFold:
+			if _, _, err := takeOnce(mode, phase, true); err == nil {
+				return fmt.Errorf("step %d: injected fold fault did not fire", step)
+			}
+		case FaultSink, FaultSilent:
+			body, ep, err := takeOnce(mode, phase, false)
+			if err != nil {
+				return err
+			}
+			info, err := ckpt.InspectBody(body, nil)
+			if err != nil {
+				return err
+			}
+			res.DroppedRecords = info.Records
+			if kind == FaultSilent {
+				// Legacy behavior: the body is lost, nobody is told. The
+				// epoch stays pending forever; its cleared flags are never
+				// re-marked and no retake happens.
+				return nil
+			}
+			sess.Ack(ep, ErrInjected) // failed write acknowledged: abort
+		}
+		// The abort re-marked every flag the lost epoch cleared; one retake
+		// recaptures them (Full if the session degraded, which needs a
+		// resolver that loses ids — not the case here).
+		body, ep, err := takeOnce(sess.NextMode(mode), phase, false)
+		if err != nil {
+			return err
+		}
+		res.Bodies = append(res.Bodies, body)
+		sess.Ack(ep, nil)
+		return nil
+	}
+	if err := pop.Replay(take); err != nil {
+		return nil, fmt.Errorf("%s/%s/%s: fault replay: %w", tr.Name, engine, st.Name, err)
+	}
+	res.Steps = step + 1
+	if failStep > step {
+		return nil, fmt.Errorf("failStep %d out of range: trace has %d steps", failStep, res.Steps)
+	}
+	return res, nil
+}

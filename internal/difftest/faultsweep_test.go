@@ -1,0 +1,310 @@
+package difftest
+
+import (
+	"bytes"
+	"syscall"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/faultfs"
+	"ickpt/stablelog"
+)
+
+// steps returns the trace's checkpoint count by replaying it once with the
+// reference engine.
+func steps(t *testing.T, tr Trace) int {
+	t.Helper()
+	bodies, _, err := Replay(tr, "virtual", Strategies[0])
+	if err != nil {
+		t.Fatalf("reference replay: %v", err)
+	}
+	return len(bodies)
+}
+
+// TestFaultSweep is the abort-path matrix from the issue: every trace x
+// engine x {sequential, parallel}, with a failure injected at each
+// checkpoint step — the fold dying mid-traversal and the completed body
+// lost at the sink — must recover through the commit/abort protocol:
+// abort plus one retake yields a body stream whose rebuild is
+// byte-identical to the live graph.
+func TestFaultSweep(t *testing.T) {
+	for _, tr := range Traces() {
+		t.Run(tr.Name, func(t *testing.T) {
+			n := steps(t, tr)
+			pop, err := tr.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range pop.Engines {
+				for _, st := range Strategies {
+					for _, kind := range []Fault{FaultFold, FaultSink} {
+						for step := 0; step < n; step++ {
+							res, err := FaultReplay(tr, eng.Name, st, step, kind)
+							if err != nil {
+								t.Fatalf("%s/%s/%v/step%d: %v", eng.Name, st.Name, kind, step, err)
+							}
+							stats := res.Session.Stats()
+							if stats.Aborts != 1 {
+								t.Fatalf("%s/%s/%v/step%d: aborts = %d, want 1",
+									eng.Name, st.Name, kind, step, stats.Aborts)
+							}
+							if p := res.Session.Pending(); p != 0 {
+								t.Fatalf("%s/%s/%v/step%d: %d epochs left pending",
+									eng.Name, st.Name, kind, step, p)
+							}
+							rebuilt, err := RebuildDump(res.Pop.Registry, res.Bodies)
+							if err != nil {
+								t.Fatalf("%s/%s/%v/step%d: rebuild: %v", eng.Name, st.Name, kind, step, err)
+							}
+							live, err := LiveDump(res.Pop)
+							if err != nil {
+								t.Fatalf("%s/%s/%v/step%d: live dump: %v", eng.Name, st.Name, kind, step, err)
+							}
+							if !bytes.Equal(rebuilt, live) {
+								t.Fatalf("%s/%s/%v/step%d: recovery differs from live graph after abort+retake",
+									eng.Name, st.Name, kind, step)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyLostUpdateCaught seeds the pre-protocol behavior — the body is
+// dropped, no abort, no retake — and proves the sweep catches it: recovery
+// from the surviving bodies is stale. Injected at the last step so no later
+// checkpoint can mask the staleness.
+func TestLegacyLostUpdateCaught(t *testing.T) {
+	for _, tr := range Traces()[:2] { // the synthetic traces mutate before every take
+		t.Run(tr.Name, func(t *testing.T) {
+			n := steps(t, tr)
+			for _, st := range Strategies {
+				res, err := FaultReplay(tr, "virtual", st, n-1, FaultSilent)
+				if err != nil {
+					t.Fatalf("%s: %v", st.Name, err)
+				}
+				if res.DroppedRecords == 0 {
+					t.Fatalf("%s: dropped body carried no records; the seed is vacuous", st.Name)
+				}
+				if p := res.Session.Pending(); p != 1 {
+					t.Fatalf("%s: pending = %d, want the unacknowledged epoch", st.Name, p)
+				}
+				rebuilt, err := RebuildDump(res.Pop.Registry, res.Bodies)
+				if err != nil {
+					t.Fatalf("%s: rebuild: %v", st.Name, err)
+				}
+				live, err := LiveDump(res.Pop)
+				if err != nil {
+					t.Fatalf("%s: live dump: %v", st.Name, err)
+				}
+				if bytes.Equal(rebuilt, live) {
+					t.Fatalf("%s: silent drop went undetected — the cleared-flag lost update is back", st.Name)
+				}
+			}
+		})
+	}
+}
+
+// logFault selects which stable-storage operation the log sweep fails.
+type logFault struct {
+	name string
+	arm  func(m *faultfs.Mem)
+}
+
+// TestLogFaultSweep drives a full trace through the real stack — generic
+// writer, session, stablelog.AsyncWriter over a fault-injected filesystem —
+// failing the write or the fsync under each checkpoint step in turn. The
+// session rides the acknowledgement path (stablelog.WithAck(Session.Ack)):
+// the failed epoch aborts, the log is reopened through crash recovery, one
+// retake recaptures the re-marked state, and recovery from the reopened
+// log matches the live graph.
+func TestLogFaultSweep(t *testing.T) {
+	tr := Traces()[0]
+	n := steps(t, tr)
+	faults := []logFault{
+		{name: "write", arm: func(m *faultfs.Mem) { m.FailWrite(1, 0, syscall.EIO) }},
+		{name: "sync", arm: func(m *faultfs.Mem) { m.FailSync(1, syscall.EIO) }},
+	}
+	for _, lf := range faults {
+		for failStep := 0; failStep < n; failStep++ {
+			pop, err := tr.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			roots := append([]ckpt.Checkpointable(nil), pop.Roots...)
+			ckpt.SortRoots(roots)
+
+			m := faultfs.NewMem()
+			const path = "sweep.log"
+			lg, err := stablelog.Create(path, stablelog.WithFS(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := ckpt.NewSession()
+			wr := ckpt.NewWriter(ckpt.WithSession(sess))
+			aw := stablelog.NewAsyncWriter(lg,
+				stablelog.WithSyncEvery(1), stablelog.WithAck(sess.Ack))
+
+			fold := func(mode ckpt.Mode) []byte {
+				t.Helper()
+				wr.Start(mode)
+				for _, r := range roots {
+					if err := wr.Checkpoint(r); err != nil {
+						t.Fatalf("%s/step%d: fold: %v", lf.name, failStep, err)
+					}
+				}
+				body, _, err := wr.Finish()
+				if err != nil {
+					t.Fatalf("%s/step%d: finish: %v", lf.name, failStep, err)
+				}
+				return body
+			}
+
+			step := -1
+			take := func(mode ckpt.Mode, _ string) error {
+				step++
+				if step == failStep {
+					lf.arm(m)
+				}
+				body := fold(mode)
+				epoch := wr.Epoch()
+				appendErr := aw.Append(mode, epoch, body)
+				if appendErr == nil {
+					appendErr = aw.Flush() // force the group commit; acks have fired
+				}
+				if appendErr == nil {
+					if sess.Pending() != 0 {
+						t.Fatalf("%s/step%d: epoch %d not acknowledged after Flush", lf.name, failStep, epoch)
+					}
+					return nil
+				}
+				if step != failStep {
+					t.Fatalf("%s/step%d: unexpected failure at step %d: %v", lf.name, failStep, step, appendErr)
+				}
+				// The sticky error acknowledged the epoch with the failure,
+				// so the session has aborted it and re-marked the flags.
+				if sess.Pending() != 0 {
+					t.Fatalf("%s/step%d: failed epoch still pending", lf.name, failStep)
+				}
+				// Tear down the dead writer, recover the log from disk state
+				// (truncating any torn tail), and retake the checkpoint.
+				aw.Close()
+				lg.Close()
+				lg, err = stablelog.Open(path, stablelog.WithFS(m))
+				if err != nil {
+					t.Fatalf("%s/step%d: reopen: %v", lf.name, failStep, err)
+				}
+				aw = stablelog.NewAsyncWriter(lg,
+					stablelog.WithSyncEvery(1), stablelog.WithAck(sess.Ack))
+				body = fold(sess.NextMode(mode))
+				if err := aw.Append(ckpt.Incremental, wr.Epoch(), body); err != nil {
+					t.Fatalf("%s/step%d: retake append: %v", lf.name, failStep, err)
+				}
+				if err := aw.Flush(); err != nil {
+					t.Fatalf("%s/step%d: retake flush: %v", lf.name, failStep, err)
+				}
+				if sess.Pending() != 0 {
+					t.Fatalf("%s/step%d: retake epoch not acknowledged", lf.name, failStep)
+				}
+				return nil
+			}
+			if err := pop.Replay(take); err != nil {
+				t.Fatalf("%s/step%d: replay: %v", lf.name, failStep, err)
+			}
+			if err := aw.Close(); err != nil {
+				t.Fatalf("%s/step%d: close async: %v", lf.name, failStep, err)
+			}
+			if err := lg.Close(); err != nil {
+				t.Fatalf("%s/step%d: close log: %v", lf.name, failStep, err)
+			}
+
+			// Recover from what actually reached stable storage.
+			lg2, err := stablelog.Open(path, stablelog.WithFS(m))
+			if err != nil {
+				t.Fatalf("%s/step%d: final open: %v", lf.name, failStep, err)
+			}
+			var bodies [][]byte
+			for _, seg := range lg2.Segments() {
+				b, err := lg2.Read(seg.Seq)
+				if err != nil {
+					t.Fatalf("%s/step%d: read segment %d: %v", lf.name, failStep, seg.Seq, err)
+				}
+				bodies = append(bodies, b)
+			}
+			lg2.Close()
+			rebuilt, err := RebuildDump(pop.Registry, bodies)
+			if err != nil {
+				t.Fatalf("%s/step%d: rebuild: %v", lf.name, failStep, err)
+			}
+			live, err := LiveDump(pop)
+			if err != nil {
+				t.Fatalf("%s/step%d: live dump: %v", lf.name, failStep, err)
+			}
+			if !bytes.Equal(rebuilt, live) {
+				t.Fatalf("%s/step%d: recovery from the log differs from the live graph", lf.name, failStep)
+			}
+		}
+	}
+}
+
+// TestLogTransientFaultRetried: with a retry policy, a one-shot EIO never
+// reaches the session — no abort, every epoch commits, and the retry is
+// counted.
+func TestLogTransientFaultRetried(t *testing.T) {
+	tr := Traces()[0]
+	pop, err := tr.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := append([]ckpt.Checkpointable(nil), pop.Roots...)
+	ckpt.SortRoots(roots)
+
+	m := faultfs.NewMem()
+	lg, err := stablelog.Create("retry.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	sess := ckpt.NewSession()
+	wr := ckpt.NewWriter(ckpt.WithSession(sess))
+	aw := stablelog.NewAsyncWriter(lg,
+		stablelog.WithSyncEvery(1), stablelog.WithAck(sess.Ack),
+		stablelog.WithRetry(2, 0))
+
+	armed := false
+	take := func(mode ckpt.Mode, _ string) error {
+		if !armed {
+			armed = true
+			m.FailWrite(1, 0, syscall.EIO) // one-shot: first write fails, retry succeeds
+		}
+		wr.Start(mode)
+		for _, r := range roots {
+			if err := wr.Checkpoint(r); err != nil {
+				return err
+			}
+		}
+		body, _, err := wr.Finish()
+		if err != nil {
+			return err
+		}
+		if err := aw.Append(mode, wr.Epoch(), body); err != nil {
+			return err
+		}
+		return aw.Flush()
+	}
+	if err := pop.Replay(take); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if st := aw.Stats(); st.Retried == 0 || st.Dropped != 0 {
+		t.Fatalf("async stats = %+v, want retries and no drops", st)
+	}
+	stats := sess.Stats()
+	if stats.Aborts != 0 || sess.Pending() != 0 {
+		t.Fatalf("session stats = %+v (pending %d), want all epochs committed", stats, sess.Pending())
+	}
+}

@@ -65,3 +65,27 @@ func GoodWaived(c *Counter) {
 	//ckptvet:ignore dirtywrite fixture demonstrates the suppression syntax
 	c.Count.V = 9
 }
+
+// GoodAborted rolls tracked state back after aborting the failed epoch:
+// Session.Abort re-marks every object the epoch touched, so the direct
+// writes are protocol-covered — the analyzer must stay silent.
+func GoodAborted(c *Counter, s *ckpt.Session, epoch uint64) {
+	s.Abort(epoch)
+	c.Count.V = 0
+	c.Label = "rolled back"
+}
+
+// GoodRemarked uses the raw re-marking primitive instead of a session.
+func GoodRemarked(c *Counter, clears []ckpt.ClearEntry) {
+	ckpt.Remark(clears)
+	c.Count.V = 0
+}
+
+// GoodAckPath routes a persistence acknowledgement; its error half aborts
+// and re-marks, so the rollback write is covered.
+func GoodAckPath(c *Counter, s *ckpt.Session, epoch uint64, err error) {
+	s.Ack(epoch, err)
+	if err != nil {
+		c.Label = "retrying"
+	}
+}

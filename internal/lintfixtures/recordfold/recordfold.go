@@ -150,3 +150,62 @@ func (g *Good) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
 	g.Next = next
 	return nil
 }
+
+var typeGuarded = ckpt.TypeIDOf("lintfixtures.Guarded")
+
+// Guarded is a correct trio whose Fold runs the epoch commit/abort
+// protocol around its child traversal: a retry loop that aborts the failed
+// epoch and re-checkpoints the child. Linear child extraction would see
+// the same child at two positions (or none, behind the loop); the analyzer
+// must recognize the protocol calls and stay silent rather than guess.
+type Guarded struct {
+	Info    ckpt.Info
+	Tag     uint64
+	Next    *Guarded
+	Session *ckpt.Session
+}
+
+// CheckpointInfo returns the object's checkpoint metadata.
+func (g *Guarded) CheckpointInfo() *ckpt.Info { return &g.Info }
+
+// CheckpointTypeID returns the object's stable type id.
+func (g *Guarded) CheckpointTypeID() ckpt.TypeID { return typeGuarded }
+
+// Record writes the tag, then the Next id.
+func (g *Guarded) Record(e *wire.Encoder) {
+	e.Uvarint(g.Tag)
+	if g.Next != nil {
+		e.Uvarint(g.Next.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold retries the child traversal once, aborting the failed epoch in
+// between so its cleared flags are re-marked before the second attempt.
+func (g *Guarded) Fold(w *ckpt.Writer) error {
+	if g.Next == nil {
+		return nil
+	}
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err = w.Checkpoint(g.Next); err == nil {
+			return nil
+		}
+		if g.Session != nil {
+			g.Session.Abort(w.Epoch())
+		}
+	}
+	return err
+}
+
+// Restore reads exactly what Record wrote.
+func (g *Guarded) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	g.Tag = d.Uvarint()
+	next, err := ckpt.ResolveAs[*Guarded](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	g.Next = next
+	return nil
+}

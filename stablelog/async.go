@@ -1,6 +1,7 @@
 package stablelog
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,30 +19,58 @@ import (
 // policy (WithSyncEvery / WithSyncInterval); with a policy active, Flush
 // does not return until everything written has also been fsynced.
 //
-// Appends are ordered. The first write or sync error is sticky: it fails
-// all subsequent operations and is returned by Flush and Close. AsyncWriter
-// is safe for use by one producer goroutine.
+// Each accepted body is individually acknowledged (WithAck) once its fate
+// is known: nil when it is durably written, the failure otherwise. Wiring
+// the acknowledgement to a ckpt.Session closes the gap between the
+// checkpoint writers (which clear modified flags at encode time) and the
+// log: the session commits an epoch only when its body is acknowledged
+// durable, and aborts — re-marking the cleared flags — when it is not.
+//
+// Appends are ordered. Transient I/O failures (ErrIO) are retried under a
+// bounded backoff policy (WithRetry); the first unrecovered write or sync
+// error is sticky: it fails all subsequent operations and is returned by
+// Flush and Close, and every body it strands is acknowledged with the error
+// and counted in Stats().Dropped — never discarded silently. AsyncWriter is
+// safe for use by one producer goroutine.
 type AsyncWriter struct {
 	log *Log
 
 	queueLimit   int
 	syncEvery    int
 	syncInterval time.Duration
+	ack          func(epoch uint64, err error)
+	retryN       int
+	retryBackoff time.Duration
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []asyncItem
-	dirty   int // segments appended since the last fsync
-	syncReq bool
-	err     error
-	closed  bool
-	done    chan struct{}
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []asyncItem
+	unsynced []uint64 // epochs written since the last fsync, awaiting ack
+	dirty    int      // segments appended since the last fsync
+	syncReq  bool
+	err      error
+	closed   bool
+	stats    AsyncStats
+	done     chan struct{}
 }
 
 type asyncItem struct {
 	mode  ckpt.Mode
 	epoch uint64
 	body  []byte
+}
+
+// AsyncStats counts acknowledgement outcomes over the writer's lifetime.
+type AsyncStats struct {
+	// Acked counts bodies acknowledged as durably written.
+	Acked uint64
+	// Dropped counts bodies accepted by Append that will never be durable:
+	// queued bodies discarded after a sticky error, the failing body
+	// itself, and bodies written but not fsynced when a sync policy fails.
+	// Before the acknowledgement protocol these were discarded silently.
+	Dropped uint64
+	// Retried counts transient-ErrIO retry attempts (appends and syncs).
+	Retried uint64
 }
 
 // AsyncOption configures NewAsyncWriter.
@@ -55,7 +84,8 @@ func (f asyncOptionFunc) applyAsync(w *AsyncWriter) { f(w) }
 
 // WithQueueLimit bounds the number of queued bodies. When the queue is
 // full, Append blocks until the background writer catches up. n <= 0 means
-// unbounded (the default).
+// unbounded (the default). An error — or Close — unblocks waiting
+// producers promptly.
 func WithQueueLimit(n int) AsyncOption {
 	return asyncOptionFunc(func(w *AsyncWriter) { w.queueLimit = n })
 }
@@ -72,6 +102,32 @@ func WithSyncEvery(n int) AsyncOption {
 // first wins.
 func WithSyncInterval(d time.Duration) AsyncOption {
 	return asyncOptionFunc(func(w *AsyncWriter) { w.syncInterval = d })
+}
+
+// WithAck registers a per-append acknowledgement callback, invoked exactly
+// once per body accepted by Append, from the background goroutine, in
+// append order. With a group-commit policy active, fn(epoch, nil) fires
+// after the fsync covering the body — durable means durable; without a
+// policy it fires after the write (whose durability is the underlying
+// log's: immediate under WithSync, deferred to Log.Sync/Close otherwise).
+// On failure fn(epoch, err) fires for the failing body and for every body
+// stranded behind it.
+//
+// ckpt.Session.Ack matches this signature: pass it here and the session
+// commits epochs exactly when their bodies are durable and aborts the rest.
+func WithAck(fn func(epoch uint64, err error)) AsyncOption {
+	return asyncOptionFunc(func(w *AsyncWriter) { w.ack = fn })
+}
+
+// WithRetry retries transient I/O failures (errors wrapping ErrIO) up to n
+// times per operation before the error goes sticky, sleeping backoff before
+// the first retry and doubling it each attempt. Corruption-class errors are
+// never retried. n <= 0 disables retry (the default).
+func WithRetry(n int, backoff time.Duration) AsyncOption {
+	return asyncOptionFunc(func(w *AsyncWriter) {
+		w.retryN = n
+		w.retryBackoff = backoff
+	})
 }
 
 // NewAsyncWriter starts the background writer. The caller must not use log
@@ -99,7 +155,9 @@ func (w *AsyncWriter) policyActive() bool {
 
 // Append enqueues body for writing, blocking while a bounded queue is full.
 // The body is copied, so the caller may reuse its buffer immediately
-// (checkpoint writers recycle theirs).
+// (checkpoint writers recycle theirs). A producer blocked on a full queue
+// is released with ErrClosed as soon as Close begins, and with the sticky
+// error as soon as one is recorded.
 func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
 	cp := make([]byte, len(body))
 	copy(cp, body)
@@ -123,18 +181,24 @@ func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
 // Flush blocks until every enqueued body has been written (or a write has
 // failed) and returns the first write error, if any. With an fsync policy
 // active it additionally forces a group commit, so a nil return means the
-// flushed segments are durable.
+// flushed segments are durable — and their acknowledgements have fired.
 func (w *AsyncWriter) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return w.err
 	}
-	if w.policyActive() {
-		w.syncReq = true
-		w.cond.Broadcast()
-	}
-	for (len(w.queue) > 0 || w.syncReq) && w.err == nil {
+	for w.err == nil {
+		// Re-arm the sync request each pass: a count-triggered group commit
+		// mid-flush consumes syncReq while later bodies are still queued, and
+		// those must be covered by a sync of their own before Flush returns.
+		if w.policyActive() && w.dirty > 0 && !w.syncReq {
+			w.syncReq = true
+			w.cond.Broadcast()
+		}
+		if len(w.queue) == 0 && !w.syncReq && (!w.policyActive() || w.dirty == 0) {
+			break
+		}
 		w.cond.Wait()
 	}
 	return w.err
@@ -142,7 +206,8 @@ func (w *AsyncWriter) Flush() error {
 
 // Close flushes, performs a final group commit if a policy is active, stops
 // the background goroutine, and returns the first write error, if any. It
-// does not close the underlying Log.
+// does not close the underlying Log. Check Stats().Dropped for the number
+// of bodies a sticky error forced the writer to discard.
 func (w *AsyncWriter) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -158,6 +223,65 @@ func (w *AsyncWriter) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
+}
+
+// Stats returns a snapshot of the acknowledgement counters.
+func (w *AsyncWriter) Stats() AsyncStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// acknowledge fires the ack callback outside the writer's lock. Callers
+// must not hold w.mu. All invocations come from the background goroutine,
+// so acknowledgements are delivered in append order.
+func (w *AsyncWriter) acknowledge(epoch uint64, err error) {
+	if w.ack != nil {
+		w.ack(epoch, err)
+	}
+}
+
+// retryable reports whether err is worth retrying under the retry policy.
+func retryable(err error) bool {
+	return errors.Is(err, ErrIO)
+}
+
+// appendRetry writes one item to the log, retrying transient failures per
+// the retry policy. Called without w.mu held.
+func (w *AsyncWriter) appendRetry(item asyncItem) error {
+	backoff := w.retryBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := w.log.Append(item.mode, item.epoch, item.body)
+		if err == nil || attempt >= w.retryN || !retryable(err) {
+			return err
+		}
+		w.mu.Lock()
+		w.stats.Retried++
+		w.mu.Unlock()
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// syncRetry fsyncs the log, retrying transient failures per the retry
+// policy. Called without w.mu held.
+func (w *AsyncWriter) syncRetry() error {
+	backoff := w.retryBackoff
+	for attempt := 0; ; attempt++ {
+		err := w.log.Sync()
+		if err == nil || attempt >= w.retryN || !retryable(err) {
+			return err
+		}
+		w.mu.Lock()
+		w.stats.Retried++
+		w.mu.Unlock()
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
 }
 
 // run is the background writer loop.
@@ -187,7 +311,7 @@ func (w *AsyncWriter) run() {
 		item := w.queue[0]
 		w.mu.Unlock()
 
-		_, err := w.log.Append(item.mode, item.epoch, item.body)
+		err := w.appendRetry(item)
 
 		w.mu.Lock()
 		w.queue = w.queue[1:]
@@ -195,15 +319,31 @@ func (w *AsyncWriter) run() {
 			w.err = fmt.Errorf("async append: %w", err)
 		}
 		stop := w.err != nil
-		var syncNow bool
+		var syncNow, ackNow bool
 		if !stop {
 			w.dirty++
+			if w.policyActive() {
+				// Durable only after the covering group commit; park the
+				// epoch until doSync acknowledges it.
+				w.unsynced = append(w.unsynced, item.epoch)
+			} else {
+				w.stats.Acked++
+				ackNow = true
+			}
 			syncNow = w.syncEvery > 0 && w.dirty >= w.syncEvery
+		} else {
+			// The failing body was accepted but will never be durable.
+			w.stats.Dropped++
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		if ackNow {
+			w.acknowledge(item.epoch, nil)
+		}
 		if stop {
-			// Drain mode: fail fast, keep accepting Flush/Close.
+			// Drain mode: fail fast, keep accepting Flush/Close, and tell
+			// every stranded producer body's owner what happened.
+			w.acknowledge(item.epoch, err)
 			w.failRemaining()
 			return
 		}
@@ -213,25 +353,37 @@ func (w *AsyncWriter) run() {
 	}
 }
 
-// doSync fsyncs the log and clears the dirty counter. It returns false when
-// the writer must stop because the sync failed.
+// doSync fsyncs the log, clears the dirty counter, and acknowledges every
+// body the group commit made durable. It returns false when the writer must
+// stop because the sync failed.
 func (w *AsyncWriter) doSync() bool {
-	err := w.log.Sync()
+	err := w.syncRetry()
 	w.mu.Lock()
 	if err != nil && w.err == nil {
 		w.err = fmt.Errorf("async sync: %w", err)
 	}
+	var acks []uint64
 	if err == nil {
 		w.dirty = 0
-		w.syncReq = false
+		acks = w.unsynced
+		w.unsynced = nil
+		w.stats.Acked += uint64(len(acks))
 	}
 	stop := w.err != nil
-	w.cond.Broadcast()
 	w.mu.Unlock()
+	for _, epoch := range acks {
+		w.acknowledge(epoch, nil)
+	}
 	if stop {
 		w.failRemaining()
 		return false
 	}
+	// Release Flush waiters only after the acknowledgements above have fired:
+	// a nil Flush promises the flushed bodies are durable and acked.
+	w.mu.Lock()
+	w.syncReq = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
 	return true
 }
 
@@ -255,12 +407,26 @@ func (w *AsyncWriter) tick() {
 	}
 }
 
-// failRemaining clears the queue after a write error so Flush and a blocked
-// Append do not hang.
+// failRemaining clears the queue after a write or sync error so Flush and a
+// blocked Append do not hang — and, unlike its silent ancestor, accounts
+// for every body it discards: each queued (never written) and unsynced
+// (written, not durable) body is counted in Dropped and acknowledged with
+// the sticky error, so the owning session can abort its epoch.
 func (w *AsyncWriter) failRemaining() {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	err := w.err
+	var acks []uint64
+	for _, item := range w.queue {
+		acks = append(acks, item.epoch)
+	}
+	acks = append(acks, w.unsynced...)
+	w.stats.Dropped += uint64(len(acks))
 	w.queue = nil
+	w.unsynced = nil
 	w.syncReq = false
 	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, epoch := range acks {
+		w.acknowledge(epoch, err)
+	}
 }

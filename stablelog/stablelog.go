@@ -261,18 +261,22 @@ func (l *Log) Append(mode ckpt.Mode, epoch uint64, body []byte) (uint64, error) 
 	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(body)))
 	binary.LittleEndian.PutUint32(hdr[25:], crc32.ChecksumIEEE(body))
 
+	// Failed writes and fsyncs are classified ErrIO: the fault is in the
+	// transfer, not provably in the bytes on disk, so the caller may retry
+	// (the failed segment's partial bytes are truncated away below either
+	// way). AsyncWriter's bounded-retry policy keys on this classification.
 	if _, err := l.f.WriteAt(hdr, l.end); err != nil {
 		l.discardTail()
-		return 0, fmt.Errorf("append segment %d: %w", seq, err)
+		return 0, fmt.Errorf("append segment %d: %w: %w", seq, ErrIO, err)
 	}
 	if _, err := l.f.WriteAt(body, l.end+segmentHeaderSize); err != nil {
 		l.discardTail()
-		return 0, fmt.Errorf("append segment %d: %w", seq, err)
+		return 0, fmt.Errorf("append segment %d: %w: %w", seq, ErrIO, err)
 	}
 	if l.sync {
 		if err := l.f.Sync(); err != nil {
 			l.discardTail()
-			return 0, fmt.Errorf("append segment %d: %w", seq, err)
+			return 0, fmt.Errorf("append segment %d: %w: %w", seq, ErrIO, err)
 		}
 	}
 	l.segs = append(l.segs, SegmentInfo{
@@ -421,12 +425,16 @@ func (l *Log) Compact() error {
 	return l.scan(false)
 }
 
-// Sync flushes the file to stable storage.
+// Sync flushes the file to stable storage. A failed fsync is classified
+// ErrIO: transient, retryable, and saying nothing about the bytes on disk.
 func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("%w: sync: %w", ErrIO, err)
+	}
+	return nil
 }
 
 // Path returns the log's file path.
