@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short generate check-generated faultcheck difftest fuzz-smoke experiments examples clean
+.PHONY: all build test lint race cover bench bench-short bench-dirty generate check-generated faultcheck difftest fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -30,6 +30,13 @@ bench:
 
 bench-short:
 	$(GO) test -short -bench=. -benchmem ./...
+
+# Dirty-set density sweep: O(dirty) mark-queue fold vs incremental traversal
+# at 0.1%..100% modification density, written as BENCH_dirtyset.json, plus
+# the zero-allocation steady-state regression test.
+bench-dirty:
+	$(GO) test -count=1 -run 'TestSteadyStateDirtyFoldAllocsZero|TestSteadyStateNilEmitDirtyFoldAllocsZero|TestPooledEncoderAllocsZero' ./ckpt/ ./wire/
+	$(GO) run ./cmd/ckptbench -experiment dirtyset -n 20000 -reps 7 -warmup 2
 
 # Regenerate the specialized checkpoint routines (cmd/ckptgen) and the
 # derived protocol for the derive test workload (cmd/ckptderive).

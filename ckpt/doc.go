@@ -39,6 +39,24 @@
 // uses a blocking protocol (mutators must be quiescent during a checkpoint),
 // matching the paper's assumptions.
 //
+// # The dirty index: O(dirty) incremental checkpoints
+//
+// Even in Incremental mode the generic driver traverses the whole reachable
+// structure to discover which flags are set, so an epoch's floor is the live
+// object count. A [Tracker] removes that floor: once a Domain is attached
+// ([Domain.AttachTracker]) and the live graph registered ([Tracker.Watch]),
+// [Info.Mark] — the same write barrier [Cell.Set] already invokes — also
+// enqueues the object into the tracker's mark-queue, and
+// [Writer.CheckpointDirty] folds exactly that queue in canonical
+// ascending-id order, producing a body byte-identical to the traversal's.
+// Any engine's per-object routine can serve as the [EmitOne]; a nil emit
+// takes the fused virtual path.
+//
+// The index never guesses: objects it cannot vouch for (allocations made
+// after Watch and never Tracked, identity mismatches between the registered
+// object and the marked Info) degrade the tracker, [Tracker.NextMode]
+// forces one Full traversal, and Watch re-arms O(dirty) operation.
+//
 // # Failure atomicity: the epoch commit/abort protocol
 //
 // Clearing a modified flag is a bet that the body being encoded will reach

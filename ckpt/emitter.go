@@ -73,7 +73,14 @@ func (em *Emitter) Reset(dst *wire.Encoder, mode Mode, epoch uint64) {
 func (em *Emitter) ResetShard(dst *wire.Encoder) {
 	em.dst = dst
 	em.stats = Stats{}
-	em.clears = nil
+	// The clear-set backing array is recycled: keep one the emitter still
+	// owns, otherwise draw from the pool that Commit/Abort retire into, so a
+	// steady-state epoch never allocates one (see getClears).
+	if em.clears != nil {
+		em.clears = em.clears[:0]
+	} else {
+		em.clears = getClears()
+	}
 	em.open = false
 }
 

@@ -4,8 +4,10 @@ package ckpt
 // encode NilID for nil pointers; Domains never issue it.
 const NilID uint64 = 0
 
-// Info holds the per-object checkpoint metadata: a unique identifier and the
-// modified flag used by incremental checkpointing.
+// Info holds the per-object checkpoint metadata: a unique identifier, the
+// modified flag used by incremental checkpointing, and — when the object
+// lives under a Tracker — the dirty-index bookkeeping that lets an
+// incremental epoch fold only the modified objects.
 //
 // Info corresponds to the paper's CheckpointInfo class. A new object's flag
 // starts set, so the object is captured by the next incremental checkpoint.
@@ -13,12 +15,40 @@ const NilID uint64 = 0
 type Info struct {
 	id       uint64
 	modified bool
+
+	// queued reports whether this object is already in its tracker's
+	// mark-queue, so repeated Marks between two checkpoints enqueue once.
+	queued bool
+	// fresh reports an allocation the tracker's view has not absorbed yet
+	// (counted in Tracker.fresh); Watch or Track settles it.
+	fresh bool
+	// tracker is the dirty index this object reports to, nil when untracked.
+	tracker *Tracker
+	// self is set to the Info's own address when the owning object is
+	// registered (adopted) into a tracker's view. A by-value copy of an
+	// adopted object therefore carries a self pointer that does not match its
+	// own address, which is how Take's scan path rejects copies without
+	// sweeping the mark-queue.
+	self *Info
 }
 
 // NewInfo issues a fresh identifier from d and returns an Info with the
-// modified flag set.
+// modified flag set. If a Tracker is attached to the domain
+// (Domain.AttachTracker), the fresh object is tagged with it and counted as
+// an unsettled allocation: until Tracker.Watch or Tracker.Track registers
+// the object, the tracker's dirty set may be incomplete, so it degrades the
+// next Take to a full traversal — the conservative answer for an object the
+// dirty index cannot see. (NewInfo cannot enqueue the object itself: the
+// returned Info is copied into its owner, so a pointer captured here would
+// dangle.)
 func NewInfo(d *Domain) Info {
-	return Info{id: d.next(), modified: true}
+	i := Info{id: d.next(), modified: true}
+	if d.tracker != nil {
+		i.tracker = d.tracker
+		i.fresh = true
+		d.tracker.fresh++
+	}
+	return i
 }
 
 // RestoredInfo returns an Info carrying a previously-issued identifier, for
@@ -36,12 +66,54 @@ func (i *Info) ID() uint64 { return i.id }
 // recorded in a checkpoint.
 func (i *Info) Modified() bool { return i.modified }
 
-// SetModified marks the object as modified.
+// SetModified sets the raw modified flag without informing any tracker.
+// Prefer Mark: a direct flag store bypasses the dirty index, so an O(dirty)
+// incremental epoch would silently omit the object (the ckptvet dirtywrite
+// analyzer reports SetModified calls outside this package for exactly that
+// reason). SetModified remains for flag maintenance that must not enqueue.
 func (i *Info) SetModified() { i.modified = true }
+
+// Mark is the write barrier: it sets the modified flag and, when the object
+// is registered with a Tracker, enqueues it into the tracker's mark-queue so
+// the next dirty fold captures it. Marking an already-queued object is a
+// no-op beyond the flag, so repeated writes between two checkpoints cost one
+// queue slot.
+func (i *Info) Mark() {
+	i.modified = true
+	if i.tracker != nil && !i.queued {
+		i.queued = true
+		i.tracker.enqueue(i)
+	}
+}
+
+// MarkOn registers the object with t and marks it: the registration path for
+// objects whose Domain has no tracker attached (restored graphs, hand-built
+// fixtures). The object must still be in the tracker's view by the next Take
+// — via Watch or Track — or the tracker conservatively degrades to a full
+// traversal.
+func (i *Info) MarkOn(t *Tracker) {
+	i.tracker = t
+	i.Mark()
+}
 
 // ResetModified clears the modified flag. The Writer calls this as it
 // records an object; user code rarely needs it.
-func (i *Info) ResetModified() { i.modified = false }
+//
+// Clearing the flag also retires the object's mark-queue entry, if any: the
+// entry would be stale (a dirty fold must not emit a clean object), so the
+// queued bit is dropped — a later Mark simply re-enqueues — and the
+// tracker's live-entry count is decremented. The count is what lets Take's
+// scan path verify the dirty set without sweeping the queue. The decrement
+// is atomic because a parallel fold's workers reset flags concurrently.
+func (i *Info) ResetModified() {
+	i.modified = false
+	if i.queued {
+		i.queued = false
+		if i.tracker != nil {
+			i.tracker.liveQueued.Add(-1)
+		}
+	}
+}
 
 // Domain issues unique object identifiers. The paper uses a static counter;
 // a Domain scopes the counter to one checkpointed universe so that programs
@@ -49,8 +121,15 @@ func (i *Info) ResetModified() { i.modified = false }
 //
 // Domain is not safe for concurrent use.
 type Domain struct {
-	last uint64
+	last    uint64
+	tracker *Tracker
 }
+
+// AttachTracker makes every Info the domain issues from now on report to t:
+// new objects are tagged with the tracker and counted as unsettled
+// allocations until Watch or Track registers them (see NewInfo). Attach nil
+// to detach.
+func (d *Domain) AttachTracker(t *Tracker) { d.tracker = t }
 
 // NewDomain returns a Domain whose first issued id is 1 (NilID is reserved).
 func NewDomain() *Domain { return &Domain{} }
@@ -87,8 +166,9 @@ type Cell[T any] struct {
 // Get returns the current value.
 func (c *Cell[T]) Get() T { return c.V }
 
-// Set stores v and marks owner as modified.
+// Set stores v and marks owner as modified (through Mark, so a tracker
+// attached to the owner sees the write).
 func (c *Cell[T]) Set(owner *Info, v T) {
 	c.V = v
-	owner.SetModified()
+	owner.Mark()
 }

@@ -1,0 +1,5 @@
+package parfold
+
+// Spawned returns the number of fold goroutines launched over the folder's
+// lifetime, for tests asserting the degraded-to-sequential path runs inline.
+func (f *Folder) Spawned() int { return f.spawned }

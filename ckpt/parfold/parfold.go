@@ -115,14 +115,22 @@ type Folder struct {
 	out   wire.Encoder
 	pool  []*worker
 
+	// spawned counts fold goroutines launched over the folder's lifetime;
+	// the degraded-to-sequential path (one effective worker, or
+	// GOMAXPROCS=1) runs inline and leaves it untouched.
+	spawned int
+
 	// lastClears is the previous fold's merged clear-set when no session
 	// holds it, kept so FoldTo can re-mark after a sink failure.
 	lastClears []ckpt.ClearEntry
 }
 
 // worker is the per-goroutine state, cached across folds so engines with
-// warm-up cost (reflectckpt schema caches) keep their caches.
+// warm-up cost (reflectckpt schema caches) keep their caches. Each worker
+// encodes into an encoder drawn from the wire pool (wire.GetEncoder), so
+// short-lived folders reuse grown shard buffers; Release returns them.
 type worker struct {
+	enc    *wire.Encoder
 	wr     *ckpt.Writer
 	fold   FoldFunc
 	spans  []span
@@ -207,76 +215,155 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 		return roots[order[a]].CheckpointInfo().ID() < roots[order[b]].CheckpointInfo().ID()
 	})
 
-	nw := f.workers
+	nw, ns := f.geometry()
+
+	// Stable shard assignment: root id mod shard count. Within a shard the
+	// canonical order is preserved, so a shard body is a contiguous run of
+	// chunks only when ns == 1; in general the chunk table re-orders.
+	shardItems := make([][]int, ns)
+	for _, p := range order {
+		s := int(roots[p].CheckpointInfo().ID() % uint64(ns))
+		shardItems[s] = append(shardItems[s], p)
+	}
+
+	return f.foldShards(mode, epoch, nw, ns, len(roots), shardItems, order,
+		func(w *worker, p int) error { return w.fold(w.wr, roots[p]) })
+}
+
+// FoldDirty takes one O(dirty) incremental checkpoint: it drains t's
+// mark-queue (ckpt.Tracker.Take) and encodes the dirty set — no traversal —
+// sharding it by id like FoldAt shards roots and merging in the same
+// canonical ascending-id order, so the merged body is byte-identical to a
+// sequential ckpt.Writer.CheckpointDirty over the same tracker with the same
+// emit. The folder's epoch advances as in Fold.
+//
+// Callers are expected to consult t.NextMode first and fall back to a
+// traversal Fold in Full mode (plus Tracker.Watch) when the tracker has
+// degraded. On failure the un-recorded dirty objects are re-enqueued and the
+// epoch aborted, exactly like CheckpointDirty.
+func (f *Folder) FoldDirty(t *ckpt.Tracker, emit ckpt.EmitOne) ([]byte, ckpt.Stats, error) {
+	f.epoch++
+	return f.FoldDirtyAt(f.epoch, t, emit)
+}
+
+// FoldDirtyAt is FoldDirty with an explicit epoch (see FoldAt).
+func (f *Folder) FoldDirtyAt(epoch uint64, t *ckpt.Tracker, emit ckpt.EmitOne) ([]byte, ckpt.Stats, error) {
+	f.epoch = epoch
+	objs := t.Take() // canonical ascending-id order already
+	nw, ns := f.geometry()
+	shardItems := make([][]int, ns)
+	for p, o := range objs {
+		s := int(o.CheckpointInfo().ID() % uint64(ns))
+		shardItems[s] = append(shardItems[s], p)
+	}
+	body, stats, err := f.foldShards(ckpt.Incremental, epoch, nw, ns, len(objs), shardItems, nil,
+		func(w *worker, p int) error {
+			w.wr.Emitter().Visit()
+			return emit(w.wr.Emitter(), objs[p])
+		})
+	if err != nil {
+		// Re-enqueue the dirty objects the failed epoch never recorded; the
+		// recorded ones are re-marked (and re-enqueued) by the abort that
+		// foldShards already performed. Both are idempotent.
+		t.Requeue(objs)
+	}
+	return body, stats, err
+}
+
+// geometry resolves the effective worker and shard counts. The fold degrades
+// to one inline worker — no goroutines — when the configuration yields a
+// single effective worker or the process has GOMAXPROCS=1, where a goroutine
+// pool only adds scheduling overhead on top of the sequential fold.
+func (f *Folder) geometry() (nw, ns int) {
+	nw = f.workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	ns := f.shards
+	ns = f.shards
 	if ns <= 0 {
 		ns = 4 * nw
 	}
 	if nw > ns {
 		nw = ns
 	}
-
-	// Stable shard assignment: root id mod shard count. Within a shard the
-	// canonical order is preserved, so a shard body is a contiguous run of
-	// chunks only when ns == 1; in general the chunk table below re-orders.
-	shardRoots := make([][]int, ns)
-	for _, p := range order {
-		s := int(roots[p].CheckpointInfo().ID() % uint64(ns))
-		shardRoots[s] = append(shardRoots[s], p)
+	if runtime.GOMAXPROCS(0) == 1 {
+		nw = 1
 	}
+	return nw, ns
+}
 
+// foldShards is the engine shared by FoldAt and FoldDirtyAt: claim shards,
+// fold each shard's items via item (recording spans), merge chunks in
+// canonical order under one body header, and observe-or-abort the epoch's
+// merged clear-set. mergeOrder gives the output order of item positions; nil
+// means ascending positions (items pre-sorted).
+func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, shardItems [][]int, mergeOrder []int, item func(*worker, int) error) ([]byte, ckpt.Stats, error) {
 	for len(f.pool) < nw {
-		f.pool = append(f.pool, &worker{wr: ckpt.NewWriter(), fold: f.newFold()})
+		enc := wire.GetEncoder()
+		f.pool = append(f.pool, &worker{enc: enc, wr: ckpt.NewWriter(ckpt.WithEncoder(enc)), fold: f.newFold()})
+	}
+	// Pre-size the shard buffers from the previous merged body: an even split
+	// is the steady-state expectation, and growing up front turns the first
+	// epochs' incremental reallocations into one.
+	if hint := f.out.Len() / nw; hint > 0 {
+		for _, w := range f.pool[:nw] {
+			w.enc.Grow(hint)
+		}
 	}
 
-	chunks := make([][]byte, len(roots))
+	chunks := make([][]byte, nitems)
 	errs := make([]error, ns)
 	var next atomic.Int64
 	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for wi := 0; wi < nw; wi++ {
-		w := f.pool[wi]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w.spans = w.spans[:0]
-			w.err = nil
-			w.wr.StartShard(mode, epoch)
-			// Claim loop: once any shard has failed the epoch is doomed —
-			// its body will be discarded — so stop claiming new shards
-			// rather than burning CPU encoding records nobody will merge.
-			for !failed.Load() {
-				s := int(next.Add(1)) - 1
-				if s >= ns {
+	run := func(w *worker) {
+		w.spans = w.spans[:0]
+		w.err = nil
+		w.wr.StartShard(mode, epoch)
+		// Claim loop: once any shard has failed the epoch is doomed — its
+		// body will be discarded — so stop claiming new shards rather than
+		// burning CPU encoding records nobody will merge.
+		for !failed.Load() {
+			s := int(next.Add(1)) - 1
+			if s >= ns {
+				break
+			}
+			for _, p := range shardItems[s] {
+				start := w.wr.BodyLen()
+				if err := item(w, p); err != nil {
+					errs[s] = err
+					failed.Store(true)
 					break
 				}
-				for _, p := range shardRoots[s] {
-					start := w.wr.BodyLen()
-					if err := w.fold(w.wr, roots[p]); err != nil {
-						errs[s] = err
-						failed.Store(true)
-						break
-					}
-					w.spans = append(w.spans, span{pos: p, start: start, end: w.wr.BodyLen()})
-				}
+				w.spans = append(w.spans, span{pos: p, start: start, end: w.wr.BodyLen()})
 			}
-			// Gather the shard's clear-set before Finish consumes it: the
-			// folder aborts or observes the whole epoch's set at merge time.
-			w.clears = w.wr.Emitter().TakeClears()
-			body, _, err := w.wr.Finish()
-			if err != nil {
-				w.err = err
-				return
-			}
-			for _, sp := range w.spans {
-				chunks[sp.pos] = body[sp.start:sp.end]
-			}
-		}()
+		}
+		// Gather the shard's clear-set before Finish consumes it: the
+		// folder aborts or observes the whole epoch's set at merge time.
+		w.clears = w.wr.Emitter().TakeClears()
+		body, _, err := w.wr.Finish()
+		if err != nil {
+			w.err = err
+			return
+		}
+		for _, sp := range w.spans {
+			chunks[sp.pos] = body[sp.start:sp.end]
+		}
 	}
-	wg.Wait()
+	if nw == 1 {
+		run(f.pool[0])
+	} else {
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			w := f.pool[wi]
+			wg.Add(1)
+			f.spawned++
+			go func() {
+				defer wg.Done()
+				run(w)
+			}()
+		}
+		wg.Wait()
+	}
 
 	// Merge the per-worker clear-sets: on failure the whole epoch —
 	// including shards that folded cleanly — must be re-marked, because the
@@ -325,10 +412,16 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 		st.Bytes = 0
 		stats.Add(st)
 	}
-	// Merge the per-root chunks in canonical order; canonical positions map
-	// 1:1 onto chunk-table slots via order.
-	for _, p := range order {
-		f.out.Raw(chunks[p])
+	// Merge the per-item chunks in canonical order; canonical positions map
+	// 1:1 onto chunk-table slots via mergeOrder.
+	if mergeOrder != nil {
+		for _, p := range mergeOrder {
+			f.out.Raw(chunks[p])
+		}
+	} else {
+		for _, c := range chunks {
+			f.out.Raw(c)
+		}
 	}
 	stats.Bytes = f.out.Len()
 	if f.session != nil {
@@ -338,6 +431,18 @@ func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointabl
 		f.lastClears = clears
 	}
 	return f.out.Bytes(), stats, nil
+}
+
+// Release returns the folder's pooled per-worker encoders to the wire pool
+// and drops the worker pool; a later fold rebuilds it. Call it when the
+// folder is done — after copying or persisting the last merged body, which
+// remains valid (it lives in the folder's own merge buffer, not in a worker
+// encoder).
+func (f *Folder) Release() {
+	for _, w := range f.pool {
+		wire.PutEncoder(w.enc)
+	}
+	f.pool = nil
 }
 
 // Epoch returns the epoch of the last fold (0 before the first).

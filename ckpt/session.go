@@ -23,20 +23,81 @@ type ClearEntry struct {
 	Info *Info
 }
 
-// Remark sets the modified flag of every object in clears and reports how
-// many entries it covered. It is the raw re-marking primitive behind
-// Session.Abort, used directly by drivers that fail an epoch without a
-// session attached (Writer.Finish after a fold error, a parfold worker
+// Remark sets the modified flag of every object in clears — through Mark, so
+// objects registered with a Tracker are re-enqueued into its mark-queue and
+// an aborted epoch's dirty set is recaptured by the next dirty fold — and
+// reports how many entries it covered. It is the raw re-marking primitive
+// behind Session.Abort, used directly by drivers that fail an epoch without
+// a session attached (Writer.Finish after a fold error, a parfold worker
 // failure).
 func Remark(clears []ClearEntry) int {
 	n := 0
 	for _, c := range clears {
 		if c.Info != nil {
-			c.Info.SetModified()
+			c.Info.Mark()
 			n++
 		}
 	}
 	return n
+}
+
+// Clear-set recycling. Every epoch allocates a clear-set in Emitter.Begin
+// and retires it at Commit/Abort; pooling the backing arrays (and the
+// per-epoch box) makes the steady-state incremental loop allocation-free. A
+// typed free list is used instead of sync.Pool because pooling a slice in
+// sync.Pool boxes the slice header on every Put — an allocation on the very
+// path being de-allocated.
+var clearsPool struct {
+	mu   sync.Mutex
+	free [][]ClearEntry
+	ecs  []*epochClears
+}
+
+// getClears returns an empty clear-set, reusing a retired backing array when
+// one is available.
+func getClears() []ClearEntry {
+	clearsPool.mu.Lock()
+	defer clearsPool.mu.Unlock()
+	if n := len(clearsPool.free); n > 0 {
+		c := clearsPool.free[n-1]
+		clearsPool.free[n-1] = nil
+		clearsPool.free = clearsPool.free[:n-1]
+		return c
+	}
+	return nil
+}
+
+// putClears retires a clear-set's backing array for reuse. Safe on nil and
+// on slices that did not come from the pool.
+func putClears(c []ClearEntry) {
+	if cap(c) == 0 {
+		return
+	}
+	c = c[:0]
+	clearsPool.mu.Lock()
+	clearsPool.free = append(clearsPool.free, c)
+	clearsPool.mu.Unlock()
+}
+
+func getEpochClears(mode Mode, clears []ClearEntry) *epochClears {
+	clearsPool.mu.Lock()
+	defer clearsPool.mu.Unlock()
+	if n := len(clearsPool.ecs); n > 0 {
+		ec := clearsPool.ecs[n-1]
+		clearsPool.ecs[n-1] = nil
+		clearsPool.ecs = clearsPool.ecs[:n-1]
+		ec.mode, ec.clears = mode, clears
+		return ec
+	}
+	return &epochClears{mode: mode, clears: clears}
+}
+
+func putEpochClears(ec *epochClears) {
+	putClears(ec.clears)
+	ec.clears = nil
+	clearsPool.mu.Lock()
+	clearsPool.ecs = append(clearsPool.ecs, ec)
+	clearsPool.mu.Unlock()
 }
 
 // InfoResolver maps an object id to its current Info, or nil when the id no
@@ -150,9 +211,10 @@ func (s *Session) Observe(epoch uint64, mode Mode, clears []ClearEntry) {
 	defer s.mu.Unlock()
 	if ec, ok := s.pending[epoch]; ok {
 		ec.clears = append(ec.clears, clears...)
+		putClears(clears)
 		return
 	}
-	s.pending[epoch] = &epochClears{mode: mode, clears: clears}
+	s.pending[epoch] = getEpochClears(mode, clears)
 	s.stats.Epochs++
 }
 
@@ -172,6 +234,7 @@ func (s *Session) Commit(epoch uint64) bool {
 	if ec.mode == Full {
 		s.degraded = false
 	}
+	putEpochClears(ec)
 	return true
 }
 
@@ -206,7 +269,9 @@ func (s *Session) AbortAll() int {
 	return n
 }
 
-// abortLocked re-marks one epoch's clear-set. Callers hold s.mu.
+// abortLocked re-marks one epoch's clear-set. The re-mark goes through Mark,
+// so objects registered with a Tracker are re-enqueued and the aborted
+// epoch's dirty set is recaptured by the next dirty fold. Callers hold s.mu.
 func (s *Session) abortLocked(ec *epochClears) int {
 	s.stats.Aborts++
 	n := 0
@@ -220,10 +285,11 @@ func (s *Session) abortLocked(ec *epochClears) int {
 			s.degraded = true
 			continue
 		}
-		info.SetModified()
+		info.Mark()
 		n++
 	}
 	s.stats.Remarked += n
+	putEpochClears(ec)
 	return n
 }
 
@@ -276,26 +342,29 @@ func (s *Session) Stats() SessionStats {
 	return s.stats
 }
 
-// RootIndex is an id→Info index over the object graphs reachable from a set
-// of roots, for resolving clear-set ids at abort time. Build it with
-// IndexRoots immediately before the abort so it reflects the current graph.
+// RootIndex is an id→object index over the object graphs reachable from a
+// set of roots: the resolution machinery shared by abort-time re-marking
+// (Resolve as an InfoResolver) and by the dirty index (a Tracker's view is a
+// RootIndex, resolving mark-queue ids to the objects a dirty fold encodes).
+// Build it with IndexRoots immediately before use so it reflects the current
+// graph.
 type RootIndex struct {
-	infos map[uint64]*Info
+	objs map[uint64]Checkpointable
 }
 
 // IndexRoots traverses the graphs reachable from roots — through the same
 // Fold methods a checkpoint uses, without recording anything or touching
-// any modified flag — and returns the id→Info index.
+// any modified flag — and returns the id→object index.
 func IndexRoots(roots ...Checkpointable) (*RootIndex, error) {
 	w := NewWriter()
-	w.collect = make(map[uint64]*Info)
+	w.collect = make(map[uint64]Checkpointable)
 	w.Start(Full)
 	for _, r := range roots {
 		if err := w.Checkpoint(r); err != nil {
 			return nil, err
 		}
 	}
-	idx := &RootIndex{infos: w.collect}
+	idx := &RootIndex{objs: w.collect}
 	w.collect = nil
 	w.started = false
 	return idx, nil
@@ -303,7 +372,15 @@ func IndexRoots(roots ...Checkpointable) (*RootIndex, error) {
 
 // Resolve returns the Info of the object currently reachable under id, or
 // nil. Its signature matches InfoResolver.
-func (x *RootIndex) Resolve(id uint64) *Info { return x.infos[id] }
+func (x *RootIndex) Resolve(id uint64) *Info {
+	if o, ok := x.objs[id]; ok {
+		return o.CheckpointInfo()
+	}
+	return nil
+}
+
+// Object returns the object currently reachable under id, or nil.
+func (x *RootIndex) Object(id uint64) Checkpointable { return x.objs[id] }
 
 // Len returns the number of indexed objects.
-func (x *RootIndex) Len() int { return len(x.infos) }
+func (x *RootIndex) Len() int { return len(x.objs) }

@@ -1,0 +1,420 @@
+package ckpt
+
+import (
+	"cmp"
+	"errors"
+	"slices"
+	"sync/atomic"
+)
+
+// This file implements the dirty index that makes an incremental checkpoint
+// cost O(dirty) instead of O(live graph).
+//
+// The generic incremental fold traverses every reachable object only to test
+// a modified flag that is almost always clear; the paper attacks that waste
+// statically, by specializing the traversal to the modification pattern. The
+// Tracker attacks it dynamically: Info.Mark enqueues the object into a
+// per-tracker mark-queue the moment it is dirtied, so an incremental epoch
+// folds exactly the dirty set — resolved to objects through the RootIndex
+// machinery — and never visits a clean object at all. The two optimizations
+// compose: a specialized plan's per-class record routine is the natural
+// EmitOne for a dirty fold.
+
+// ErrDirtyMode reports a dirty fold requested in a mode other than
+// Incremental. A dirty fold encodes only the marked objects, which is
+// meaningless for a Full body; take a Full checkpoint with a traversal fold
+// and re-Watch the tracker instead.
+var ErrDirtyMode = errors.New("ckpt: dirty fold requires Incremental mode")
+
+// EmitOne records exactly one object — no traversal — into em: test the
+// modified flag, Begin/Record/End, clear the flag. It is the per-object
+// projection of an engine's fold, used to encode a tracker's dirty set.
+// EmitObject is the virtual-dispatch implementation; reflectckpt.Engine,
+// spec.Plan, and generated routines (cmd/ckptgen) provide specialized ones.
+type EmitOne func(em *Emitter, o Checkpointable) error
+
+// EmitObject is the virtual-dispatch EmitOne: it records o through its
+// Record method if its modified flag is set.
+func EmitObject(em *Emitter, o Checkpointable) error {
+	em.EmitIfModified(o)
+	return nil
+}
+
+// Tracker is a dirty index over one checkpointed object graph: a mark-queue
+// fed by Info.Mark plus a RootIndex view resolving queued ids to objects.
+//
+// The contract mirrors the session protocol's shape. Objects are registered
+// into the tracker's view by Watch (a traversal over the roots) or Track
+// (one object at a time); registration tags each Info with the tracker so
+// that Mark — the write barrier Cell.Set and migrated call sites use —
+// enqueues the object the moment it is dirtied. A checkpoint then drains the
+// queue with Take and folds only those objects.
+//
+// The index degrades, never lies: whenever an object is dirtied outside the
+// tracker's view — allocated after the last Watch (Domain.AttachTracker
+// counts those), marked but unresolvable, or replaced so the registered Info
+// no longer matches — the tracker flags itself degraded and NextMode forces
+// the next checkpoint to Full, whose traversal recaptures everything live.
+// Watch after that Full rebuilds the view and clears the degradation,
+// exactly as Session.NextMode recovers from an unresolvable abort.
+//
+// Tracker is not safe for concurrent use: Mark, Take, and Watch must come
+// from the mutator thread, like every Info operation. The queue's backing
+// array, the taken slice, and the view survive across epochs, so a
+// steady-state Take allocates nothing.
+type Tracker struct {
+	queue    []*Info
+	view     *RootIndex
+	taken    []Checkpointable
+	degraded bool
+	// dense caches the view as a slice indexed by id when the id space is
+	// dense enough (Domains issue sequential ids, so it almost always is):
+	// Take then resolves each queued id with an array index instead of a map
+	// lookup, and large dirty sets are collected by an in-order scan instead
+	// of a sort. Each slot pairs the object with its registered Info so the
+	// scan tests dirty bits with plain field loads — no interface dispatch —
+	// and finds the object on the same cache line when the test hits. nil
+	// when the ids are too sparse; the view map stays authoritative either
+	// way.
+	dense []denseEntry
+	// fresh counts objects allocated under an attached Domain since the last
+	// Watch: objects the view cannot resolve yet. Any Take while fresh > 0
+	// degrades the tracker (the dirty set may be incomplete).
+	fresh int
+	// liveQueued counts mark-queue entries whose modified flag is still set:
+	// enqueue increments it, Info.ResetModified decrements it as it retires
+	// an entry. Take's scan path checks its collected dirty set against this
+	// count in O(1) instead of sweeping the queue; any mismatch diverts to
+	// the precise per-entry path. Atomic because a parallel fold's workers
+	// reset flags concurrently.
+	liveQueued atomic.Int64
+}
+
+// denseEntry is one id-indexed slot of the dense view cache.
+type denseEntry struct {
+	o    Checkpointable
+	info *Info
+}
+
+// denseBound reports whether an id space reaching maxID is dense enough to
+// cache n registered objects as a slice: at worst 4x the object count (plus
+// slack for small graphs) of mostly-nil slots.
+func denseBound(maxID uint64, n int) bool {
+	return n > 0 && maxID < uint64(4*n+1024)
+}
+
+// NewTracker returns an empty tracker. Register objects with Watch or Track
+// (and attach the tracker to the issuing Domain so allocations are counted)
+// before relying on Take.
+func NewTracker() *Tracker {
+	return &Tracker{view: &RootIndex{objs: make(map[uint64]Checkpointable)}}
+}
+
+// enqueue appends i to the mark-queue and counts the live entry. Callers
+// (Info.Mark, Watch, Track) have already set the queued bit.
+func (t *Tracker) enqueue(i *Info) {
+	t.queue = append(t.queue, i)
+	t.liveQueued.Add(1)
+}
+
+// Watch rebuilds the tracker's view as the RootIndex of the graphs reachable
+// from roots, tags every reachable Info with the tracker, re-enqueues every
+// reachable modified object, and clears the degraded state and the fresh
+// count. Call it after building the graph, and again after every Full
+// checkpoint taken to recover from degradation (the Full body captured
+// everything live, so the rebuilt view and queue are complete again).
+//
+// On a traversal error the tracker is left degraded and the error returned.
+func (t *Tracker) Watch(roots ...Checkpointable) error {
+	// Empty the queue first, clearing queued bits through the captured
+	// pointers so stale entries can never block a future Mark from
+	// enqueueing.
+	for _, i := range t.queue {
+		i.queued = false
+	}
+	t.queue = t.queue[:0]
+	t.liveQueued.Store(0)
+	idx, err := IndexRoots(roots...)
+	if err != nil {
+		t.degraded = true
+		return err
+	}
+	t.view = idx
+	var maxID uint64
+	for id := range idx.objs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if denseBound(maxID, len(idx.objs)) {
+		need := int(maxID + 1)
+		if cap(t.dense) >= need {
+			t.dense = t.dense[:need]
+			clear(t.dense)
+		} else {
+			t.dense = make([]denseEntry, need)
+		}
+	} else {
+		t.dense = nil
+	}
+	for id, o := range idx.objs {
+		info := o.CheckpointInfo()
+		if t.dense != nil {
+			t.dense[id] = denseEntry{o: o, info: info}
+		}
+		info.tracker = t
+		info.fresh = false
+		info.self = info
+		if info.modified {
+			info.queued = true
+			t.enqueue(info)
+		} else {
+			info.queued = false
+		}
+	}
+	t.fresh = 0
+	t.degraded = false
+	return nil
+}
+
+// Track registers one object in the tracker's view, tags its Info, and
+// enqueues it if it is already modified. It is the incremental alternative
+// to a full Watch when the caller knows exactly which object joined the
+// graph: tracking a freshly allocated object settles its fresh debt, so an
+// allocation that is immediately Tracked does not degrade the tracker.
+func (t *Tracker) Track(o Checkpointable) {
+	info := o.CheckpointInfo()
+	if info.fresh && info.tracker == t {
+		info.fresh = false
+		if t.fresh > 0 {
+			t.fresh--
+		}
+	}
+	info.tracker = t
+	// Adopt the Info (see Info.self) only when it does not claim queue
+	// membership: an unadopted Info with the queued bit set is either a
+	// by-value copy (which must stay rejectable by the scan path) or a
+	// MarkOn-ed object the next Watch will adopt — ambiguous, so leave it to
+	// the precise Take path, which resolves both correctly.
+	if !info.queued {
+		info.self = info
+	}
+	t.view.objs[info.id] = o
+	if t.dense != nil {
+		switch {
+		case info.id < uint64(len(t.dense)):
+			t.dense[info.id] = denseEntry{o: o, info: info}
+		case denseBound(info.id, len(t.view.objs)):
+			for uint64(len(t.dense)) <= info.id {
+				t.dense = append(t.dense, denseEntry{})
+			}
+			t.dense[info.id] = denseEntry{o: o, info: info}
+		default:
+			t.dense = nil
+		}
+	}
+	if info.modified && !info.queued {
+		info.queued = true
+		t.enqueue(info)
+	}
+}
+
+// Take drains the mark-queue and returns the dirty set in canonical
+// (ascending id) order, ready to fold: every returned object is registered,
+// distinct, and has its modified flag set. Entries whose flag was cleared
+// since they were marked (a traversal fold ran in between) are dropped.
+// Entries the view cannot resolve — or that resolve to an object whose Info
+// is no longer the one that was marked — degrade the tracker, as does any
+// unsettled allocation (see Domain.AttachTracker): the dirty set may then be
+// incomplete, so NextMode forces the next checkpoint to Full.
+//
+// The returned slice is owned by the tracker and invalidated by the next
+// Take.
+//
+// Canonical order is produced adaptively: small dirty sets are sorted (after
+// a one-pass check that skips the sort when marks already arrived in
+// ascending order); when a large fraction of a dense-id graph is dirty, the
+// set is instead collected by a single in-order scan of the dense view —
+// O(live) with a tiny constant, cheaper there than O(dirty log dirty)
+// comparison sorting, and irrelevant to the O(dirty) steady state the
+// threshold excludes. The scan trusts its result only when every collected
+// Info is adopted (Info.self — rejects by-value copies by address) and the
+// collected count equals the tracker's live-entry count (liveQueued — proves
+// no marked object was missed), both without touching the queue; anything
+// else diverts to the precise per-entry path below, which alone decides
+// degradation.
+func (t *Tracker) Take() []Checkpointable {
+	if t.fresh > 0 {
+		t.degraded = true
+	}
+	t.taken = t.taken[:0]
+	if t.scanReady() {
+		if t.scanQueue() {
+			return t.taken
+		}
+		t.taken = t.taken[:0]
+	}
+	asc := true
+	for k := 1; k < len(t.queue); k++ {
+		if t.queue[k].id < t.queue[k-1].id {
+			asc = false
+			break
+		}
+	}
+	if !asc {
+		slices.SortFunc(t.queue, func(a, b *Info) int {
+			return cmp.Compare(a.id, b.id)
+		})
+	}
+	for _, info := range t.queue {
+		if !info.modified {
+			continue
+		}
+		o := t.resolveObj(info.id)
+		if o == nil || o.CheckpointInfo() != info {
+			t.degraded = true
+			continue
+		}
+		// The queue can hold the same Info twice — marked, retired by
+		// ResetModified, marked again — which sorts adjacent; emit once.
+		if n := len(t.taken); n > 0 && t.taken[n-1] == o {
+			continue
+		}
+		t.taken = append(t.taken, o)
+	}
+	t.finishTake()
+	return t.taken
+}
+
+// scanQueue collects the dirty set in ascending id order straight off the
+// dense view: one pass taking every adopted live Info (clearing its queued
+// bit as it goes), then an O(1) verification that the collected count equals
+// the tracker's live-entry count. A match proves the scan took exactly the
+// queue's live entries — every live entry is counted at enqueue and retired
+// by ResetModified, phantoms (copies carrying stale bits) are rejected by the
+// adoption check, and a forged survivor would have to desynchronize both the
+// count and the adoption address at once — so the queue is dropped without
+// ever being swept. On a mismatch it returns false with taken possibly
+// half-built and the queue intact for the precise fallback.
+func (t *Tracker) scanQueue() bool {
+	for i := range t.dense {
+		info := t.dense[i].info
+		if info != nil && info.queued && info.modified && info.tracker == t && info.self == info {
+			info.queued = false
+			t.taken = append(t.taken, t.dense[i].o)
+		}
+	}
+	if int64(len(t.taken)) != t.liveQueued.Load() {
+		return false
+	}
+	t.liveQueued.Store(0)
+	t.queue = t.queue[:0]
+	return true
+}
+
+// drainScan is the fused form of Take for the virtual-dispatch dirty fold:
+// it walks the dense view once and records every hit into em on the spot —
+// while the Info's cache line is still hot from the dirty-bit test — instead
+// of materializing the taken slice for a second pass. Each hit is a genuine
+// registered object (adoption check) with its modified flag set, so emitting
+// it is sound unconditionally: over-capture is merely conservative, and the
+// closing count check catches under-capture — on a mismatch drainScan
+// returns false with the queue intact, and the caller recovers the missed
+// entries through Take, whose precise path skips the already-recorded
+// (now clean) objects. It reports true when the scan provably covered every
+// live entry. Callers must check that the scan path applies (dense view
+// present, queue past the density threshold) before calling.
+func (t *Tracker) drainScan(em *Emitter) bool {
+	if t.fresh > 0 {
+		t.degraded = true
+	}
+	emitted := int64(0)
+	for i := range t.dense {
+		info := t.dense[i].info
+		if info != nil && info.queued && info.modified && info.tracker == t && info.self == info {
+			info.queued = false
+			em.Visit()
+			em.EmitIfModified(t.dense[i].o)
+			emitted++
+		}
+	}
+	if emitted != t.liveQueued.Load() {
+		return false
+	}
+	t.liveQueued.Store(0)
+	t.queue = t.queue[:0]
+	return true
+}
+
+// scanReady reports whether Take would collect the dirty set by the dense
+// in-order scan: a dense view is cached and the queue is past the density
+// threshold (below it, sorting the small queue is cheaper than visiting
+// every slot).
+func (t *Tracker) scanReady() bool {
+	return t.dense != nil && len(t.queue)*16 >= len(t.view.objs)
+}
+
+// finishTake clears the queued bits through the captured pointers and empties
+// the queue, after the dirty set has been collected.
+func (t *Tracker) finishTake() {
+	for _, info := range t.queue {
+		info.queued = false
+	}
+	t.queue = t.queue[:0]
+	t.liveQueued.Store(0)
+}
+
+// resolveObj resolves a registered id to its object: through the dense cache
+// when active (it mirrors the view exactly), through the view map otherwise.
+func (t *Tracker) resolveObj(id uint64) Checkpointable {
+	if t.dense != nil {
+		if id < uint64(len(t.dense)) {
+			return t.dense[id].o
+		}
+		return nil
+	}
+	return t.view.objs[id]
+}
+
+// Requeue re-enqueues every object in objs whose modified flag is still set
+// — the recovery path when a dirty fold fails after Take drained the queue.
+// Objects the failed fold already recorded have clear flags and are skipped
+// here; they are covered by the epoch's clear-set instead (Session.Abort
+// re-marks them through Mark, which re-enqueues). Both paths are idempotent,
+// so Requeue and Abort compose in either order.
+func (t *Tracker) Requeue(objs []Checkpointable) {
+	for _, o := range objs {
+		info := o.CheckpointInfo()
+		if info.modified {
+			info.Mark()
+		}
+	}
+}
+
+// NextMode returns the mode the next checkpoint must use: want, upgraded to
+// Full while the tracker is degraded. Unlike Session.NextMode the
+// degradation does not clear on commit — only Watch, which rebuilds the
+// view, clears it.
+func (t *Tracker) NextMode(want Mode) Mode {
+	if t.degraded && want != Full {
+		return Full
+	}
+	return want
+}
+
+// Degraded reports whether the dirty set may be incomplete, so that only a
+// Full traversal checkpoint (followed by Watch) restores the O(dirty)
+// invariant.
+func (t *Tracker) Degraded() bool { return t.degraded }
+
+// Dirty returns the number of mark-queue entries awaiting the next Take.
+// Stale entries (flag since cleared) are counted until Take drops them.
+func (t *Tracker) Dirty() int { return len(t.queue) }
+
+// Len returns the number of objects registered in the tracker's view.
+func (t *Tracker) Len() int { return t.view.Len() }
+
+// Resolve returns the Info of the registered object with the given id, or
+// nil. Its signature matches InfoResolver, so a tracker doubles as a
+// session's resolver: ckpt.NewSession(ckpt.WithInfoResolver(t.Resolve)).
+func (t *Tracker) Resolve(id uint64) *Info { return t.view.Resolve(id) }

@@ -1,0 +1,618 @@
+package ckpt_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ickpt/ckpt"
+)
+
+// trackedFixture builds n points as separate roots (ascending ids), drains
+// the construction-time modified flags with a full checkpoint, and watches
+// the population with a fresh tracker.
+func trackedFixture(t *testing.T, n int) (*ckpt.Domain, []*point, []ckpt.Checkpointable, *ckpt.Tracker) {
+	t.Helper()
+	d := ckpt.NewDomain()
+	pts := make([]*point, n)
+	roots := make([]ckpt.Checkpointable, n)
+	for i := range pts {
+		pts[i] = newPoint(d, int64(i), int64(i), "t")
+		roots[i] = pts[i]
+	}
+	drainFull(t, roots)
+	tr := ckpt.NewTracker()
+	d.AttachTracker(tr)
+	if err := tr.Watch(roots...); err != nil {
+		t.Fatal(err)
+	}
+	return d, pts, roots, tr
+}
+
+// drainFull takes a throwaway full checkpoint to clear every modified flag.
+func drainFull(t *testing.T, roots []ckpt.Checkpointable) {
+	t.Helper()
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Full)
+	for _, r := range roots {
+		if err := w.Checkpoint(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dirtyBody takes one dirty incremental checkpoint of the tracker's queue.
+func dirtyBody(t *testing.T, tr *ckpt.Tracker, s *ckpt.Session) ([]byte, uint64) {
+	t.Helper()
+	var opts []ckpt.WriterOption
+	if s != nil {
+		opts = append(opts, ckpt.WithSession(s))
+	}
+	w := ckpt.NewWriter(opts...)
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, ckpt.EmitObject); err != nil {
+		t.Fatal(err)
+	}
+	body, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, w.Epoch()
+}
+
+// TestDirtyFoldMatchesTraversal pins the core O(dirty) contract: for roots
+// whose creation order is ascending-id order, the dirty fold's body is
+// byte-identical to the generic incremental traversal over the same
+// modification, and only the dirty objects are visited.
+func TestDirtyFoldMatchesTraversal(t *testing.T) {
+	// Two identically-built domains so ids (and bodies) line up.
+	_, ptsA, _, tr := trackedFixture(t, 8)
+	dB := ckpt.NewDomain()
+	ptsB := make([]*point, 8)
+	rootsB := make([]ckpt.Checkpointable, 8)
+	for i := range ptsB {
+		ptsB[i] = newPoint(dB, int64(i), int64(i), "t")
+		rootsB[i] = ptsB[i]
+	}
+	drainFull(t, rootsB)
+
+	for _, i := range []int{1, 4, 6} {
+		ptsA[i].x += 10
+		ptsA[i].info.Mark()
+		ptsB[i].x += 10
+		ptsB[i].info.SetModified()
+	}
+	if got := tr.Dirty(); got != 3 {
+		t.Fatalf("Dirty() = %d, want 3", got)
+	}
+
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, ckpt.EmitObject); err != nil {
+		t.Fatal(err)
+	}
+	dirty, dstats, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wB := ckpt.NewWriter()
+	wB.Start(ckpt.Incremental)
+	for _, r := range rootsB {
+		if err := wB.Checkpoint(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trav, tstats, err := wB.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if string(dirty) != string(trav) {
+		t.Fatalf("dirty body (%d bytes) != traversal body (%d bytes)", len(dirty), len(trav))
+	}
+	if dstats.Visited != 3 {
+		t.Fatalf("dirty fold visited %d objects, want 3", dstats.Visited)
+	}
+	if tstats.Visited != 8 {
+		t.Fatalf("traversal visited %d objects, want 8", tstats.Visited)
+	}
+	for i, p := range ptsA {
+		if p.info.Modified() {
+			t.Fatalf("point %d still modified after dirty fold", i)
+		}
+	}
+	if tr.Dirty() != 0 {
+		t.Fatal("queue not drained by Take")
+	}
+}
+
+// TestMarkIdempotent: marking the same object repeatedly enqueues it once.
+func TestMarkIdempotent(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 3)
+	for i := 0; i < 5; i++ {
+		pts[1].info.Mark()
+	}
+	if got := tr.Dirty(); got != 1 {
+		t.Fatalf("Dirty() = %d after repeated Mark, want 1", got)
+	}
+	body, _ := dirtyBody(t, tr, nil)
+	if len(body) == 0 {
+		t.Fatal("empty body")
+	}
+	// Re-marking after the drain enqueues again: the queued bit was cleared.
+	pts[1].info.Mark()
+	if got := tr.Dirty(); got != 1 {
+		t.Fatalf("Dirty() = %d after post-drain Mark, want 1", got)
+	}
+}
+
+// TestTakeDropsStaleEntries: an entry whose flag a traversal fold cleared in
+// between Mark and Take is dropped, not re-encoded.
+func TestTakeDropsStaleEntries(t *testing.T) {
+	_, pts, roots, tr := trackedFixture(t, 4)
+	pts[0].info.Mark()
+	pts[2].info.Mark()
+	drainFull(t, roots) // clears both flags; queue entries now stale
+	pts[2].info.Mark()  // queued bit still set from before: no duplicate
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, ckpt.EmitObject); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Visited != 1 {
+		t.Fatalf("visited %d, want 1 (only the re-marked point)", stats.Visited)
+	}
+	if tr.Degraded() {
+		t.Fatal("stale entries must not degrade the tracker")
+	}
+}
+
+// TestAbortReenqueues: Session.Abort re-marks the epoch's clear-set through
+// Mark, so the aborted objects land back in the mark-queue and the retake
+// rebuilds a byte-identical body.
+func TestAbortReenqueues(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 6)
+	s := ckpt.NewSession()
+	for _, i := range []int{0, 3, 5} {
+		pts[i].x++
+		pts[i].info.Mark()
+	}
+	first, epoch := dirtyBody(t, tr, s)
+	if tr.Dirty() != 0 {
+		t.Fatal("queue should be empty after the fold")
+	}
+	if got := s.Abort(epoch); got != 3 {
+		t.Fatalf("Abort re-marked %d, want 3", got)
+	}
+	if got := tr.Dirty(); got != 3 {
+		t.Fatalf("Dirty() = %d after abort, want 3 (re-enqueued)", got)
+	}
+	retake, _ := dirtyBody(t, tr, s)
+	if withoutEpoch(t, first) != withoutEpoch(t, retake) {
+		t.Fatal("retake after abort is not byte-identical (modulo epoch)")
+	}
+}
+
+// withoutEpoch renders a body's record stream (ids, types, payloads) without
+// the epoch header, so bodies from different epochs can be compared
+// record-for-record.
+func withoutEpoch(t *testing.T, body []byte) string {
+	t.Helper()
+	var b []byte
+	_, err := ckpt.InspectBody(body, func(id uint64, typ ckpt.TypeID, payload []byte) error {
+		b = append(b, fmt.Sprintf("%d/%d:%x;", id, typ, payload)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMarkDuringFold: an object marked while the dirty fold is draining the
+// previous take is queued for the NEXT take, never lost and never folded
+// into the in-flight body.
+func TestMarkDuringFold(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 4)
+	pts[0].x++
+	pts[0].info.Mark()
+	marked := false
+	emit := func(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+		if !marked {
+			marked = true
+			pts[3].x++
+			pts[3].info.Mark()
+		}
+		return ckpt.EmitObject(em, o)
+	}
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, emit); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Visited != 1 {
+		t.Fatalf("in-flight fold visited %d, want 1", stats.Visited)
+	}
+	if got := tr.Dirty(); got != 1 {
+		t.Fatalf("Dirty() = %d, want 1 (the mid-fold mark)", got)
+	}
+	_, nstats, _ := takeStats(t, tr)
+	if nstats.Visited != 1 {
+		t.Fatalf("next fold visited %d, want 1", nstats.Visited)
+	}
+	if pts[3].info.Modified() {
+		t.Fatal("mid-fold mark not folded by the next take")
+	}
+}
+
+func takeStats(t *testing.T, tr *ckpt.Tracker) ([]byte, ckpt.Stats, error) {
+	t.Helper()
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, ckpt.EmitObject); err != nil {
+		t.Fatal(err)
+	}
+	return w.Finish()
+}
+
+// TestFreshAllocationDegrades: an object allocated under an attached domain
+// after Watch is invisible to the view; the tracker degrades rather than
+// deliver an incomplete dirty set, NextMode forces Full, and a Full
+// traversal followed by Watch restores O(dirty) operation.
+func TestFreshAllocationDegrades(t *testing.T) {
+	d, _, roots, tr := trackedFixture(t, 3)
+	p := newPoint(d, 99, 99, "fresh") // modified at birth, not in the view
+	roots = append(roots, p)
+	if tr.Degraded() {
+		t.Fatal("allocation alone must not degrade before Take")
+	}
+	tr.Take()
+	if !tr.Degraded() {
+		t.Fatal("Take with unsettled allocation must degrade")
+	}
+	if got := tr.NextMode(ckpt.Incremental); got != ckpt.Full {
+		t.Fatalf("NextMode = %v while degraded, want Full", got)
+	}
+	if got := tr.NextMode(ckpt.Full); got != ckpt.Full {
+		t.Fatalf("NextMode(Full) = %v, want Full", got)
+	}
+	// Recovery: Full traversal captures everything, Watch rebuilds the view.
+	drainFull(t, roots)
+	if err := tr.Watch(roots...); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degraded() {
+		t.Fatal("Watch must clear degradation")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("view has %d objects after Watch, want 4", tr.Len())
+	}
+	if got := tr.NextMode(ckpt.Incremental); got != ckpt.Incremental {
+		t.Fatalf("NextMode = %v after recovery, want Incremental", got)
+	}
+}
+
+// TestTrackSettlesFreshDebt: Track-ing a freshly allocated object registers
+// it and keeps the tracker healthy, so allocate-then-Track never costs a
+// Full checkpoint.
+func TestTrackSettlesFreshDebt(t *testing.T) {
+	d, _, _, tr := trackedFixture(t, 2)
+	p := newPoint(d, 7, 7, "new")
+	tr.Track(p)
+	objs := tr.Take()
+	if tr.Degraded() {
+		t.Fatal("tracked allocation must not degrade")
+	}
+	if len(objs) != 1 || objs[0] != ckpt.Checkpointable(p) {
+		t.Fatalf("Take = %d objects, want the tracked point", len(objs))
+	}
+}
+
+// TestIdentityMismatchDegrades: if the object registered under an id is no
+// longer the one whose Info was marked (a by-value copy took its place), the
+// tracker degrades instead of encoding the wrong object.
+func TestIdentityMismatchDegrades(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 2)
+	pts[1].info.Mark()
+	clone := *pts[1] // same id, different Info address
+	tr.Track(&clone)
+	objs := tr.Take()
+	if !tr.Degraded() {
+		t.Fatal("identity mismatch must degrade")
+	}
+	if len(objs) != 0 {
+		t.Fatalf("Take returned %d objects for a mismatched entry, want 0", len(objs))
+	}
+}
+
+// TestWatchReenqueuesModified: Watch over a graph with already-dirty objects
+// queues them, so no pre-Watch mutation is lost.
+func TestWatchReenqueuesModified(t *testing.T) {
+	d := ckpt.NewDomain()
+	var roots []ckpt.Checkpointable
+	pts := make([]*point, 5)
+	for i := range pts {
+		pts[i] = newPoint(d, int64(i), 0, "w")
+		roots = append(roots, pts[i])
+	}
+	drainFull(t, roots)
+	pts[2].info.SetModified() // dirtied before any tracker exists
+	tr := ckpt.NewTracker()
+	if err := tr.Watch(roots...); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dirty(); got != 1 {
+		t.Fatalf("Dirty() = %d after Watch, want 1", got)
+	}
+	objs := tr.Take()
+	if len(objs) != 1 || objs[0] != ckpt.Checkpointable(pts[2]) {
+		t.Fatalf("Take = %v, want the pre-dirty point", objs)
+	}
+}
+
+// TestDirtyFoldFailureRequeues: when an EmitOne fails mid-drain, the
+// un-emitted tail is re-queued by CheckpointDirty and the emitted prefix is
+// recovered by the session abort — together the retake covers the full set.
+func TestDirtyFoldFailureRequeues(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 5)
+	s := ckpt.NewSession()
+	for _, i := range []int{0, 1, 2, 3} {
+		pts[i].x++
+		pts[i].info.Mark()
+	}
+	boom := errors.New("boom")
+	n := 0
+	emit := func(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+		if n == 2 {
+			return boom
+		}
+		n++
+		return ckpt.EmitObject(em, o)
+	}
+	w := ckpt.NewWriter(ckpt.WithSession(s))
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, emit); !errors.Is(err, boom) {
+		t.Fatalf("CheckpointDirty = %v, want boom", err)
+	}
+	if body, _, err := w.Finish(); !errors.Is(err, boom) || body != nil {
+		t.Fatalf("Finish = %d bytes, %v; want nil body and boom", len(body), err)
+	}
+	// Finish aborted the doomed epoch through the session (re-marking the 2
+	// emitted objects); CheckpointDirty re-queued the un-emitted tail.
+	if got := tr.Dirty(); got != 4 {
+		t.Fatalf("Dirty() = %d after failed fold, want 4", got)
+	}
+	body, _ := dirtyBody(t, tr, s)
+	if len(body) == 0 {
+		t.Fatal("empty retake body")
+	}
+	for _, i := range []int{0, 1, 2, 3} {
+		if pts[i].info.Modified() {
+			t.Fatalf("point %d not folded by the retake", i)
+		}
+	}
+}
+
+// TestCheckpointDirtyModeErrors: the dirty path refuses un-started writers
+// and non-Incremental modes.
+func TestCheckpointDirtyModeErrors(t *testing.T) {
+	_, _, _, tr := trackedFixture(t, 1)
+	w := ckpt.NewWriter()
+	if err := w.CheckpointDirty(tr, ckpt.EmitObject); !errors.Is(err, ckpt.ErrNotStarted) {
+		t.Fatalf("unstarted CheckpointDirty = %v, want ErrNotStarted", err)
+	}
+	w.Start(ckpt.Full)
+	if err := w.CheckpointDirty(tr, ckpt.EmitObject); !errors.Is(err, ckpt.ErrDirtyMode) {
+		t.Fatalf("Full-mode CheckpointDirty = %v, want ErrDirtyMode", err)
+	}
+}
+
+// TestTrackerAsSessionResolver: a tracker doubles as the session's
+// InfoResolver, so abort-after-restart style re-marks resolve through the
+// same view the dirty index maintains.
+func TestTrackerAsSessionResolver(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 3)
+	s := ckpt.NewSession(ckpt.WithInfoResolver(tr.Resolve))
+	pts[1].info.Mark()
+	_, epoch := dirtyBody(t, tr, s)
+	if got := s.Abort(epoch); got != 1 {
+		t.Fatalf("Abort re-marked %d, want 1", got)
+	}
+	if got := tr.Dirty(); got != 1 {
+		t.Fatalf("Dirty() = %d, want 1", got)
+	}
+}
+
+// TestSteadyStateDirtyFoldAllocsZero proves the zero-allocation claim: after
+// warm-up, a full mutate → Start → CheckpointDirty → Finish → Commit epoch
+// allocates nothing — the mark-queue backing array, the taken slice, the
+// encoder buffer, and the session's clear-set slices are all reused.
+func TestSteadyStateDirtyFoldAllocsZero(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 64)
+	s := ckpt.NewSession()
+	w := ckpt.NewWriter(ckpt.WithSession(s))
+	epoch := func() {
+		for _, i := range []int{3, 17, 40, 63} {
+			pts[i].x++
+			pts[i].info.Mark()
+		}
+		w.Start(ckpt.Incremental)
+		if err := w.CheckpointDirty(tr, ckpt.EmitObject); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Commit(w.Epoch()) {
+			t.Fatal("epoch not pending at Commit")
+		}
+	}
+	for i := 0; i < 3; i++ { // warm the pools and grow the backing arrays
+		epoch()
+	}
+	if avg := testing.AllocsPerRun(50, epoch); avg != 0 {
+		t.Fatalf("steady-state dirty epoch allocates %v per run, want 0", avg)
+	}
+}
+
+// TestDirtyFoldNilEmitMatchesEmitObject: a nil emit selects the writer's
+// direct virtual path (the fused dense drain when the dirty set is large
+// enough, the sorted queue otherwise); either way the body must be
+// byte-identical to the EmitObject path over the same marks.
+func TestDirtyFoldNilEmitMatchesEmitObject(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		marks []int
+	}{
+		// 3 entries over 8 objects clears the dense-scan threshold: the
+		// nil-emit side takes the fused drain.
+		{"scan", 8, []int{1, 4, 6}},
+		// 2 entries over 64 objects stays under it: sorted-queue path.
+		{"sort", 64, []int{5, 50}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ptsA, _, trA := trackedFixture(t, tc.n)
+			_, ptsB, _, trB := trackedFixture(t, tc.n)
+			for _, i := range tc.marks {
+				ptsA[i].x += 3
+				ptsA[i].info.Mark()
+				ptsB[i].x += 3
+				ptsB[i].info.Mark()
+			}
+			w := ckpt.NewWriter()
+			w.Start(ckpt.Incremental)
+			if err := w.CheckpointDirty(trA, nil); err != nil {
+				t.Fatal(err)
+			}
+			nilBody, nstats, err := w.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			emitBody, _ := dirtyBody(t, trB, nil)
+			if string(nilBody) != string(emitBody) {
+				t.Fatalf("nil-emit body (%d bytes) != EmitObject body (%d bytes)", len(nilBody), len(emitBody))
+			}
+			if nstats.Visited != len(tc.marks) {
+				t.Fatalf("nil-emit fold visited %d, want %d", nstats.Visited, len(tc.marks))
+			}
+			if trA.Degraded() {
+				t.Fatal("nil-emit fold must not degrade")
+			}
+		})
+	}
+}
+
+// TestNilEmitFoldRecoversUnadopted: the fused drain only trusts adopted
+// objects, so one marked before registration (a fresh allocation Marked and
+// then Tracked) escapes the dense scan. The live-entry count disagrees, the
+// precise path records exactly the remainder, and the epoch still captures
+// the full dirty set without degrading.
+func TestNilEmitFoldRecoversUnadopted(t *testing.T) {
+	d, pts, _, tr := trackedFixture(t, 8)
+	pts[3].x++
+	pts[3].info.Mark()
+	late := newPoint(d, 9, 9, "late") // fresh: Mark enqueues before Track adopts
+	late.info.Mark()
+	tr.Track(late)
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := w.CheckpointDirty(tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	body, stats, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Visited != 2 {
+		t.Fatalf("fold visited %d, want 2", stats.Visited)
+	}
+	ids := make(map[uint64]bool)
+	if _, err := ckpt.InspectBody(body, func(id uint64, _ ckpt.TypeID, _ []byte) error {
+		ids[id] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || !ids[pts[3].info.ID()] || !ids[late.info.ID()] {
+		t.Fatalf("body records ids %v, want the adopted and the late object", ids)
+	}
+	if tr.Degraded() {
+		t.Fatal("recovered under-capture must not degrade")
+	}
+	if pts[3].info.Modified() || late.info.Modified() {
+		t.Fatal("dirty objects not cleared by the fold")
+	}
+}
+
+// TestTakeDedupsRetiredReMark: ResetModified retires a queue entry, and a
+// later Mark re-enqueues the same Info, so the queue can hold an object
+// twice. The sorted precise path emits it once and stays healthy.
+func TestTakeDedupsRetiredReMark(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 64)
+	pts[3].x++
+	pts[3].info.Mark()
+	pts[3].info.ResetModified() // retire the entry without a fold
+	pts[40].x++
+	pts[40].info.Mark()
+	pts[3].x++
+	pts[3].info.Mark() // re-enqueue: the queue now holds pts[3] twice
+	_, stats, err := takeStats(t, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Visited != 2 {
+		t.Fatalf("fold visited %d, want 2 (the duplicate entry must collapse)", stats.Visited)
+	}
+	if tr.Degraded() {
+		t.Fatal("a retired-and-re-marked entry must not degrade")
+	}
+	if pts[3].info.Modified() || pts[40].info.Modified() {
+		t.Fatal("marked objects not folded")
+	}
+}
+
+// TestSteadyStateNilEmitDirtyFoldAllocsZero: the fused drain (nil emit, dirty
+// set at the dense-scan threshold) is also a zero-allocation epoch in steady
+// state.
+func TestSteadyStateNilEmitDirtyFoldAllocsZero(t *testing.T) {
+	_, pts, _, tr := trackedFixture(t, 64)
+	s := ckpt.NewSession()
+	w := ckpt.NewWriter(ckpt.WithSession(s))
+	epoch := func() {
+		// 4 entries over 64 objects sits exactly on the scan threshold, so
+		// the fold takes the fused drain every epoch.
+		for _, i := range []int{3, 17, 40, 63} {
+			pts[i].x++
+			pts[i].info.Mark()
+		}
+		w.Start(ckpt.Incremental)
+		if err := w.CheckpointDirty(tr, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Commit(w.Epoch()) {
+			t.Fatal("epoch not pending at Commit")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		epoch()
+	}
+	if avg := testing.AllocsPerRun(50, epoch); avg != 0 {
+		t.Fatalf("steady-state nil-emit epoch allocates %v per run, want 0", avg)
+	}
+}

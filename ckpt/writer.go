@@ -24,7 +24,7 @@ import (
 // Writer is not safe for concurrent use.
 type Writer struct {
 	emitter Emitter
-	enc     wire.Encoder
+	enc     *wire.Encoder
 	mode    Mode
 	epoch   uint64
 	started bool
@@ -41,9 +41,9 @@ type Writer struct {
 	session *Session
 
 	// collect, when non-nil, switches visit into traversal-only mode:
-	// reachable Infos are indexed by id and nothing is emitted or cleared.
-	// Used by IndexRoots.
-	collect map[uint64]*Info
+	// reachable objects are indexed by id and nothing is emitted or cleared.
+	// Used by IndexRoots (and through it by Tracker.Watch).
+	collect map[uint64]Checkpointable
 
 	cycleCheck bool
 	onStack    map[uint64]struct{}
@@ -74,11 +74,23 @@ func WithSession(s *Session) WriterOption {
 	return writerOptionFunc(func(w *Writer) { w.session = s })
 }
 
+// WithEncoder makes the writer encode into enc instead of an encoder of its
+// own — typically one drawn from the wire package's pool (wire.GetEncoder),
+// so short-lived writers reuse grown buffers instead of re-growing fresh
+// ones. The caller keeps ownership: bodies returned by Finish alias enc, and
+// returning enc to the pool invalidates them.
+func WithEncoder(enc *wire.Encoder) WriterOption {
+	return writerOptionFunc(func(w *Writer) { w.enc = enc })
+}
+
 // NewWriter returns a Writer.
 func NewWriter(opts ...WriterOption) *Writer {
 	w := &Writer{}
 	for _, o := range opts {
 		o.apply(w)
+	}
+	if w.enc == nil {
+		w.enc = wire.NewEncoder(0)
 	}
 	if w.cycleCheck {
 		w.onStack = make(map[uint64]struct{})
@@ -95,7 +107,7 @@ func (w *Writer) Start(mode Mode) {
 	w.abandon()
 	w.epoch++
 	w.enc.Reset()
-	w.emitter.Reset(&w.enc, mode, w.epoch)
+	w.emitter.Reset(w.enc, mode, w.epoch)
 	w.mode = mode
 	w.started = true
 	w.visitErr = nil
@@ -113,7 +125,7 @@ func (w *Writer) StartShard(mode Mode, epoch uint64) {
 	w.abandon()
 	w.epoch = epoch
 	w.enc.Reset()
-	w.emitter.ResetShard(&w.enc)
+	w.emitter.ResetShard(w.enc)
 	w.mode = mode
 	w.started = true
 	w.visitErr = nil
@@ -136,6 +148,7 @@ func (w *Writer) abandon() {
 		w.session.Abort(w.epoch)
 	} else {
 		Remark(clears)
+		putClears(clears)
 	}
 }
 
@@ -160,13 +173,69 @@ func (w *Writer) Checkpoint(o Checkpointable) error {
 	return err
 }
 
+// CheckpointDirty encodes a tracker's dirty set instead of traversing: it
+// drains t's mark-queue (Tracker.Take) and emits each dirty object, in
+// canonical ascending-id order, through emit — ckpt.EmitObject for virtual
+// dispatch, or a specialized engine's per-object routine. The body produced
+// is an ordinary incremental body; its cost is O(dirty), not O(live graph).
+//
+// The writer must be started in Incremental mode (a dirty set is
+// meaningless for a Full body: ErrDirtyMode). Callers are expected to ask
+// the tracker for the mode first — mode := t.NextMode(ckpt.Incremental) —
+// and fall back to a traversal fold plus Tracker.Watch when the tracker has
+// degraded.
+//
+// If emit fails, the un-emitted remainder of the dirty set is re-enqueued
+// (Tracker.Requeue) and the error recorded, so Finish aborts the epoch and
+// the combination of re-enqueue and abort re-marking recaptures the entire
+// dirty set.
+//
+// A nil emit selects the virtual-dispatch path (EmitObject's behaviour)
+// without an indirect call per object — the mirror of the traversal fold,
+// which also records through Emitter.EmitIfModified directly.
+func (w *Writer) CheckpointDirty(t *Tracker, emit EmitOne) error {
+	if !w.started {
+		return ErrNotStarted
+	}
+	if w.mode != Incremental {
+		return ErrDirtyMode
+	}
+	if emit == nil {
+		// Fused drain: record hits straight off the tracker's dense scan,
+		// skipping the taken-slice materialization and its second pass over
+		// the object metadata. A false return means marked objects escaped
+		// the scan; Take recovers exactly those (the recorded ones are clean
+		// now), so the epoch still captures the full dirty set.
+		if t.scanReady() && t.drainScan(&w.emitter) {
+			return nil
+		}
+		for _, o := range t.Take() {
+			w.emitter.Visit()
+			w.emitter.EmitIfModified(o)
+		}
+		return nil
+	}
+	objs := t.Take()
+	for i, o := range objs {
+		w.emitter.Visit()
+		if err := emit(&w.emitter, o); err != nil {
+			t.Requeue(objs[i:])
+			if w.visitErr == nil {
+				w.visitErr = err
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 func (w *Writer) visit(o Checkpointable) error {
 	if w.collect != nil {
 		info := o.CheckpointInfo()
 		if _, seen := w.collect[info.ID()]; seen {
 			return nil
 		}
-		w.collect[info.ID()] = info
+		w.collect[info.ID()] = o
 		return o.Fold(w)
 	}
 	w.emitter.Visit()
@@ -212,11 +281,14 @@ func (w *Writer) Finish() ([]byte, Stats, error) {
 			w.session.Abort(w.epoch)
 		} else {
 			Remark(clears)
+			putClears(clears)
 		}
 		return nil, w.emitter.Stats(), fmt.Errorf("ckpt: epoch %d aborted, body discarded: %w", w.epoch, err)
 	}
 	if w.session != nil {
 		w.session.Observe(w.epoch, w.mode, clears)
+	} else {
+		putClears(clears)
 	}
 	return w.enc.Bytes(), w.emitter.Stats(), nil
 }

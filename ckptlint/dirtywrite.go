@@ -21,8 +21,8 @@ import (
 //
 //   - it occurs inside a Record or Restore protocol method (restore-time
 //     state is by definition already captured);
-//   - the same function calls owner.Info.SetModified() (or
-//     owner.CheckpointInfo().SetModified()) on the same owner expression;
+//   - the same function calls owner.Info.Mark() / owner.Info.MarkOn(t)
+//     (or the same through CheckpointInfo()) on the same owner expression;
 //   - the owner object is fresh in this function: created here via a
 //     composite literal carrying ckpt.NewInfo/ckpt.RestoredInfo, or
 //     returned by a New*/new* constructor — a new object's flag starts
@@ -32,6 +32,14 @@ import (
 //     every object the failed epoch touched — rollback writes there are
 //     protocol-covered;
 //   - the file is generated, or the line carries a suppression comment.
+//
+// The analyzer additionally flags raw Info.SetModified() calls outside the
+// ckpt package itself: SetModified sets the flag but never enqueues the
+// object into an attached tracker's mark-queue, so an O(dirty) incremental
+// checkpoint (ckpt.Tracker) would silently omit the change. Mark (or
+// MarkOn) maintains both. A raw SetModified still counts as dirtying its
+// owner for the write diagnostics above — the two defects are reported
+// separately.
 func DirtyWriteAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "dirtywrite",
@@ -72,8 +80,9 @@ type trackedWrite struct {
 
 func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	var writes []trackedWrite
+	var rawSets []token.Pos // raw SetModified calls, flagged separately
 	fresh := make(map[types.Object]bool)
-	dirtied := make(map[string]bool) // owner exprString -> SetModified seen
+	dirtied := make(map[string]bool) // owner exprString -> Mark/MarkOn/SetModified seen
 	remarked := false                // abort-protocol re-mark seen
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -92,8 +101,11 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 				writes = append(writes, w)
 			}
 		case *ast.CallExpr:
-			if owner, ok := setModifiedOwner(pkg, st); ok {
+			if owner, method, ok := infoDirtyCall(pkg, st); ok {
 				dirtied[owner] = true
+				if method == "SetModified" && pkg.PkgPath != "ickpt/ckpt" {
+					rawSets = append(rawSets, st.Pos())
+				}
 			}
 			if remarksClearedFlags(pkg, st) {
 				remarked = true
@@ -110,6 +122,13 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	}
 
 	var out []Diagnostic
+	for _, pos := range rawSets {
+		out = append(out, Diagnostic{
+			Pos: pkg.Fset.Position(pos),
+			Message: "raw Info.SetModified sets the flag but bypasses the dirty index; " +
+				"call Info.Mark() (or MarkOn) so an attached tracker enqueues the object",
+		})
+	}
 	for _, w := range writes {
 		if w.owner == nil {
 			continue
@@ -123,10 +142,10 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 		ownerStr := exprString(pkg.Fset, w.owner)
 		var msg string
 		if w.cell {
-			msg = fmt.Sprintf("direct write to tracked cell %s.%s bypasses modification tracking; use %s.%s.Set(&%s.Info, ...) or call %s.Info.SetModified()",
+			msg = fmt.Sprintf("direct write to tracked cell %s.%s bypasses modification tracking; use %s.%s.Set(&%s.Info, ...) or call %s.Info.Mark()",
 				ownerStr, w.field, ownerStr, strings.TrimSuffix(w.field, ".V"), ownerStr, ownerStr)
 		} else {
-			msg = fmt.Sprintf("write to ckpt-tagged field %s.%s does not mark %s modified; call %s.Info.SetModified() or use a ckpt.Cell",
+			msg = fmt.Sprintf("write to ckpt-tagged field %s.%s does not mark %s modified; call %s.Info.Mark() or use a ckpt.Cell",
 				ownerStr, w.field, ownerStr, ownerStr)
 		}
 		out = append(out, Diagnostic{Pos: pkg.Fset.Position(w.pos), Message: msg})
@@ -255,26 +274,32 @@ func freshExpr(pkg *Package, e ast.Expr) bool {
 	return false
 }
 
-// setModifiedOwner matches owner.Info.SetModified() and
-// owner.CheckpointInfo().SetModified() calls, returning the printed owner
-// expression.
-func setModifiedOwner(pkg *Package, call *ast.CallExpr) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "SetModified" {
-		return "", false
+// infoDirtyCall matches the calls that dirty an owner's Info —
+// owner.Info.Mark(), owner.Info.MarkOn(t), owner.Info.SetModified(), and
+// the same through owner.CheckpointInfo() — returning the printed owner
+// expression and the method name.
+func infoDirtyCall(pkg *Package, call *ast.CallExpr) (owner, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
 	}
-	if tv, ok := pkg.Info.Types[sel.X]; !ok || !isCkptNamed(tv.Type, "Info") {
-		return "", false
+	switch sel.Sel.Name {
+	case "Mark", "MarkOn", "SetModified":
+	default:
+		return "", "", false
+	}
+	if tv, has := pkg.Info.Types[sel.X]; !has || !isCkptNamed(tv.Type, "Info") {
+		return "", "", false
 	}
 	switch x := sel.X.(type) {
-	case *ast.SelectorExpr: // owner.Info.SetModified()
-		return exprString(pkg.Fset, x.X), true
-	case *ast.CallExpr: // owner.CheckpointInfo().SetModified()
-		if inner, ok := x.Fun.(*ast.SelectorExpr); ok && inner.Sel.Name == "CheckpointInfo" {
-			return exprString(pkg.Fset, inner.X), true
+	case *ast.SelectorExpr: // owner.Info.Mark()
+		return exprString(pkg.Fset, x.X), sel.Sel.Name, true
+	case *ast.CallExpr: // owner.CheckpointInfo().Mark()
+		if inner, isSel := x.Fun.(*ast.SelectorExpr); isSel && inner.Sel.Name == "CheckpointInfo" {
+			return exprString(pkg.Fset, inner.X), sel.Sel.Name, true
 		}
 	}
-	return "", false
+	return "", "", false
 }
 
 // rootObject walks to the base identifier of an owner expression and

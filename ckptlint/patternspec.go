@@ -618,15 +618,16 @@ func directWrites(pkg *Package, fd *ast.FuncDecl) []typeWrite {
 					}
 				}
 			}
-			// owner.Info.SetModified() / owner.CheckpointInfo().SetModified()
-			if sel.Sel.Name == "SetModified" {
+			// owner.Info.{Mark,MarkOn,SetModified}() — directly or through
+			// owner.CheckpointInfo().
+			if sel.Sel.Name == "SetModified" || sel.Sel.Name == "Mark" || sel.Sel.Name == "MarkOn" {
 				if tv, ok := pkg.Info.Types[sel.X]; ok && isCkptNamed(tv.Type, "Info") {
 					switch x := sel.X.(type) {
 					case *ast.SelectorExpr:
-						attr(x.X, st.Pos(), "Info.SetModified")
+						attr(x.X, st.Pos(), "Info."+sel.Sel.Name)
 					case *ast.CallExpr:
 						if inner, ok := x.Fun.(*ast.SelectorExpr); ok && inner.Sel.Name == "CheckpointInfo" {
-							attr(inner.X, st.Pos(), "Info.SetModified")
+							attr(inner.X, st.Pos(), "Info."+sel.Sel.Name)
 						}
 					}
 				}

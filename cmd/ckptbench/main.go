@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel]
+//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset]
 //	          [-n STRUCTURES] [-scale N] [-reps R] [-warmup W] [-seed S]
 //	          [-csv DIR] [-parallel WORKERS] [-shards N]
 //
@@ -11,6 +11,10 @@
 // as BENCH_parallel.json. -parallel N routes every synthetic experiment
 // through the parallel folder with N workers; -shards overrides the shard
 // count (0 = 4x workers).
+//
+// The dirtyset experiment sweeps modification density (0.1%..100%) and
+// measures the O(dirty) mark-queue fold against the incremental traversal,
+// writing BENCH_dirtyset.json.
 //
 // Each experiment prints a table whose rows mirror the corresponding paper
 // result; with -csv the tables are also written as CSV files.
@@ -74,6 +78,16 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			}
 			return tbl, nil
 		}},
+		"dirtyset": {func() (*harness.Table, error) {
+			tbl, rep, err := harness.DirtySweep(opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeJSON("BENCH_dirtyset.json", rep); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}},
 		"table1":         {func() (*harness.Table, error) { return harness.Table1For(aw, scale) }},
 		"table1-profile": {func() (*harness.Table, error) { return harness.Table1ProfileFor(aw, scale) }},
 		"table2":         {func() (*harness.Table, error) { return harness.Table2(opts) }},
@@ -90,7 +104,7 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			func() (*harness.Table, error) { return harness.AblationAsync(opts) },
 		},
 	}
-	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel"}
+	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset"}
 
 	var selected []experimentFn
 	if experiment == "all" {

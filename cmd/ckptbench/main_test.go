@@ -82,6 +82,38 @@ func TestRunParallelExperiment(t *testing.T) {
 	}
 }
 
+func TestRunDirtySetExperiment(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	// The dirtyset experiment writes BENCH_dirtyset.json into the working
+	// directory.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	if err := run("dirtyset", tinyOpts(), 1, "image", "", 0); err != nil {
+		t.Fatalf("run(dirtyset): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_dirtyset.json")); err != nil {
+		t.Errorf("BENCH_dirtyset.json not written: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("nope", tinyOpts(), 1, "image", "", 0); err == nil {
 		t.Error("unknown experiment accepted")

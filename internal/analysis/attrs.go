@@ -241,7 +241,7 @@ func (b *BT) Set(v uint64) bool {
 		return false
 	}
 	b.Ann = v
-	b.Info.SetModified()
+	b.Info.Mark()
 	return true
 }
 
@@ -315,7 +315,7 @@ func (t *ET) Set(v uint64) bool {
 		return false
 	}
 	t.Ann = v
-	t.Info.SetModified()
+	t.Info.Mark()
 	return true
 }
 

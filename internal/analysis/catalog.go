@@ -189,3 +189,22 @@ func Generated(key string) (func(ckpt.Checkpointable, *ckpt.Emitter), bool) {
 	fn, ok := generatedFuncs[key]
 	return fn, ok
 }
+
+// generatedEmitFuncs is the registry of generated single-object emit
+// routines (ckpt.EmitOne), keyed by phase name like generatedFuncs.
+var generatedEmitFuncs = make(map[string]ckpt.EmitOne)
+
+// registerGeneratedEmit is called from generated code.
+func registerGeneratedEmit(key string, fn ckpt.EmitOne) {
+	if _, dup := generatedEmitFuncs[key]; dup {
+		panic("analysis: generated EmitOne registered twice: " + key)
+	}
+	generatedEmitFuncs[key] = fn
+}
+
+// GeneratedEmit looks up a generated single-object emit routine by phase
+// key, for encoding a tracker's dirty set through the codegen engine.
+func GeneratedEmit(key string) (ckpt.EmitOne, bool) {
+	fn, ok := generatedEmitFuncs[key]
+	return fn, ok
+}

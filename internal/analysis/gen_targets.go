@@ -22,10 +22,11 @@ func GenTargets() ([]spec.GenTarget, error) {
 		targets = append(targets, spec.GenTarget{
 			Plan: plan,
 			Config: spec.GenConfig{
-				Package:      "analysis",
-				FuncName:     fmt.Sprintf("CheckpointAttributes%s", titleCase(names[i])),
-				RegisterFunc: "registerGenerated",
-				RegisterKey:  names[i],
+				Package:          "analysis",
+				FuncName:         fmt.Sprintf("CheckpointAttributes%s", titleCase(names[i])),
+				RegisterFunc:     "registerGenerated",
+				RegisterKey:      names[i],
+				EmitRegisterFunc: "registerGeneratedEmit",
 			},
 			File: fmt.Sprintf("internal/analysis/zz_gen_attributes_%s.go", names[i]),
 		})

@@ -126,7 +126,7 @@ func (st *seState) update(s minic.Stmt, reads, writes []byte) {
 		changed = true
 	}
 	if changed {
-		entry.Info.SetModified()
+		entry.Info.Mark()
 		st.changed++
 	}
 }

@@ -49,6 +49,7 @@ func AnalysisTrace(aw harness.AnalysisWorkload, scale int) Trace {
 
 		return &Population{
 			Roots:    e.Roots(),
+			Domain:   e.Domain,
 			Registry: analysis.Registry(),
 			Replay: func(take Take) error {
 				// Base full checkpoint consumes the creation flags, so the
@@ -70,26 +71,43 @@ func AnalysisTrace(aw harness.AnalysisWorkload, scale int) Trace {
 			},
 			Engines: []EngineSpec{
 				{Name: "virtual"},
-				{Name: "reflect", NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
-					return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
-				}},
-				{Name: "plan", NewFold: func(mode ckpt.Mode, phase string) func() parfold.FoldFunc {
-					plan := planFull
-					if mode == ckpt.Incremental {
-						plan = phasePlans[phase]
-						if plan == nil {
+				{Name: "reflect",
+					NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
+						return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return reflectckpt.NewEngine().EmitOne },
+				},
+				{Name: "plan",
+					NewFold: func(mode ckpt.Mode, phase string) func() parfold.FoldFunc {
+						plan := planFull
+						if mode == ckpt.Incremental {
+							plan = phasePlans[phase]
+							if plan == nil {
+								return nil
+							}
+						}
+						return func() parfold.FoldFunc { return plan.ShardFold() }
+					},
+					NewEmit: func(phase string) ckpt.EmitOne {
+						if p := phasePlans[phase]; p != nil {
+							return p.EmitOne
+						}
+						return nil
+					},
+				},
+				{Name: "codegen",
+					NewFold: func(mode ckpt.Mode, phase string) func() parfold.FoldFunc {
+						fn := phaseGen[phase]
+						if mode != ckpt.Incremental || fn == nil {
 							return nil
 						}
-					}
-					return func() parfold.FoldFunc { return plan.ShardFold() }
-				}},
-				{Name: "codegen", NewFold: func(mode ckpt.Mode, phase string) func() parfold.FoldFunc {
-					fn := phaseGen[phase]
-					if mode != ckpt.Incremental || fn == nil {
-						return nil
-					}
-					return func() parfold.FoldFunc { return parfold.FoldEmitter(fn) }
-				}},
+						return func() parfold.FoldFunc { return parfold.FoldEmitter(fn) }
+					},
+					NewEmit: func(phase string) ckpt.EmitOne {
+						fn, _ := analysis.GeneratedEmit(phase)
+						return fn // nil for unknown phases: generic fallback
+					},
+				},
 			},
 		}, nil
 	}}

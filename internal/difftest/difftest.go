@@ -45,12 +45,21 @@ type EngineSpec struct {
 	// cover the steady-state phases and the generic driver takes base full
 	// checkpoints.
 	NewFold func(mode ckpt.Mode, phase string) func() parfold.FoldFunc
+	// NewEmit returns the engine's single-object emit routine for a dirty
+	// (mark-queue) checkpoint in the given phase. A nil NewEmit — or a nil
+	// routine for a particular phase — falls back to the generic
+	// ckpt.EmitObject.
+	NewEmit func(phase string) ckpt.EmitOne
 }
 
 // Population is a built object graph plus its replayable mutation script.
 type Population struct {
 	// Roots are the graph's fold roots (disjoint subtrees).
 	Roots []ckpt.Checkpointable
+	// Domain issued the population's object ids; dirty strategies attach
+	// their tracker to it so mid-replay allocations are accounted (nil if
+	// the workload never allocates after build).
+	Domain *ckpt.Domain
 	// Registry resolves the graph's types for rebuilding.
 	Registry *ckpt.Registry
 	// Replay runs the trace: it applies the scripted mutations and calls
@@ -68,7 +77,8 @@ type Trace struct {
 	Build func() (*Population, error)
 }
 
-// Strategy selects sequential or parallel folding.
+// Strategy selects sequential or parallel folding, over the full traversal
+// or the tracker's dirty set.
 type Strategy struct {
 	// Name identifies the strategy in test output.
 	Name string
@@ -76,14 +86,24 @@ type Strategy struct {
 	// with this many workers and Shards shards.
 	Workers int
 	Shards  int
+	// Dirty replays incremental checkpoints through a ckpt.Tracker's
+	// mark-queue (Writer.CheckpointDirty / Folder.FoldDirty) instead of a
+	// traversal. Dirty bodies order records by ascending id, not traversal
+	// order, so they are byte-compared against the dirty sequential
+	// reference rather than the traversal reference; rebuild-level
+	// equivalence holds across both classes.
+	Dirty bool
 }
 
-// Strategies is the standard strategy axis: the sequential reference and a
+// Strategies is the standard strategy axis: the sequential reference, a
 // parallel configuration with enough workers and a shard count that is
-// neither 1 nor a divisor-friendly power of two.
+// neither 1 nor a divisor-friendly power of two, and the same pair driven
+// by the dirty index.
 var Strategies = []Strategy{
 	{Name: "sequential"},
 	{Name: "parallel", Workers: 4, Shards: 7},
+	{Name: "dirty", Dirty: true},
+	{Name: "dirty-parallel", Dirty: true, Workers: 4, Shards: 7},
 }
 
 // factory resolves the fold factory for one checkpoint, falling back to the
@@ -95,6 +115,31 @@ func (e EngineSpec) factory(mode ckpt.Mode, phase string) func() parfold.FoldFun
 		}
 	}
 	return parfold.Generic
+}
+
+// emit resolves the engine's single-object emit routine for one dirty
+// checkpoint, falling back to the generic virtual emit.
+func (e EngineSpec) emit(phase string) ckpt.EmitOne {
+	if e.NewEmit != nil {
+		if fn := e.NewEmit(phase); fn != nil {
+			return fn
+		}
+	}
+	return ckpt.EmitObject
+}
+
+// dirtyEmit is emit for the sequential dirty fold: an engine without a
+// specialized routine falls back to a nil EmitOne, selecting
+// Writer.CheckpointDirty's fused virtual path. The body is byte-identical to
+// the EmitObject path, so the differential matrix exercises the fused drain
+// on every generic-engine cell for free.
+func (e EngineSpec) dirtyEmit(phase string) ckpt.EmitOne {
+	if e.NewEmit != nil {
+		if fn := e.NewEmit(phase); fn != nil {
+			return fn
+		}
+	}
+	return nil
 }
 
 // Replay builds the trace's population and replays it under one engine and
@@ -122,6 +167,13 @@ func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error)
 	var bodies [][]byte
 	var epoch uint64
 	var take Take
+	if st.Dirty {
+		take, bodiesRef := dirtyTake(pop, eng, st, roots, &epoch)
+		if err := pop.Replay(take); err != nil {
+			return nil, nil, fmt.Errorf("%s/%s/%s: replay: %w", tr.Name, engine, st.Name, err)
+		}
+		return *bodiesRef, pop, nil
+	}
 	if st.Workers <= 0 {
 		wr := ckpt.NewWriter()
 		take = func(mode ckpt.Mode, phase string) error {
@@ -159,9 +211,96 @@ func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error)
 	return bodies, pop, nil
 }
 
+// dirtyTake builds the Take for a dirty strategy: a tracker watches the
+// population, incremental checkpoints drain its mark-queue (sequentially via
+// Writer.CheckpointDirty or in parallel via Folder.FoldDirtyAt), and Full
+// checkpoints — the trace's own base takes plus any Tracker.NextMode
+// degradation upgrade — fall back to the engine's traversal fold, followed
+// by a re-Watch that rebuilds the view.
+func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Checkpointable, epoch *uint64) (Take, *[][]byte) {
+	bodies := new([][]byte)
+	trk := ckpt.NewTracker()
+	if pop.Domain != nil {
+		pop.Domain.AttachTracker(trk)
+	}
+	watched := false
+	wr := ckpt.NewWriter()
+	take := func(mode ckpt.Mode, phase string) error {
+		*epoch++
+		if !watched {
+			if err := trk.Watch(roots...); err != nil {
+				return err
+			}
+			watched = true
+		}
+		mode = trk.NextMode(mode)
+		var body []byte
+		switch {
+		case mode == ckpt.Full && st.Workers <= 0:
+			// Traversal fallback in the engine's own fold; the Full body
+			// recaptures everything live, so Watch restores the index.
+			fold := eng.factory(mode, phase)()
+			wr.Start(mode)
+			for _, r := range roots {
+				if err := fold(wr, r); err != nil {
+					return err
+				}
+			}
+			b, _, err := wr.Finish()
+			if err != nil {
+				return err
+			}
+			body = b
+			if err := trk.Watch(roots...); err != nil {
+				return err
+			}
+		case mode == ckpt.Full:
+			folder := parfold.New(eng.factory(mode, phase),
+				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+			b, _, err := folder.FoldAt(mode, *epoch, roots)
+			folder.Release()
+			if err != nil {
+				return err
+			}
+			body = b
+			if err := trk.Watch(roots...); err != nil {
+				return err
+			}
+		case st.Workers <= 0:
+			wr.Start(ckpt.Incremental)
+			if err := wr.CheckpointDirty(trk, eng.dirtyEmit(phase)); err != nil {
+				return err
+			}
+			b, _, err := wr.Finish()
+			if err != nil {
+				return err
+			}
+			body = b
+		default:
+			folder := parfold.New(eng.factory(mode, phase),
+				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+			b, _, err := folder.FoldDirtyAt(*epoch, trk, eng.emit(phase))
+			folder.Release()
+			if err != nil {
+				return err
+			}
+			body = b
+		}
+		*bodies = append(*bodies, append([]byte(nil), body...))
+		return nil
+	}
+	return take, bodies
+}
+
 // RunDiff replays tr through every engine x strategy combination and asserts
-// byte- and rebuild-equivalence. The reference stream is the virtual engine
-// folding sequentially; the trace's population must list a "virtual" engine.
+// byte- and rebuild-equivalence. The byte-level reference is per strategy
+// class: traversal strategies compare against the virtual engine folding
+// sequentially, dirty strategies against the virtual engine draining the
+// mark-queue sequentially (dirty bodies order records by ascending id, so
+// the two classes legitimately differ byte-wise). Rebuild-level equivalence
+// ties the classes together: every stream's rebuild must match the live
+// graph, which must match the traversal reference's. The trace's population
+// must list a "virtual" engine.
 func RunDiff(t *testing.T, tr Trace) {
 	t.Helper()
 	refBodies, refPop, err := Replay(tr, "virtual", Strategies[0])
@@ -175,21 +314,35 @@ func RunDiff(t *testing.T, tr Trace) {
 	if err != nil {
 		t.Fatalf("live dump: %v", err)
 	}
+	var dirtyRef [][]byte
+	for _, st := range Strategies {
+		if st.Dirty && st.Workers <= 0 {
+			dirtyRef, _, err = Replay(tr, "virtual", st)
+			if err != nil {
+				t.Fatalf("dirty reference replay: %v", err)
+			}
+			break
+		}
+	}
 
 	for _, eng := range refPop.Engines {
 		for _, st := range Strategies {
 			t.Run(eng.Name+"/"+st.Name, func(t *testing.T) {
+				byteRef := refBodies
+				if st.Dirty {
+					byteRef = dirtyRef
+				}
 				bodies, pop, err := Replay(tr, eng.Name, st)
 				if err != nil {
 					t.Fatalf("replay: %v", err)
 				}
-				if len(bodies) != len(refBodies) {
-					t.Fatalf("took %d checkpoints, reference took %d", len(bodies), len(refBodies))
+				if len(bodies) != len(byteRef) {
+					t.Fatalf("took %d checkpoints, reference took %d", len(bodies), len(byteRef))
 				}
 				for i := range bodies {
-					if !bytes.Equal(bodies[i], refBodies[i]) {
+					if !bytes.Equal(bodies[i], byteRef[i]) {
 						t.Fatalf("checkpoint %d of %d: body differs from reference (%d vs %d bytes)",
-							i, len(bodies), len(bodies[i]), len(refBodies[i]))
+							i, len(bodies), len(bodies[i]), len(byteRef[i]))
 					}
 				}
 				rebuilt, err := RebuildDump(pop.Registry, bodies)

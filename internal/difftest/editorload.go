@@ -193,6 +193,48 @@ func checkpointEditorIncr(root ckpt.Checkpointable, em *ckpt.Emitter) {
 	}
 }
 
+// emitEditorOne is the hand-written analog of a generated single-object
+// EmitOne routine for the editor structure, in the exact shape cmd/ckptgen
+// emits — the dirty-strategy counterpart of checkpointEditorIncr. The driver
+// owns the Visit call.
+func emitEditorOne(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+	switch v := o.(type) {
+	case *document:
+		if v.Info.Modified() {
+			p := em.Begin(&v.Info, typeDocument)
+			p.String(v.Title.V)
+			p.Varint(v.Edits.V)
+			if c := v.Head; c != nil {
+				p.Uvarint(c.Info.ID())
+			} else {
+				p.Uvarint(ckpt.NilID)
+			}
+			em.End()
+			v.Info.ResetModified()
+		} else {
+			em.Skip()
+		}
+	case *paragraph:
+		if v.Info.Modified() {
+			p := em.Begin(&v.Info, typeParagraph)
+			p.String(v.Text.V)
+			p.Varint(v.Revs.V)
+			if n := v.Next; n != nil {
+				p.Uvarint(n.Info.ID())
+			} else {
+				p.Uvarint(ckpt.NilID)
+			}
+			em.End()
+			v.Info.ResetModified()
+		} else {
+			em.Skip()
+		}
+	default:
+		return ckpt.ErrUnknownType
+	}
+	return nil
+}
+
 // EditorTrace builds a trace over the editor workload: docs documents of
 // paras paragraphs each, a base full checkpoint, then rounds of seeded
 // editing-through-Cells with one incremental checkpoint per round.
@@ -227,6 +269,7 @@ func EditorTrace(docs, paras, rounds int, seed int64) Trace {
 		rng := rand.New(rand.NewSource(seed))
 		return &Population{
 			Roots:    roots,
+			Domain:   domain,
 			Registry: editorRegistry(),
 			Replay: func(take Take) error {
 				if err := take(ckpt.Full, ""); err != nil {
@@ -254,22 +297,31 @@ func EditorTrace(docs, paras, rounds int, seed int64) Trace {
 			},
 			Engines: []EngineSpec{
 				{Name: "virtual"},
-				{Name: "reflect", NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
-					return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
-				}},
-				{Name: "plan", NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
-					plan := planIncr
-					if mode == ckpt.Full {
-						plan = planFull
-					}
-					return func() parfold.FoldFunc { return plan.ShardFold() }
-				}},
-				{Name: "codegen", NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
-					if mode != ckpt.Incremental {
-						return nil
-					}
-					return func() parfold.FoldFunc { return parfold.FoldEmitter(checkpointEditorIncr) }
-				}},
+				{Name: "reflect",
+					NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
+						return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return reflectckpt.NewEngine().EmitOne },
+				},
+				{Name: "plan",
+					NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
+						plan := planIncr
+						if mode == ckpt.Full {
+							plan = planFull
+						}
+						return func() parfold.FoldFunc { return plan.ShardFold() }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return planIncr.EmitOne },
+				},
+				{Name: "codegen",
+					NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
+						if mode != ckpt.Incremental {
+							return nil
+						}
+						return func() parfold.FoldFunc { return parfold.FoldEmitter(checkpointEditorIncr) }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return emitEditorOne },
+				},
 			},
 		}, nil
 	}}

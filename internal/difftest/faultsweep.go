@@ -3,6 +3,7 @@ package difftest
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ickpt/ckpt"
 	"ickpt/ckpt/parfold"
@@ -96,15 +97,89 @@ func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault)
 	res := &FaultResult{Pop: pop, Session: sess}
 
 	var epoch uint64
-	var wr *ckpt.Writer
-	if st.Workers <= 0 {
-		wr = ckpt.NewWriter(ckpt.WithSession(sess))
+	wr := ckpt.NewWriter(ckpt.WithSession(sess))
+	var trk *ckpt.Tracker
+	if st.Dirty {
+		trk = ckpt.NewTracker()
+		if pop.Domain != nil {
+			pop.Domain.AttachTracker(trk)
+		}
 	}
+	watched := false
 
-	// takeOnce folds one checkpoint, optionally with the fold fault armed.
-	// It returns the epoch the body was (or would have been) taken under.
+	// takeOnce folds one checkpoint, optionally with the fault armed: a fold
+	// fault on traversal steps (one mid-order root errors), an emit fault on
+	// dirty steps (the middle object of the dirty set errors). It returns the
+	// epoch the body was (or would have been) taken under.
 	takeOnce := func(mode ckpt.Mode, phase string, inject bool) ([]byte, uint64, error) {
 		epoch++
+		if st.Dirty {
+			if !watched {
+				if err := trk.Watch(roots...); err != nil {
+					return nil, epoch, err
+				}
+				watched = true
+			}
+			mode = trk.NextMode(mode)
+		}
+
+		if st.Dirty && mode == ckpt.Incremental {
+			// Dirty drain: the failure strikes mid-queue, so the epoch dies
+			// with some dirty objects already encoded and their flags
+			// cleared — the abort must re-mark AND re-enqueue them. When the
+			// drain turns out too small for the armed index (an empty or
+			// stale-heavy queue, e.g. a fixpoint iteration that changed
+			// nothing), the epoch dies between the drain and the body
+			// completion instead — same mid-epoch outcome.
+			emit := eng.emit(phase)
+			var fired atomic.Bool
+			if inject {
+				fail := int64(trk.Dirty() / 2)
+				var seen atomic.Int64
+				inner := emit
+				emit = func(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+					if seen.Add(1)-1 == fail {
+						fired.Store(true)
+						return fmt.Errorf("%w: emit of object %d", ErrInjected, o.CheckpointInfo().ID())
+					}
+					return inner(em, o)
+				}
+			}
+			if st.Workers <= 0 {
+				wr.Start(ckpt.Incremental)
+				if err := wr.CheckpointDirty(trk, emit); err != nil {
+					// Unemitted tail requeued; the retake's Start aborts the
+					// epoch through the session, re-enqueueing the head.
+					return nil, wr.Epoch(), err
+				}
+				if inject && !fired.Load() {
+					// Mid-body death after the drain: the retake's Start
+					// abandons the epoch through the session.
+					return nil, wr.Epoch(), fmt.Errorf("%w: post-drain", ErrInjected)
+				}
+				body, _, err := wr.Finish()
+				if err != nil {
+					return nil, wr.Epoch(), err
+				}
+				return append([]byte(nil), body...), wr.Epoch(), nil
+			}
+			folder := parfold.New(eng.factory(mode, phase), parfold.WithWorkers(st.Workers),
+				parfold.WithShards(st.Shards), parfold.WithSession(sess))
+			body, _, err := folder.FoldDirtyAt(epoch, trk, emit)
+			folder.Release()
+			if err != nil {
+				// The folder has requeued the dirty set and aborted the epoch.
+				return nil, epoch, err
+			}
+			if inject && !fired.Load() {
+				// The completed body dies before it could matter; abort the
+				// pending epoch as a failed write would.
+				sess.Ack(epoch, fmt.Errorf("%w: post-drain", ErrInjected))
+				return nil, epoch, fmt.Errorf("%w: post-drain", ErrInjected)
+			}
+			return append([]byte(nil), body...), epoch, nil
+		}
+
 		nf := eng.factory(mode, phase)
 		if inject {
 			inner := nf
@@ -118,6 +193,8 @@ func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault)
 				}
 			}
 		}
+		var body []byte
+		var ep uint64
 		if st.Workers <= 0 {
 			fold := nf()
 			wr.Start(mode)
@@ -128,20 +205,28 @@ func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault)
 					return nil, wr.Epoch(), err
 				}
 			}
-			body, _, err := wr.Finish()
+			b, _, err := wr.Finish()
 			if err != nil {
 				return nil, wr.Epoch(), err
 			}
-			return append([]byte(nil), body...), wr.Epoch(), nil
+			body, ep = append([]byte(nil), b...), wr.Epoch()
+		} else {
+			folder := parfold.New(nf, parfold.WithWorkers(st.Workers),
+				parfold.WithShards(st.Shards), parfold.WithSession(sess))
+			b, _, err := folder.FoldAt(mode, epoch, roots)
+			if err != nil {
+				// The folder has already aborted the epoch through the session.
+				return nil, epoch, err
+			}
+			body, ep = append([]byte(nil), b...), epoch
 		}
-		folder := parfold.New(nf, parfold.WithWorkers(st.Workers),
-			parfold.WithShards(st.Shards), parfold.WithSession(sess))
-		body, _, err := folder.FoldAt(mode, epoch, roots)
-		if err != nil {
-			// The folder has already aborted the epoch through the session.
-			return nil, epoch, err
+		if st.Dirty {
+			// The traversal recaptured everything live; rebuild the index.
+			if err := trk.Watch(roots...); err != nil {
+				return nil, ep, err
+			}
 		}
-		return append([]byte(nil), body...), epoch, nil
+		return body, ep, nil
 	}
 
 	step := -1

@@ -34,10 +34,16 @@ func SynthTrace(shape synth.Shape, mod synth.ModPattern, rounds int, seed int64)
 		if !ok {
 			return nil, fmt.Errorf("no generated routine %q", genKey)
 		}
+		genEmit, ok := synth.GeneratedEmit(genKey)
+		if !ok {
+			return nil, fmt.Errorf("no generated EmitOne %q", genKey)
+		}
+		reflectEng := reflectckpt.NewEngine()
 
 		rng := rand.New(rand.NewSource(seed))
 		return &Population{
 			Roots:    w.Roots(),
+			Domain:   w.Domain,
 			Registry: synth.Registry(),
 			Replay: func(take Take) error {
 				if err := take(ckpt.Full, ""); err != nil {
@@ -53,24 +59,33 @@ func SynthTrace(shape synth.Shape, mod synth.ModPattern, rounds int, seed int64)
 			},
 			Engines: []EngineSpec{
 				{Name: "virtual"},
-				{Name: "reflect", NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
-					return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
-				}},
-				{Name: "plan", NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
-					plan := planIncr
-					if mode == ckpt.Full {
-						plan = planFull
-					}
-					return func() parfold.FoldFunc { return plan.ShardFold() }
-				}},
+				{Name: "reflect",
+					NewFold: func(ckpt.Mode, string) func() parfold.FoldFunc {
+						return func() parfold.FoldFunc { return reflectckpt.ShardFold() }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return reflectEng.EmitOne },
+				},
+				{Name: "plan",
+					NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
+						plan := planIncr
+						if mode == ckpt.Full {
+							plan = planFull
+						}
+						return func() parfold.FoldFunc { return plan.ShardFold() }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return planIncr.EmitOne },
+				},
 				// Generated routines are incremental-only; the base full
 				// checkpoint falls back to the generic driver.
-				{Name: "codegen", NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
-					if mode != ckpt.Incremental {
-						return nil
-					}
-					return func() parfold.FoldFunc { return parfold.FoldEmitter(gen) }
-				}},
+				{Name: "codegen",
+					NewFold: func(mode ckpt.Mode, _ string) func() parfold.FoldFunc {
+						if mode != ckpt.Incremental {
+							return nil
+						}
+						return func() parfold.FoldFunc { return parfold.FoldEmitter(gen) }
+					},
+					NewEmit: func(string) ckpt.EmitOne { return genEmit },
+				},
 			},
 		}, nil
 	}}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ickpt/ckpt"
+	"ickpt/internal/synth"
+)
+
+// This file measures the tentpole of the dirty-index work: an incremental
+// checkpoint whose cost is O(dirty) — Writer.CheckpointDirty draining a
+// ckpt.Tracker's mark-queue — against the O(live) incremental traversal,
+// across a sweep of modification densities. At sub-percent densities the
+// traversal visits every live object to discover the few modified ones; the
+// dirty fold visits exactly the modified set, so the gap is the visit cost
+// specialization cannot remove. At 100% density every object records either
+// way and the two strategies must be within noise of each other.
+
+// DirtyRow is one density cell of the sweep.
+type DirtyRow struct {
+	// DensityPct is the fraction of list elements modified per epoch, in
+	// percent.
+	DensityPct float64 `json:"density_pct"`
+	// Modified is the number of objects dirtied before each checkpoint.
+	Modified int `json:"modified"`
+	// Live is the total live object count.
+	Live int `json:"live"`
+	// TraversalNs is the median incremental traversal checkpoint time.
+	TraversalNs float64 `json:"traversal_ns"`
+	// DirtyNs is the median dirty-fold checkpoint time.
+	DirtyNs float64 `json:"dirty_ns"`
+	// Speedup is TraversalNs / DirtyNs.
+	Speedup float64 `json:"speedup"`
+	// TraversalVisited and DirtyVisited are the traversal counters of the
+	// last measured checkpoint of each strategy: the structural evidence
+	// that the dirty fold's work is proportional to the dirty set.
+	TraversalVisited int `json:"traversal_visited"`
+	DirtyVisited     int `json:"dirty_visited"`
+}
+
+// DirtyReport is the machine-readable result of the sweep
+// (BENCH_dirtyset.json).
+type DirtyReport struct {
+	Experiment string     `json:"experiment"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Structures int        `json:"structures"`
+	Rows       []DirtyRow `json:"rows"`
+}
+
+// dirtyDensities is the sweep grid, as fractions.
+var dirtyDensities = []float64{0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0}
+
+// DirtySweep measures the incremental traversal against the dirty fold on
+// twin synthetic populations across the density grid. Both strategies emit
+// through the generic virtual engine, so the comparison isolates the record
+// decision (walk everything vs drain the mark-queue) from record code
+// specialization.
+func DirtySweep(opts Options) (*Table, *DirtyReport, error) {
+	opts = opts.withDefaults()
+	shape := synth.Shape{Structures: opts.Structures, ListLen: 5, Kind: synth.Ints10}
+
+	// Twin populations: the traversal consumes modified flags, the dirty
+	// fold consumes the mark-queue; sharing one graph would let either
+	// strategy steal the other's work.
+	wt := synth.Build(shape)
+	if err := wt.Drain(); err != nil {
+		return nil, nil, err
+	}
+	wd := synth.Build(shape)
+	if err := wd.Drain(); err != nil {
+		return nil, nil, err
+	}
+	trk := ckpt.NewTracker()
+	wd.Domain.AttachTracker(trk)
+	if err := trk.Watch(wd.Roots()...); err != nil {
+		return nil, nil, err
+	}
+
+	rep := &DirtyReport{
+		Experiment: "dirtyset",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Structures: opts.Structures,
+	}
+	t := &Table{
+		ID:      "dirtyset",
+		Title:   "Dirty-set index: incremental traversal vs O(dirty) mark-queue fold",
+		Columns: []string{"density", "modified", "visited (trav)", "visited (dirty)", "traversal (ms)", "dirty (ms)", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d structures, length 5, 10 ints; generic engine both sides", opts.Structures),
+			"visited = Emitter.Visit count of the last epoch: the traversal walks every live object, the dirty fold only the marked set",
+		},
+	}
+
+	wrt := ckpt.NewWriter()
+	wrd := ckpt.NewWriter()
+	for _, frac := range dirtyDensities {
+		var (
+			travTimes, dirtyTimes []float64
+			row                   DirtyRow
+		)
+		for i := 0; i < opts.Warmup+opts.Repetitions; i++ {
+			row.Modified = wt.MutateEvery(frac)
+			wrt.Start(ckpt.Incremental)
+			t0 := time.Now()
+			if err := wt.CheckpointGeneric(wrt); err != nil {
+				return nil, nil, err
+			}
+			dt := time.Since(t0)
+			_, stats, err := wrt.Finish()
+			if err != nil {
+				return nil, nil, err
+			}
+			if i >= opts.Warmup {
+				travTimes = append(travTimes, float64(dt.Nanoseconds()))
+				row.TraversalVisited = stats.Visited
+			}
+
+			wd.MutateEvery(frac)
+			wrd.Start(ckpt.Incremental)
+			t0 = time.Now()
+			if err := wrd.CheckpointDirty(trk, nil); err != nil {
+				return nil, nil, err
+			}
+			dt = time.Since(t0)
+			_, stats, err = wrd.Finish()
+			if err != nil {
+				return nil, nil, err
+			}
+			if i >= opts.Warmup {
+				dirtyTimes = append(dirtyTimes, float64(dt.Nanoseconds()))
+				row.DirtyVisited = stats.Visited
+			}
+		}
+		row.DensityPct = frac * 100
+		row.Live = wt.Objects()
+		row.TraversalNs = median(travTimes)
+		row.DirtyNs = median(dirtyTimes)
+		if row.DirtyNs > 0 {
+			row.Speedup = row.TraversalNs / row.DirtyNs
+		}
+		rep.Rows = append(rep.Rows, row)
+		t.AddRow(
+			fmt.Sprintf("%.1f%%", row.DensityPct),
+			fmt.Sprintf("%d", row.Modified),
+			fmt.Sprintf("%d", row.TraversalVisited),
+			fmt.Sprintf("%d", row.DirtyVisited),
+			fmt.Sprintf("%.3f", row.TraversalNs/1e6),
+			fmt.Sprintf("%.3f", row.DirtyNs/1e6),
+			fmt.Sprintf("%.2f", row.Speedup),
+		)
+	}
+	return t, rep, nil
+}

@@ -403,3 +403,40 @@ func TestParallelScaling(t *testing.T) {
 		}
 	}
 }
+
+// TestDirtySweep runs the density sweep at toy size and checks the report
+// shape: one row per density, the dirty fold visiting no more objects than
+// the traversal, and the visit counts proportional to the dirty set.
+func TestDirtySweep(t *testing.T) {
+	opts := harness.Options{Structures: 40, Repetitions: 1, Warmup: 0, Seed: 1}
+	tbl, rep, err := harness.DirtySweep(opts)
+	if err != nil {
+		t.Fatalf("DirtySweep: %v", err)
+	}
+	if tbl.ID != "dirtyset" {
+		t.Errorf("table ID = %q", tbl.ID)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, r := range rep.Rows {
+		if r.TraversalNs <= 0 || r.DirtyNs <= 0 {
+			t.Errorf("row %d: non-positive time: %+v", i, r)
+		}
+		if r.DirtyVisited > r.TraversalVisited {
+			t.Errorf("row %d: dirty fold visited %d > traversal %d", i, r.DirtyVisited, r.TraversalVisited)
+		}
+		// The traversal walks the whole live graph regardless of density;
+		// the dirty fold walks the marked set only.
+		if r.TraversalVisited != r.Live {
+			t.Errorf("row %d: traversal visited %d, live %d", i, r.TraversalVisited, r.Live)
+		}
+		if r.DirtyVisited != r.Modified {
+			t.Errorf("row %d: dirty visited %d, modified %d", i, r.DirtyVisited, r.Modified)
+		}
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.DensityPct != 100 {
+		t.Errorf("sweep does not end at 100%%: %+v", last)
+	}
+}

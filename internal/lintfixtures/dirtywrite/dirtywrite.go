@@ -44,12 +44,28 @@ func GoodSet(c *Counter) {
 	c.Count.Set(&c.Info, c.Count.Get()+1)
 }
 
-// GoodPaired pairs the direct write with an explicit SetModified on the
-// same owner; the dirty bit is maintained by hand.
+// GoodPaired pairs the direct write with an explicit Mark on the same
+// owner; the dirty bit (and the mark-queue) is maintained by hand.
 func GoodPaired(c *Counter) {
 	c.Count.V = 7
 	c.Label = "paired"
-	c.Info.SetModified()
+	c.Info.Mark()
+}
+
+// GoodMarkOn registers the owner with a tracker while dirtying it; the
+// write rides on the same barrier.
+func GoodMarkOn(c *Counter, tr *ckpt.Tracker) {
+	c.Label = "tracked"
+	c.Info.MarkOn(tr)
+}
+
+// BadRawSetModified maintains the modified flag by hand but never enqueues
+// the owner: a tracker-driven O(dirty) checkpoint would miss the write.
+// The write itself is accepted (the flag IS set); the raw call is the
+// defect.
+func BadRawSetModified(c *Counter) {
+	c.Label = "flag only"
+	c.Info.SetModified() // want `raw Info\.SetModified sets the flag but bypasses the dirty index`
 }
 
 // GoodFresh initializes an object built by a New* constructor; freshness

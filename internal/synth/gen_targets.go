@@ -41,10 +41,11 @@ func GenTargets() ([]spec.GenTarget, error) {
 			targets = append(targets, spec.GenTarget{
 				Plan: plan,
 				Config: spec.GenConfig{
-					Package:      "synth",
-					FuncName:     fmt.Sprintf("Checkpoint%s%s", sc, titleCase(name)),
-					RegisterFunc: "registerGenerated",
-					RegisterKey:  GenKey(kind, patName(pat)),
+					Package:          "synth",
+					FuncName:         fmt.Sprintf("Checkpoint%s%s", sc, titleCase(name)),
+					RegisterFunc:     "registerGenerated",
+					RegisterKey:      GenKey(kind, patName(pat)),
+					EmitRegisterFunc: "registerGeneratedEmit",
 				},
 				File: fmt.Sprintf("internal/synth/zz_gen_%s_%s.go", strings.ToLower(sc), name),
 			})

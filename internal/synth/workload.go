@@ -172,7 +172,7 @@ func (w *Workload) Mutate(rng *rand.Rand, pat ModPattern) int {
 					}
 					if rng.Intn(100) < pat.Percent {
 						e.V0++
-						e.Info.SetModified()
+						e.Info.Mark()
 						modified++
 					}
 					continue
@@ -180,7 +180,7 @@ func (w *Workload) Mutate(rng *rand.Rand, pat ModPattern) int {
 				for ; e != nil; e = e.Next {
 					if rng.Intn(100) < pat.Percent {
 						e.V0++
-						e.Info.SetModified()
+						e.Info.Mark()
 						modified++
 					}
 				}
@@ -201,7 +201,7 @@ func (w *Workload) Mutate(rng *rand.Rand, pat ModPattern) int {
 				}
 				if rng.Intn(100) < pat.Percent {
 					e.V0++
-					e.Info.SetModified()
+					e.Info.Mark()
 					modified++
 				}
 				continue
@@ -209,9 +209,53 @@ func (w *Workload) Mutate(rng *rand.Rand, pat ModPattern) int {
 			for ; e != nil; e = e.Next {
 				if rng.Intn(100) < pat.Percent {
 					e.V0++
-					e.Info.SetModified()
+					e.Info.Mark()
 					modified++
 				}
+			}
+		}
+	}
+	return modified
+}
+
+// MutateEvery deterministically modifies a frac fraction (0 < frac <= 1) of
+// all list elements in the population, spread evenly by an error-accumulator
+// stride so that sub-percent densities (e.g. 0.001) mutate a stable, evenly
+// spaced subset instead of rounding to zero per list. It returns the number
+// of elements modified.
+func (w *Workload) MutateEvery(frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	modified := 0
+	acc := 0.0
+	touch := func(bump func()) {
+		acc += frac
+		if acc >= 1 {
+			acc--
+			bump()
+			modified++
+		}
+	}
+	if w.Shape.Kind == Ints10 {
+		for _, s := range w.roots10 {
+			for _, head := range s.lists() {
+				for e := head; e != nil; e = e.Next {
+					e := e
+					touch(func() { e.V0++; e.Info.Mark() })
+				}
+			}
+		}
+		return modified
+	}
+	for _, s := range w.roots1 {
+		for _, head := range s.lists() {
+			for e := head; e != nil; e = e.Next {
+				e := e
+				touch(func() { e.V0++; e.Info.Mark() })
 			}
 		}
 	}
@@ -224,22 +268,22 @@ func (w *Workload) Mutate(rng *rand.Rand, pat ModPattern) int {
 func (w *Workload) TouchAll() {
 	if w.Shape.Kind == Ints10 {
 		for _, s := range w.roots10 {
-			s.Info.SetModified()
+			s.Info.Mark()
 			for _, head := range s.lists() {
 				for e := head; e != nil; e = e.Next {
 					e.V0++
-					e.Info.SetModified()
+					e.Info.Mark()
 				}
 			}
 		}
 		return
 	}
 	for _, s := range w.roots1 {
-		s.Info.SetModified()
+		s.Info.Mark()
 		for _, head := range s.lists() {
 			for e := head; e != nil; e = e.Next {
 				e.V0++
-				e.Info.SetModified()
+				e.Info.Mark()
 			}
 		}
 	}
@@ -309,6 +353,25 @@ func registerGenerated(key string, fn func(ckpt.Checkpointable, *ckpt.Emitter)) 
 // Generated looks up a generated specialized routine.
 func Generated(key string) (func(ckpt.Checkpointable, *ckpt.Emitter), bool) {
 	fn, ok := generatedFuncs[key]
+	return fn, ok
+}
+
+// generatedEmitFuncs is the registry of generated single-object emit
+// routines (ckpt.EmitOne), keyed by GenKey like generatedFuncs.
+var generatedEmitFuncs = make(map[string]ckpt.EmitOne)
+
+// registerGeneratedEmit is called from generated code.
+func registerGeneratedEmit(key string, fn ckpt.EmitOne) {
+	if _, dup := generatedEmitFuncs[key]; dup {
+		panic(fmt.Sprintf("synth: generated EmitOne %q registered twice", key))
+	}
+	generatedEmitFuncs[key] = fn
+}
+
+// GeneratedEmit looks up a generated single-object emit routine, for
+// encoding a tracker's dirty set through the codegen engine.
+func GeneratedEmit(key string) (ckpt.EmitOne, bool) {
+	fn, ok := generatedEmitFuncs[key]
 	return fn, ok
 }
 

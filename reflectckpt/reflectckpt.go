@@ -99,6 +99,33 @@ func (en *Engine) Checkpoint(w *ckpt.Writer, root ckpt.Checkpointable) error {
 	return en.visit(em, mode, root)
 }
 
+// EmitOne records exactly one object — no traversal — through the engine's
+// cached schema: the reflection engine's ckpt.EmitOne, for encoding a
+// tracker's dirty set (ckpt.Writer.CheckpointDirty, parfold.FoldDirty).
+func (en *Engine) EmitOne(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+	v := reflect.ValueOf(o)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("%w: %T is not a pointer to struct", ErrSchema, o)
+	}
+	sv := v.Elem()
+	sc, err := en.schemaFor(sv.Type())
+	if err != nil {
+		return err
+	}
+	info := o.CheckpointInfo()
+	if !info.Modified() {
+		em.Skip()
+		return nil
+	}
+	p := em.Begin(info, o.CheckpointTypeID())
+	if err := sc.record(sv, p); err != nil {
+		return err
+	}
+	em.End()
+	info.ResetModified()
+	return nil
+}
+
 func (en *Engine) visit(em *ckpt.Emitter, mode ckpt.Mode, o ckpt.Checkpointable) error {
 	em.Visit()
 	v := reflect.ValueOf(o)

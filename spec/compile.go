@@ -67,6 +67,15 @@ type Plan struct {
 	mode      ckpt.Mode
 	verify    bool
 	stats     PlanStats
+
+	// byType maps every catalog class's TypeID to its binding, so
+	// Plan.EmitOne can record an arbitrary object of the catalog — a
+	// tracker's dirty set is a bag of objects, not a traversal, and may
+	// contain classes the pattern pruned from the traversal plan.
+	byType map[ckpt.TypeID]Binding
+	// classes is the catalog's class list in sorted-name order, kept so
+	// GenerateGo can render the EmitOne type-switch deterministically.
+	classes []*Class
 }
 
 // CompileOption configures Compile.
@@ -141,6 +150,13 @@ func Compile(cat *Catalog, root string, pat *Pattern, opts ...CompileOption) (*P
 	p.root = c.build(root)
 	p.stats = c.stats
 	p.stats.Nodes = len(c.nodes)
+	p.byType = make(map[ckpt.TypeID]Binding, len(cat.classes))
+	for name, cl := range cat.classes {
+		p.byType[cl.TypeID] = cat.bindings[name]
+	}
+	for _, name := range cat.ClassNames() {
+		p.classes = append(p.classes, cat.classes[name])
+	}
 	return p, nil
 }
 

@@ -35,6 +35,36 @@ func (p *Plan) ShardFold() func(w *ckpt.Writer, root ckpt.Checkpointable) error 
 	}
 }
 
+// EmitOne records exactly one object — no traversal — through the catalog
+// binding for its type: the compiled plan's ckpt.EmitOne, for encoding a
+// tracker's dirty set (ckpt.Writer.CheckpointDirty, parfold.FoldDirty).
+//
+// The record decision is the dirty index's, not the pattern's: the mark
+// queue has already established that o is dirty, so EmitOne records any
+// modified object of the catalog — including classes the pattern declares
+// unmodified, whose record code a traversal plan elides. The pattern's
+// static specialization and the runtime index thus compose: the binding
+// supplies the monomorphic record code, the index supplies the O(dirty)
+// record decision. Objects of types outside the catalog return
+// ckpt.ErrUnknownType.
+func (p *Plan) EmitOne(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+	t := o.CheckpointTypeID()
+	b, ok := p.byType[t]
+	if !ok {
+		return fmt.Errorf("%w: no catalog class for type id %d (%T)", ckpt.ErrUnknownType, t, o)
+	}
+	info := b.Info(o)
+	if !info.Modified() {
+		em.Skip()
+		return nil
+	}
+	pl := em.Begin(info, t)
+	b.Record(o, pl)
+	em.End()
+	info.ResetModified()
+	return nil
+}
+
 // exec applies node n to object o and recurses over the plan's edges.
 func (p *Plan) exec(em *ckpt.Emitter, n *planNode, o any) error {
 	em.Visit()

@@ -45,6 +45,18 @@ type GenConfig struct {
 	RegisterFunc string
 	// RegisterKey is the registry key passed to RegisterFunc.
 	RegisterKey string
+	// EmitRegisterFunc, if non-empty, additionally generates
+	// <FuncName>EmitOne — a ckpt.EmitOne type-switching over every catalog
+	// class, for dirty-set encoding — and names a function in the target
+	// package with signature
+	//
+	//	func(key string, fn ckpt.EmitOne)
+	//
+	// that the generated init() calls with RegisterKey and the routine.
+	// EmitOne generation requires Go metadata (GoType, Field.Go, Child.Go)
+	// for every class in the catalog, including classes the pattern prunes
+	// from the traversal: the dirty index may hand the routine any object.
+	EmitRegisterFunc string
 }
 
 // GenerateGo renders p as a gofmt-formatted Go source file.
@@ -97,12 +109,24 @@ func GenerateGo(p *Plan, cfg GenConfig) ([]byte, error) {
 	fmt.Fprintf(&b, "\t%s(o, em)\n", root)
 	fmt.Fprintf(&b, "}\n")
 
-	if cfg.RegisterFunc != "" {
+	if cfg.RegisterFunc != "" || cfg.EmitRegisterFunc != "" {
 		fmt.Fprintf(&b, "\nfunc init() {\n")
-		fmt.Fprintf(&b, "\t%s(%q, func(root ckpt.Checkpointable, em *ckpt.Emitter) {\n",
-			cfg.RegisterFunc, cfg.RegisterKey)
-		fmt.Fprintf(&b, "\t\t%s(root.(%s), em)\n", cfg.FuncName, p.root.class.GoType)
-		fmt.Fprintf(&b, "\t})\n}\n")
+		if cfg.RegisterFunc != "" {
+			fmt.Fprintf(&b, "\t%s(%q, func(root ckpt.Checkpointable, em *ckpt.Emitter) {\n",
+				cfg.RegisterFunc, cfg.RegisterKey)
+			fmt.Fprintf(&b, "\t\t%s(root.(%s), em)\n", cfg.FuncName, p.root.class.GoType)
+			fmt.Fprintf(&b, "\t})\n")
+		}
+		if cfg.EmitRegisterFunc != "" {
+			fmt.Fprintf(&b, "\t%s(%q, %sEmitOne)\n", cfg.EmitRegisterFunc, cfg.RegisterKey, cfg.FuncName)
+		}
+		fmt.Fprintf(&b, "}\n")
+	}
+
+	if cfg.EmitRegisterFunc != "" {
+		if err := g.emitOneFunc(&b); err != nil {
+			return nil, err
+		}
 	}
 
 	for _, n := range g.order {
@@ -183,10 +207,10 @@ func (g *generator) nodeFunc(b *strings.Builder, n *planNode) error {
 
 	switch n.action {
 	case recordAlways:
-		g.recordBody(b, n, "\t")
+		g.recordBody(b, cl, "\t", "o")
 	case recordIfModified:
 		fmt.Fprintf(b, "\tif o.Info.Modified() {\n")
-		g.recordBody(b, n, "\t\t")
+		g.recordBody(b, cl, "\t\t", "o")
 		fmt.Fprintf(b, "\t} else {\n\t\tem.Skip()\n\t}\n")
 	case recordNever:
 		fmt.Fprintf(b, "\t// record elided: %s is unmodified in phase %q\n", cl.Name, g.plan.pattern)
@@ -219,33 +243,76 @@ func (g *generator) nodeFunc(b *strings.Builder, n *planNode) error {
 }
 
 // recordBody emits the inlined Begin/payload/End sequence: the record
-// convention (fields in order, then child ids in order).
-func (g *generator) recordBody(b *strings.Builder, n *planNode, indent string) {
-	cl := n.class
-	fmt.Fprintf(b, "%sp := em.Begin(&o.Info, ckpt.TypeID(%#x)) // %s\n", indent, uint32(cl.TypeID), cl.Name)
+// convention (fields in order, then child ids in order). rv is the receiver
+// variable the class's Go expressions (written against "o") are rewritten
+// to.
+func (g *generator) recordBody(b *strings.Builder, cl *Class, indent, rv string) {
+	fmt.Fprintf(b, "%sp := em.Begin(&%s.Info, ckpt.TypeID(%#x)) // %s\n", indent, rv, uint32(cl.TypeID), cl.Name)
 	for _, f := range cl.Fields {
+		expr := recv(f.Go, rv)
 		switch f.Kind {
 		case Int:
-			fmt.Fprintf(b, "%sp.Varint(int64(%s))\n", indent, f.Go)
+			fmt.Fprintf(b, "%sp.Varint(int64(%s))\n", indent, expr)
 		case Uint:
-			fmt.Fprintf(b, "%sp.Uvarint(uint64(%s))\n", indent, f.Go)
+			fmt.Fprintf(b, "%sp.Uvarint(uint64(%s))\n", indent, expr)
 		case Float64:
-			fmt.Fprintf(b, "%sp.Float64(float64(%s))\n", indent, f.Go)
+			fmt.Fprintf(b, "%sp.Float64(float64(%s))\n", indent, expr)
 		case Bool:
-			fmt.Fprintf(b, "%sp.Bool(%s)\n", indent, f.Go)
+			fmt.Fprintf(b, "%sp.Bool(%s)\n", indent, expr)
 		case String:
-			fmt.Fprintf(b, "%sp.String(%s)\n", indent, f.Go)
+			fmt.Fprintf(b, "%sp.String(%s)\n", indent, expr)
 		case Bytes:
-			fmt.Fprintf(b, "%sp.BytesField(%s)\n", indent, f.Go)
+			fmt.Fprintf(b, "%sp.BytesField(%s)\n", indent, expr)
 		}
 	}
 	for _, ch := range cl.Children {
-		fmt.Fprintf(b, "%sif c := %s; c != nil {\n", indent, ch.Go)
+		fmt.Fprintf(b, "%sif c := %s; c != nil {\n", indent, recv(ch.Go, rv))
 		fmt.Fprintf(b, "%s\tp.Uvarint(c.Info.ID())\n", indent)
 		fmt.Fprintf(b, "%s} else {\n%s\tp.Uvarint(ckpt.NilID)\n%s}\n", indent, indent, indent)
 	}
 	fmt.Fprintf(b, "%sem.End()\n", indent)
-	fmt.Fprintf(b, "%so.Info.ResetModified()\n", indent)
+	fmt.Fprintf(b, "%s%s.Info.ResetModified()\n", indent, rv)
+}
+
+// emitOneFunc renders <FuncName>EmitOne: a ckpt.EmitOne that records exactly
+// one object — no traversal — by type-switching over every catalog class.
+// The record decision belongs to the dirty index that selected the object,
+// not to the plan's modification pattern, so every class gets a record body
+// here, including classes whose traversal record the pattern elides.
+func (g *generator) emitOneFunc(b *strings.Builder) error {
+	name := g.cfg.FuncName + "EmitOne"
+	fmt.Fprintf(b, "\n// %s records exactly one modified object of the %s catalog\n", name, g.plan.rootClass)
+	fmt.Fprintf(b, "// — no traversal — for dirty-set encoding (ckpt.Writer.CheckpointDirty,\n")
+	fmt.Fprintf(b, "// parfold.FoldDirty). Objects of other types return ckpt.ErrUnknownType.\n")
+	fmt.Fprintf(b, "func %s(em *ckpt.Emitter, o ckpt.Checkpointable) error {\n", name)
+	fmt.Fprintf(b, "\tswitch v := o.(type) {\n")
+	seen := make(map[string]bool)
+	for _, cl := range g.plan.classes {
+		if cl.GoType == "" {
+			return fmt.Errorf("%w: class %q has no GoType for EmitOne generation", ErrClass, cl.Name)
+		}
+		if seen[cl.GoType] {
+			continue
+		}
+		seen[cl.GoType] = true
+		for _, f := range cl.Fields {
+			if f.Go == "" {
+				return fmt.Errorf("%w: class %q field %q has no Go expression for EmitOne generation", ErrClass, cl.Name, f.Name)
+			}
+		}
+		for _, ch := range cl.Children {
+			if ch.Go == "" {
+				return fmt.Errorf("%w: class %q child %q has no Go expression for EmitOne generation", ErrClass, cl.Name, ch.Name)
+			}
+		}
+		fmt.Fprintf(b, "\tcase %s:\n", cl.GoType)
+		fmt.Fprintf(b, "\t\tif v.Info.Modified() {\n")
+		g.recordBody(b, cl, "\t\t\t", "v")
+		fmt.Fprintf(b, "\t\t} else {\n\t\t\tem.Skip()\n\t\t}\n")
+	}
+	fmt.Fprintf(b, "\tdefault:\n\t\treturn ckpt.ErrUnknownType\n\t}\n")
+	fmt.Fprintf(b, "\treturn nil\n}\n")
+	return nil
 }
 
 // recv rewrites a Go expression written against receiver "o" to use another

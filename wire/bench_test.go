@@ -49,6 +49,59 @@ func BenchmarkDecodeRecordPayload(b *testing.B) {
 	}
 }
 
+// encodeBatch is the shard-writer workload both pooled-encoder benchmarks
+// share: frame a few hundred small records into the encoder.
+func encodeBatch(e *Encoder) {
+	for r := 0; r < 256; r++ {
+		e.Uvarint(uint64(r))
+		for j := 0; j < 4; j++ {
+			e.Varint(int64(r * j))
+		}
+	}
+}
+
+// BenchmarkEncoderFresh allocates a new encoder per fold, the pattern the
+// pool replaces: every iteration re-grows the buffer from nothing.
+func BenchmarkEncoderFresh(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(0)
+		encodeBatch(e)
+		_ = e.Bytes()
+	}
+}
+
+// BenchmarkEncoderPooled draws the encoder from the package pool, the way
+// parfold workers do (wire.GetEncoder / wire.PutEncoder): after warm-up the
+// grown buffer is reused and the loop allocates nothing.
+func BenchmarkEncoderPooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		encodeBatch(e)
+		_ = e.Bytes()
+		PutEncoder(e)
+	}
+}
+
+// TestPooledEncoderAllocsZero is the regression guard behind the benchmark
+// pair: a steady-state Get/encode/Put cycle must not allocate.
+func TestPooledEncoderAllocsZero(t *testing.T) {
+	for i := 0; i < 3; i++ { // warm the pool
+		e := GetEncoder()
+		encodeBatch(e)
+		PutEncoder(e)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		e := GetEncoder()
+		encodeBatch(e)
+		PutEncoder(e)
+	})
+	if avg != 0 {
+		t.Fatalf("pooled encoder cycle allocates %v per run, want 0", avg)
+	}
+}
+
 func BenchmarkEncodeString(b *testing.B) {
 	e := NewEncoder(1 << 16)
 	s := "a moderately sized string payload"

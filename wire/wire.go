@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 )
 
 // Decoding errors. ErrTruncated reports input that ends in the middle of a
@@ -49,6 +51,35 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow ensures the buffer has capacity for at least n more bytes without
+// reallocating, so a caller that knows a body's size up front pays one
+// allocation instead of a doubling cascade.
+func (e *Encoder) Grow(n int) {
+	e.buf = slices.Grow(e.buf, n)
+}
+
+// encoderPool recycles Encoders — and, through them, their grown buffers —
+// across short-lived users: parallel fold workers, one-shot writers. Pooling
+// the *Encoder rather than the byte slice keeps Put allocation-free (a slice
+// stored in a sync.Pool boxes its header on every Put).
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns an empty pooled encoder. Pair with PutEncoder when the
+// encoder's buffer is no longer referenced.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must no longer hold slices
+// returned by Bytes: the next GetEncoder hands the buffer to someone else.
+func PutEncoder(e *Encoder) {
+	if e != nil {
+		encoderPool.Put(e)
+	}
+}
 
 // Uvarint appends v in unsigned LEB128.
 func (e *Encoder) Uvarint(v uint64) {

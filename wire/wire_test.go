@@ -257,3 +257,21 @@ func TestQuickDecoderNeverPanics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEncoderGrow(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uvarint(7)
+	before := e.Bytes()
+	e.Grow(1 << 12)
+	if cap(e.buf)-e.Len() < 1<<12 {
+		t.Fatalf("Grow(4096) left %d spare bytes", cap(e.buf)-e.Len())
+	}
+	if string(e.Bytes()) != string(before) {
+		t.Fatal("Grow changed encoded content")
+	}
+	grown := cap(e.buf)
+	e.Grow(16) // already satisfied: no reallocation
+	if cap(e.buf) != grown {
+		t.Fatalf("Grow(16) reallocated from %d to %d", grown, cap(e.buf))
+	}
+}
