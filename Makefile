@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short bench-dirty generate check-generated faultcheck difftest fuzz-smoke experiments examples clean
+.PHONY: all build test lint race cover bench bench-short bench-dirty generate check-generated infer infer-check faultcheck difftest fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -47,6 +47,15 @@ generate:
 check-generated:
 	$(GO) run ./cmd/ckptgen -root . -check
 	$(GO) run ./cmd/ckptderive -dir internal/derivetest -exported -check
+
+# Statically infer each annotated phase's modification pattern from its
+# write-set and write the generated providers (cmd/ckptinfer); infer-check
+# fails when the committed zz_inferred_*.go drifted from the source.
+infer:
+	$(GO) run ./cmd/ckptinfer -pkg ickpt/internal/analysis -catalog 'Catalog()' -root Attributes
+
+infer-check:
+	$(GO) run ./cmd/ckptinfer -pkg ickpt/internal/analysis -catalog 'Catalog()' -root Attributes -check
 
 # Crash-consistency suite: the fault-injection harness plus the stablelog
 # power-cut sweep and durability regressions (see docs/DURABILITY.md),

@@ -5,8 +5,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"reflect"
 	"strings"
+
+	"ickpt/internal/bta"
 )
 
 // DirtyWriteAnalyzer flags direct writes to tracked checkpointable state —
@@ -70,16 +71,9 @@ func runDirtyWrite(pass *Pass) []Diagnostic {
 	return out
 }
 
-// trackedWrite is one assignment target that touches tracked state.
-type trackedWrite struct {
-	pos   token.Pos
-	owner ast.Expr // expression for the owning object, nil if unattributable
-	field string   // written field, for the message
-	cell  bool     // write to a Cell's V (or a whole Cell) vs a tagged field
-}
-
 func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
-	var writes []trackedWrite
+	apkg := pkg.analysisPkg()
+	var writes []bta.TrackedWrite
 	var rawSets []token.Pos // raw SetModified calls, flagged separately
 	fresh := make(map[types.Object]bool)
 	dirtied := make(map[string]bool) // owner exprString -> Mark/MarkOn/SetModified seen
@@ -92,12 +86,12 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 				markFresh(pkg, st, fresh)
 			}
 			for _, lhs := range st.Lhs {
-				if w, ok := classifyWrite(pkg, lhs); ok {
+				if w, ok := bta.ClassifyWrite(apkg, lhs); ok {
 					writes = append(writes, w)
 				}
 			}
 		case *ast.IncDecStmt:
-			if w, ok := classifyWrite(pkg, st.X); ok {
+			if w, ok := bta.ClassifyWrite(apkg, st.X); ok {
 				writes = append(writes, w)
 			}
 		case *ast.CallExpr:
@@ -130,90 +124,27 @@ func dirtyWritesIn(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 		})
 	}
 	for _, w := range writes {
-		if w.owner == nil {
+		if w.Owner == nil {
 			continue
 		}
-		if obj := rootObject(pkg, w.owner); obj != nil && fresh[obj] {
+		if obj := rootObject(pkg, w.Owner); obj != nil && fresh[obj] {
 			continue
 		}
-		if dirtied[exprString(pkg.Fset, w.owner)] {
+		if dirtied[exprString(pkg.Fset, w.Owner)] {
 			continue
 		}
-		ownerStr := exprString(pkg.Fset, w.owner)
+		ownerStr := exprString(pkg.Fset, w.Owner)
 		var msg string
-		if w.cell {
+		if w.Cell {
 			msg = fmt.Sprintf("direct write to tracked cell %s.%s bypasses modification tracking; use %s.%s.Set(&%s.Info, ...) or call %s.Info.Mark()",
-				ownerStr, w.field, ownerStr, strings.TrimSuffix(w.field, ".V"), ownerStr, ownerStr)
+				ownerStr, w.Field, ownerStr, strings.TrimSuffix(w.Field, ".V"), ownerStr, ownerStr)
 		} else {
 			msg = fmt.Sprintf("write to ckpt-tagged field %s.%s does not mark %s modified; call %s.Info.Mark() or use a ckpt.Cell",
-				ownerStr, w.field, ownerStr, ownerStr)
+				ownerStr, w.Field, ownerStr, ownerStr)
 		}
-		out = append(out, Diagnostic{Pos: pkg.Fset.Position(w.pos), Message: msg})
+		out = append(out, Diagnostic{Pos: pkg.Fset.Position(w.Pos), Message: msg})
 	}
 	return out
-}
-
-// classifyWrite reports whether lhs writes tracked state and attributes the
-// write to its owning object.
-func classifyWrite(pkg *Package, lhs ast.Expr) (trackedWrite, bool) {
-	sel, ok := lhs.(*ast.SelectorExpr)
-	if !ok {
-		return trackedWrite{}, false
-	}
-
-	// Case 1: x.F.V where F is a ckpt.Cell — the direct-value write.
-	if sel.Sel.Name == "V" {
-		if tv, ok := pkg.Info.Types[sel.X]; ok && isCkptNamed(tv.Type, "Cell") {
-			inner, ok := sel.X.(*ast.SelectorExpr)
-			if !ok {
-				// A free-standing Cell variable has no owning Info to
-				// dirty; nothing to attribute.
-				return trackedWrite{}, false
-			}
-			return trackedWrite{
-				pos:   lhs.Pos(),
-				owner: inner.X,
-				field: inner.Sel.Name + ".V",
-				cell:  true,
-			}, true
-		}
-	}
-
-	// Case 2: x.F where F is a `ckpt:"..."`-tagged struct field (covers
-	// plain tagged scalars, tagged child pointers, and whole-Cell
-	// overwrites).
-	if tag, ok := fieldCkptTag(pkg, sel); ok && tag != "" {
-		isCell := false
-		if tv, ok := pkg.Info.Types[sel]; ok && isCkptNamed(tv.Type, "Cell") {
-			isCell = true
-		}
-		return trackedWrite{pos: lhs.Pos(), owner: sel.X, field: sel.Sel.Name, cell: isCell}, true
-	}
-	return trackedWrite{}, false
-}
-
-// fieldCkptTag returns the ckpt struct tag of the field sel selects, if sel
-// is a field selection on a struct type.
-func fieldCkptTag(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
-	s, ok := pkg.Info.Selections[sel]
-	if !ok || s.Kind() != types.FieldVal {
-		return "", false
-	}
-	named := namedOf(s.Recv())
-	if named == nil {
-		return "", false
-	}
-	st, ok := named.Underlying().(*types.Struct)
-	if !ok {
-		return "", false
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		if st.Field(i) == s.Obj() {
-			tag := reflect.StructTag(st.Tag(i)).Get("ckpt")
-			return tag, tag != ""
-		}
-	}
-	return "", false
 }
 
 // markFresh records locals bound to freshly created checkpointable objects:

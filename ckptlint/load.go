@@ -14,6 +14,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"ickpt/internal/bta"
 )
 
 // Package is one type-checked package under analysis.
@@ -33,6 +35,13 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's expression annotations.
 	Info *types.Info
+}
+
+// analysisPkg adapts the package to the internal/bta analysis library's
+// loader-agnostic view. The returned struct shares the package's file set,
+// files and type information.
+func (p *Package) analysisPkg() *bta.Package {
+	return &bta.Package{Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
 }
 
 // listPackage is the subset of `go list -json` output the loader consumes.
@@ -93,6 +102,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, &cp)
 		}
 	}
+	if len(targets) == 0 {
+		// `go list -e` reports wildcard patterns that match nothing only as
+		// a stderr warning with exit status 0. An analysis run over zero
+		// packages vacuously passes — exactly the silent success a typo in a
+		// CI pattern must not produce — so an empty match is a load error.
+		return nil, fmt.Errorf("ckptlint: patterns matched no packages: %s", strings.Join(patterns, " "))
+	}
 
 	// One importer shared across all targets keeps dependency type
 	// identities consistent within the load.
@@ -108,8 +124,14 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, lp := range targets {
-		if lp.Name == "" || len(lp.GoFiles) == 0 {
-			continue
+		if lp.Name == "" {
+			// A matched package without even a resolved name failed to load
+			// in a way `go list -e` did not attach an Error for; analyzing
+			// around it would silently shrink the run's coverage.
+			return nil, fmt.Errorf("ckptlint: package %s failed to resolve (no package name)", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package: nothing for the analyzers to parse
 		}
 		p := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
 		for _, name := range lp.GoFiles {

@@ -1,0 +1,32 @@
+package ckptlint_test
+
+import (
+	"strings"
+	"testing"
+
+	"ickpt/ckptlint"
+)
+
+// TestLoadNoMatchIsError pins the loader's silent-pass guard: `go list -e`
+// reports a wildcard pattern matching nothing only as a stderr warning with
+// exit status 0, so without an explicit check the load would return zero
+// packages and the analysis run would vacuously succeed. A typo'd CI
+// pattern must fail loudly instead.
+func TestLoadNoMatchIsError(t *testing.T) {
+	pkgs, err := ckptlint.Load("..", "ickpt/nosuchdir...")
+	if err == nil {
+		t.Fatalf("Load with a no-match wildcard returned %d packages and nil error, want error", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "matched no packages") {
+		t.Errorf("Load error = %q, want it to mention the empty match", err)
+	}
+}
+
+// TestLoadBadPatternIsError pins the existing behavior for patterns that
+// `go list -e` does attach an Error entry to (non-wildcard misses,
+// unresolvable paths): the load must fail, not skip.
+func TestLoadBadPatternIsError(t *testing.T) {
+	if _, err := ckptlint.Load("..", "ickpt/nosuchpkg"); err == nil {
+		t.Fatal("Load with an unresolvable package path returned nil error, want error")
+	}
+}

@@ -3,10 +3,8 @@ package ckptlint
 import (
 	"fmt"
 	"go/ast"
-	"go/constant"
-	"go/token"
-	"go/types"
-	"strings"
+
+	"ickpt/internal/bta"
 )
 
 // PatternSpecAnalyzer cross-checks a phase function's static write-set
@@ -23,13 +21,20 @@ import (
 //	//ckptvet:phase PatternBTA
 //	func (e *Engine) RunBTA(...) ... { ... }
 //
-// The write-set is computed conservatively from source: direct writes to
-// tracked fields, Cell.Set calls, and Info.SetModified calls, closed
-// transitively over calls to same-package functions and methods. Writes the
-// analyzer cannot see (reflection, cross-package mutation, function
-// values) are out of scope; patterns whose construction is not a plain
-// composite literal (computed keys, post-construction map writes) are
-// treated as opaque and skipped rather than guessed at.
+// The write-set and pattern extraction live in internal/bta, shared with
+// the pattern inferrer (cmd/ckptinfer): the checker and the generator see
+// source identically. The write-set is computed conservatively from source:
+// direct writes to tracked fields, Cell.Set calls, and Info.SetModified
+// calls, closed transitively over calls to same-package functions and
+// methods. Writes the analyzer cannot see (reflection, cross-package
+// mutation, function values) are out of scope. Patterns whose construction
+// is not a plain composite literal (computed keys, post-construction map
+// writes) cannot be checked; such phases are flagged as unchecked rather
+// than silently passed, unless the doc comment acknowledges the dynamic
+// construction:
+//
+//	//ckptvet:phase PatternScan
+//	//ckptvet:opaque pattern assembled from per-deployment config
 func PatternSpecAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "patternspec",
@@ -38,602 +43,80 @@ func PatternSpecAnalyzer() *Analyzer {
 	}
 }
 
-// Pattern declaration constants, mirrored from package spec by value so the
-// analyzer needs no import of it.
-const (
-	classUnmodified int64 = 1 // spec.ClassUnmodified
-	childUnmodified int64 = 1 // spec.ChildUnmodified
-)
-
-// lintClass is the statically extracted view of one spec.Class literal.
-type lintClass struct {
-	name            string
-	goTypeName      string            // GoType with the leading '*' stripped
-	children        map[string]string // child name -> class name
-	childrenUnknown bool              // children built dynamically
-}
-
-// lintPattern is the statically extracted view of one spec.Pattern literal.
-type lintPattern struct {
-	name     string
-	classes  map[string]int64 // class name -> ClassMod value
-	children map[string]int64 // "Class.Child" -> ChildMod value
-	opaque   bool             // construction not fully statically visible
-}
-
 func runPatternSpec(pass *Pass) []Diagnostic {
 	pkg := pass.Pkg
-	gen := generatedFiles(pkg)
-
-	var phases []*ast.FuncDecl
-	var providers []string // parallel to phases: annotation argument
-	for _, f := range pkg.Files {
-		if gen[f] {
-			continue
-		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Doc == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				if !strings.HasPrefix(c.Text, "//ckptvet:phase") {
-					continue
-				}
-				arg := strings.TrimSpace(strings.TrimPrefix(c.Text, "//ckptvet:phase"))
-				if arg == "" {
-					continue
-				}
-				phases = append(phases, fd)
-				providers = append(providers, strings.Fields(arg)[0])
-			}
-		}
-	}
+	apkg := pkg.analysisPkg()
+	phases := bta.Phases(apkg)
 	if len(phases) == 0 {
 		return nil
 	}
+	all := make([]*bta.Package, len(pass.All))
+	for i, p := range pass.All {
+		all[i] = p.analysisPkg()
+	}
 
-	writes := newWriteSets(pkg)
+	writes := bta.NewWriteSets(apkg)
 	var out []Diagnostic
-	for i, fd := range phases {
-		provPkg, pattern := resolvePattern(pass, providers[i])
+	for _, ph := range phases {
+		provPkg, pattern := bta.ResolvePattern(apkg, all, ph.Provider)
 		if pattern == nil {
 			out = append(out, Diagnostic{
-				Pos: pkg.Fset.Position(fd.Name.Pos()),
+				Pos: pkg.Fset.Position(ph.Decl.Name.Pos()),
 				Message: fmt.Sprintf("//ckptvet:phase names unknown pattern provider %q (no function or var with a spec.Pattern literal found)",
-					providers[i]),
+					ph.Provider),
 			})
 			continue
 		}
-		if pattern.opaque {
-			continue // dynamically built pattern: out of static reach
+		if pattern.Opaque {
+			// A dynamically built pattern is out of static reach: the
+			// phase effectively runs unchecked. Say so, unless the phase
+			// owner has acknowledged it.
+			if !ph.Opaque {
+				out = append(out, Diagnostic{
+					Pos: pkg.Fset.Position(ph.Decl.Name.Pos()),
+					Message: fmt.Sprintf("pattern %q is built dynamically and cannot be checked against phase %s's write-set; declare it as a plain composite literal, or acknowledge with %s",
+						ph.Provider, ph.Decl.Name.Name, bta.OpaqueMarker),
+				})
+			}
+			continue
 		}
-		classes := collectClasses(provPkg)
-		out = append(out, checkPhase(pkg, fd, pattern, classes, writes)...)
+		classes := bta.CollectClassDecls(provPkg)
+		out = append(out, checkPhase(pkg, ph.Decl, pattern, classes, writes)...)
 	}
 	return out
 }
 
 // checkPhase reports writes of fd that contradict the pattern.
-func checkPhase(pkg *Package, fd *ast.FuncDecl, pattern *lintPattern, classes map[string]*lintClass, ws *writeSets) []Diagnostic {
-	byGoType := make(map[string]*lintClass)
+func checkPhase(pkg *Package, fd *ast.FuncDecl, pattern *bta.PatternDecl, classes map[string]*bta.ClassDecl, ws *bta.WriteSets) []Diagnostic {
+	byGoType := make(map[string]*bta.ClassDecl)
 	for _, c := range classes {
-		if c.goTypeName != "" {
-			byGoType[c.goTypeName] = c
+		if c.GoTypeName != "" {
+			byGoType[c.GoTypeName] = c
 		}
 	}
-	reachable := reachableClasses(classes, pattern)
+	reachable := bta.ReachableClasses(classes, pattern)
 
 	var out []Diagnostic
-	for _, w := range ws.of(funcObject(pkg, fd)) {
-		class, ok := byGoType[w.typeName]
+	for _, w := range ws.Of(bta.FuncObject(pkg.analysisPkg(), fd)) {
+		class, ok := byGoType[w.TypeName]
 		if !ok {
 			continue // type has no specialization class: generic driver territory
 		}
-		if pattern.classes[class.name] == classUnmodified {
+		if pattern.Classes[class.Name] == bta.ClassUnmodifiedVal {
 			out = append(out, Diagnostic{
-				Pos: pkg.Fset.Position(w.pos),
+				Pos: pkg.Fset.Position(w.Pos),
 				Message: fmt.Sprintf("phase %s writes class %s (%s), but pattern %q declares the class unmodified; the specialized plan will skip the change",
-					fd.Name.Name, class.name, w.desc, pattern.name),
+					fd.Name.Name, class.Name, w.Desc, pattern.Name),
 			})
 			continue
 		}
-		if !reachable[class.name] {
+		if !reachable[class.Name] {
 			out = append(out, Diagnostic{
-				Pos: pkg.Fset.Position(w.pos),
+				Pos: pkg.Fset.Position(w.Pos),
 				Message: fmt.Sprintf("phase %s writes class %s (%s), but pattern %q prunes every traversal path to it; the specialized plan will never record the change",
-					fd.Name.Name, class.name, w.desc, pattern.name),
+					fd.Name.Name, class.Name, w.Desc, pattern.Name),
 			})
 		}
 	}
-	return out
-}
-
-// reachableClasses computes which classes a specialized traversal can still
-// record under the pattern: classes with no incoming child edge (potential
-// roots) plus classes reached through at least one edge the pattern does
-// not declare ChildUnmodified. Classes with dynamically built children are
-// treated as reaching all their (unknown) targets, so nothing is reported
-// for them.
-func reachableClasses(classes map[string]*lintClass, pattern *lintPattern) map[string]bool {
-	incoming := make(map[string]int)
-	for _, c := range classes {
-		for _, target := range c.children {
-			incoming[target]++
-		}
-	}
-	reachable := make(map[string]bool)
-	for name, c := range classes {
-		if incoming[name] == 0 || c.childrenUnknown {
-			reachable[name] = true
-		}
-	}
-	anyUnknown := false
-	for _, c := range classes {
-		if c.childrenUnknown {
-			anyUnknown = true
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, c := range classes {
-			if !reachable[c.name] {
-				continue
-			}
-			for childName, target := range c.children {
-				if pattern.children[c.name+"."+childName] == childUnmodified {
-					continue
-				}
-				if !reachable[target] {
-					reachable[target] = true
-					changed = true
-				}
-			}
-		}
-	}
-	if anyUnknown {
-		// Some edges are invisible; refuse to claim anything is pruned.
-		for name := range classes {
-			reachable[name] = true
-		}
-	}
-	return reachable
-}
-
-// ---- pattern and class extraction ----
-
-// resolvePattern finds the named provider in the pass's packages: first the
-// current package, then — for "pkgname.Provider" forms — any loaded package
-// with that name.
-func resolvePattern(pass *Pass, provider string) (*Package, *lintPattern) {
-	target := pass.Pkg
-	name := provider
-	if dot := strings.IndexByte(provider, '.'); dot > 0 {
-		qual, rest := provider[:dot], provider[dot+1:]
-		for _, p := range pass.All {
-			if p.Types.Name() == qual {
-				target, name = p, rest
-				break
-			}
-		}
-	}
-	if pat := extractPattern(target, name); pat != nil {
-		return target, pat
-	}
-	return nil, nil
-}
-
-// extractPattern pulls the spec.Pattern literal out of the named function
-// or package var.
-func extractPattern(pkg *Package, name string) *lintPattern {
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if d.Recv == nil && d.Name.Name == name && d.Body != nil {
-					return patternFromNode(pkg, d.Body)
-				}
-			case *ast.GenDecl:
-				if d.Tok != token.VAR {
-					continue
-				}
-				for _, spec := range d.Specs {
-					vs, ok := spec.(*ast.ValueSpec)
-					if !ok {
-						continue
-					}
-					for i, id := range vs.Names {
-						if id.Name == name && i < len(vs.Values) {
-							return patternFromNode(pkg, vs.Values[i])
-						}
-					}
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// patternFromNode finds the first spec.Pattern composite literal under n
-// and extracts it. Any non-constant key, unknown value, or later map write
-// marks the pattern opaque.
-func patternFromNode(pkg *Package, n ast.Node) *lintPattern {
-	var lit *ast.CompositeLit
-	ast.Inspect(n, func(node ast.Node) bool {
-		if lit != nil {
-			return false
-		}
-		cl, ok := node.(*ast.CompositeLit)
-		if !ok {
-			return true
-		}
-		if tv, ok := pkg.Info.Types[cl]; ok && isSpecNamed(tv.Type, "Pattern") {
-			lit = cl
-			return false
-		}
-		return true
-	})
-	if lit == nil {
-		return nil
-	}
-	pat := &lintPattern{classes: make(map[string]int64), children: make(map[string]int64)}
-	for _, elt := range lit.Elts {
-		kv, ok := elt.(*ast.KeyValueExpr)
-		if !ok {
-			pat.opaque = true
-			continue
-		}
-		key, ok := kv.Key.(*ast.Ident)
-		if !ok {
-			pat.opaque = true
-			continue
-		}
-		switch key.Name {
-		case "Name":
-			if s, ok := constString(pkg, kv.Value); ok {
-				pat.name = s
-			}
-		case "Classes":
-			if !extractModMap(pkg, kv.Value, pat.classes) {
-				pat.opaque = true
-			}
-		case "Children":
-			if !extractModMap(pkg, kv.Value, pat.children) {
-				pat.opaque = true
-			}
-		}
-	}
-	// Post-construction writes into the pattern's maps make it dynamic.
-	ast.Inspect(n, func(node ast.Node) bool {
-		as, ok := node.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for _, lhs := range as.Lhs {
-			ie, ok := lhs.(*ast.IndexExpr)
-			if !ok {
-				continue
-			}
-			if sel, ok := ie.X.(*ast.SelectorExpr); ok &&
-				(sel.Sel.Name == "Classes" || sel.Sel.Name == "Children") {
-				pat.opaque = true
-			}
-		}
-		return true
-	})
-	return pat
-}
-
-// extractModMap reads a map[string]spec.ClassMod / spec.ChildMod composite
-// literal with constant keys and values into out. Returns false when any
-// entry is not statically known.
-func extractModMap(pkg *Package, e ast.Expr, out map[string]int64) bool {
-	cl, ok := e.(*ast.CompositeLit)
-	if !ok {
-		// make(map[...]...) starts empty; later writes are caught by the
-		// post-construction scan.
-		if call, ok := e.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
-				return true
-			}
-		}
-		return false
-	}
-	complete := true
-	for _, elt := range cl.Elts {
-		kv, ok := elt.(*ast.KeyValueExpr)
-		if !ok {
-			complete = false
-			continue
-		}
-		key, kok := constString(pkg, kv.Key)
-		val, vok := constInt(pkg, kv.Value)
-		if !kok || !vok {
-			complete = false
-			continue
-		}
-		out[key] = val
-	}
-	return complete
-}
-
-// constInt returns the compile-time integer value of e, if it has one.
-func constInt(pkg *Package, e ast.Expr) (int64, bool) {
-	tv, ok := pkg.Info.Types[e]
-	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
-		return 0, false
-	}
-	return constant.Int64Val(tv.Value)
-}
-
-// isSpecNamed reports whether t is (a pointer to) ickpt/spec.name.
-func isSpecNamed(t types.Type, name string) bool {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "ickpt/spec" && obj.Name() == name
-}
-
-// collectClasses extracts every spec.Class composite literal of the
-// package.
-func collectClasses(pkg *Package) map[string]*lintClass {
-	classes := make(map[string]*lintClass)
-	for _, f := range pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			cl, ok := n.(*ast.CompositeLit)
-			if !ok {
-				return true
-			}
-			if tv, ok := pkg.Info.Types[cl]; !ok || !isSpecNamed(tv.Type, "Class") {
-				return true
-			}
-			c := &lintClass{children: make(map[string]string)}
-			for _, elt := range cl.Elts {
-				kv, ok := elt.(*ast.KeyValueExpr)
-				if !ok {
-					continue
-				}
-				key, ok := kv.Key.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				switch key.Name {
-				case "Name":
-					if s, ok := constString(pkg, kv.Value); ok {
-						c.name = s
-					}
-				case "GoType":
-					if s, ok := constString(pkg, kv.Value); ok {
-						c.goTypeName = strings.TrimPrefix(s, "*")
-					}
-				case "Children":
-					if !extractChildren(pkg, kv.Value, c) {
-						c.childrenUnknown = true
-					}
-				}
-			}
-			if c.name != "" {
-				classes[c.name] = c
-			}
-			return true
-		})
-	}
-	return classes
-}
-
-// extractChildren reads a []spec.Child literal into c. Returns false when
-// the slice is built dynamically.
-func extractChildren(pkg *Package, e ast.Expr, c *lintClass) bool {
-	cl, ok := e.(*ast.CompositeLit)
-	if !ok {
-		return false
-	}
-	complete := true
-	for _, elt := range cl.Elts {
-		childLit, ok := elt.(*ast.CompositeLit)
-		if !ok {
-			complete = false
-			continue
-		}
-		var childName, childClass string
-		for _, ce := range childLit.Elts {
-			kv, ok := ce.(*ast.KeyValueExpr)
-			if !ok {
-				continue
-			}
-			key, ok := kv.Key.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			switch key.Name {
-			case "Name":
-				if s, ok := constString(pkg, kv.Value); ok {
-					childName = s
-				}
-			case "Class":
-				if s, ok := constString(pkg, kv.Value); ok {
-					childClass = s
-				}
-			}
-		}
-		if childName == "" || childClass == "" {
-			complete = false
-			continue
-		}
-		c.children[childName] = childClass
-	}
-	return complete
-}
-
-// ---- write-set computation ----
-
-// typeWrite is one write of tracked state attributed to a named type.
-type typeWrite struct {
-	typeName string
-	pos      token.Pos
-	desc     string
-}
-
-// writeSets computes and memoizes per-function write-sets with a
-// same-package transitive closure over the call graph.
-type writeSets struct {
-	pkg     *Package
-	decls   map[types.Object]*ast.FuncDecl
-	memo    map[types.Object][]typeWrite
-	visited map[types.Object]bool
-}
-
-func newWriteSets(pkg *Package) *writeSets {
-	ws := &writeSets{
-		pkg:     pkg,
-		decls:   make(map[types.Object]*ast.FuncDecl),
-		memo:    make(map[types.Object][]typeWrite),
-		visited: make(map[types.Object]bool),
-	}
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj := funcObject(pkg, fd); obj != nil {
-				ws.decls[obj] = fd
-			}
-		}
-	}
-	return ws
-}
-
-// funcObject returns the types.Object of a function declaration.
-func funcObject(pkg *Package, fd *ast.FuncDecl) types.Object {
-	return pkg.Info.Defs[fd.Name]
-}
-
-// of returns the transitive write-set of fn, deduplicated by type.
-func (ws *writeSets) of(fn types.Object) []typeWrite {
-	if fn == nil {
-		return nil
-	}
-	if got, ok := ws.memo[fn]; ok {
-		return got
-	}
-	if ws.visited[fn] {
-		return nil // recursion: the cycle's writes surface at the entry
-	}
-	ws.visited[fn] = true
-	defer func() { ws.visited[fn] = false }()
-
-	fd := ws.decls[fn]
-	if fd == nil {
-		return nil
-	}
-	seen := make(map[string]bool)
-	var out []typeWrite
-	add := func(w typeWrite) {
-		if w.typeName == "" || seen[w.typeName] {
-			return
-		}
-		seen[w.typeName] = true
-		out = append(out, w)
-	}
-	for _, w := range directWrites(ws.pkg, fd) {
-		add(w)
-	}
-	// Close over same-package callees.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		var id *ast.Ident
-		switch fun := call.Fun.(type) {
-		case *ast.Ident:
-			id = fun
-		case *ast.SelectorExpr:
-			id = fun.Sel
-		case *ast.IndexExpr:
-			if sid, ok := fun.X.(*ast.Ident); ok {
-				id = sid
-			}
-		}
-		if id == nil {
-			return true
-		}
-		callee, ok := ws.pkg.Info.Uses[id].(*types.Func)
-		if !ok || callee.Pkg() == nil || callee.Pkg() != ws.pkg.Types {
-			return true
-		}
-		for _, w := range ws.of(callee) {
-			add(typeWrite{typeName: w.typeName, pos: w.pos, desc: w.desc})
-		}
-		return true
-	})
-	ws.memo[fn] = out
-	return out
-}
-
-// directWrites finds fd's own writes of tracked state: tracked-field
-// assignments, Cell.Set calls, and Info.SetModified calls, attributed to
-// the owning named type.
-func directWrites(pkg *Package, fd *ast.FuncDecl) []typeWrite {
-	var out []typeWrite
-	attr := func(owner ast.Expr, pos token.Pos, desc string) {
-		tv, ok := pkg.Info.Types[owner]
-		if !ok {
-			return
-		}
-		named := namedOf(tv.Type)
-		if named == nil || named.Obj() == nil {
-			return
-		}
-		out = append(out, typeWrite{typeName: named.Obj().Name(), pos: pos, desc: desc})
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range st.Lhs {
-				if w, ok := classifyWrite(pkg, lhs); ok && w.owner != nil {
-					attr(w.owner, w.pos, "direct write to "+w.field)
-				}
-			}
-		case *ast.IncDecStmt:
-			if w, ok := classifyWrite(pkg, st.X); ok && w.owner != nil {
-				attr(w.owner, w.pos, "direct write to "+w.field)
-			}
-		case *ast.CallExpr:
-			sel, ok := st.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			// cell.Set(&owner.Info, v)
-			if sel.Sel.Name == "Set" {
-				if tv, ok := pkg.Info.Types[sel.X]; ok && isCkptNamed(tv.Type, "Cell") {
-					if inner, ok := sel.X.(*ast.SelectorExpr); ok {
-						attr(inner.X, st.Pos(), "Cell.Set of "+inner.Sel.Name)
-					}
-				}
-			}
-			// owner.Info.{Mark,MarkOn,SetModified}() — directly or through
-			// owner.CheckpointInfo().
-			if sel.Sel.Name == "SetModified" || sel.Sel.Name == "Mark" || sel.Sel.Name == "MarkOn" {
-				if tv, ok := pkg.Info.Types[sel.X]; ok && isCkptNamed(tv.Type, "Info") {
-					switch x := sel.X.(type) {
-					case *ast.SelectorExpr:
-						attr(x.X, st.Pos(), "Info."+sel.Sel.Name)
-					case *ast.CallExpr:
-						if inner, ok := x.Fun.(*ast.SelectorExpr); ok && inner.Sel.Name == "CheckpointInfo" {
-							attr(inner.X, st.Pos(), "Info."+sel.Sel.Name)
-						}
-					}
-				}
-			}
-		}
-		return true
-	})
 	return out
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ckptderive -dir PKGDIR [-out FILE] [-types A,B] [-prefix P] [-exported] [-check]
+//	ckptderive -dir PKGDIR [-out FILE] [-types A,B] [-prefix P] [-exported] [-infer] [-check]
 //
 // The output defaults to zz_derived_ckpt.go inside the package directory.
 // With -check, ckptderive verifies the file is up to date instead of
@@ -32,20 +32,21 @@ func main() {
 		prefix   = flag.String("prefix", "", "registered type-name prefix (default: package name + \".\")")
 		exported = flag.Bool("exported", false, "export the registry/catalog functions")
 		check    = flag.Bool("check", false, "verify the output is up to date instead of writing")
+		infer    = flag.Bool("infer", false, "infer the layout of untagged checkpointable structs")
 	)
 	flag.Parse()
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: ckptderive -dir PKGDIR [-out FILE] [-types A,B] [-prefix P] [-exported] [-check]")
+		fmt.Fprintln(os.Stderr, "usage: ckptderive -dir PKGDIR [-out FILE] [-types A,B] [-prefix P] [-exported] [-infer] [-check]")
 		os.Exit(2)
 	}
-	if err := run(*dir, *out, *types, *prefix, *exported, *check); err != nil {
+	if err := run(*dir, *out, *types, *prefix, *exported, *infer, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "ckptderive:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, out, typeList, prefix string, exported, check bool) error {
-	opts := derive.Options{Dir: dir, Prefix: prefix, Exported: exported}
+func run(dir, out, typeList, prefix string, exported, infer, check bool) error {
+	opts := derive.Options{Dir: dir, Prefix: prefix, Exported: exported, InferUntagged: infer}
 	if typeList != "" {
 		opts.TypeNames = strings.Split(typeList, ",")
 	}

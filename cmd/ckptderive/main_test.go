@@ -44,7 +44,7 @@ func silence(t *testing.T) {
 func TestRunWriteAndCheck(t *testing.T) {
 	silence(t)
 	dir := writeSample(t)
-	if err := run(dir, "", "", "", false, false); err != nil {
+	if err := run(dir, "", "", "", false, false, false); err != nil {
 		t.Fatalf("run(write): %v", err)
 	}
 	out := filepath.Join(dir, "zz_derived_ckpt.go")
@@ -56,14 +56,14 @@ func TestRunWriteAndCheck(t *testing.T) {
 		t.Error("generated file missing protocol")
 	}
 	// Fresh check passes.
-	if err := run(dir, "", "", "", false, true); err != nil {
+	if err := run(dir, "", "", "", false, false, true); err != nil {
 		t.Errorf("check after write: %v", err)
 	}
 	// Stale check fails.
 	if err := os.WriteFile(out, []byte("package sample\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "", "", "", false, true); err == nil {
+	if err := run(dir, "", "", "", false, false, true); err == nil {
 		t.Error("stale file passed check")
 	}
 }
@@ -72,7 +72,7 @@ func TestRunTypeFilterAndPrefix(t *testing.T) {
 	silence(t)
 	dir := writeSample(t)
 	out := filepath.Join(dir, "custom.go")
-	if err := run(dir, out, "Leaf", "pfx.", true, false); err != nil {
+	if err := run(dir, out, "Leaf", "pfx.", true, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	src, err := os.ReadFile(out)
@@ -86,7 +86,7 @@ func TestRunTypeFilterAndPrefix(t *testing.T) {
 }
 
 func TestRunBadDir(t *testing.T) {
-	if err := run(t.TempDir(), "", "", "", false, false); err == nil {
+	if err := run(t.TempDir(), "", "", "", false, false, false); err == nil {
 		t.Error("empty package dir accepted")
 	}
 }

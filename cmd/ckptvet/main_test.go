@@ -45,6 +45,19 @@ func TestOnlyFilter(t *testing.T) {
 	}
 }
 
+// TestNoMatchIsHardError pins the load-failure path end to end: a pattern
+// matching no packages must exit 2 (broken load), never 0 — a vacuous run
+// over zero packages is not a clean run.
+func TestNoMatchIsHardError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"ickpt/nosuchdir..."}, &out, &errOut); code != 2 {
+		t.Errorf("ckptvet ickpt/nosuchdir... = exit %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "matched no packages") {
+		t.Errorf("stderr lacks the empty-match explanation:\n%s", errOut.String())
+	}
+}
+
 // TestUnknownAnalyzer is a usage error, exit status 2.
 func TestUnknownAnalyzer(t *testing.T) {
 	var out, errOut strings.Builder

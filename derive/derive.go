@@ -58,6 +58,14 @@ type Options struct {
 	// (DerivedRegistry/DerivedCatalog); default emits unexported
 	// derivedRegistry/derivedCatalog.
 	Exported bool
+	// InferUntagged derives the layout of checkpointable structs carrying
+	// no ckpt tags at all: scalar and ckpt.Cell fields become recorded
+	// fields, pointers to package-local checkpointable structs become
+	// children, and a trailing self-pointer becomes the next pointer. A
+	// single ckpt tag on a struct makes its tags authoritative and disables
+	// inference for that struct. Fields outside the supported shapes are
+	// skipped — tag them explicitly to make them an error instead.
+	InferUntagged bool
 }
 
 // fieldKind mirrors the supported wire encodings.
@@ -134,7 +142,7 @@ func Generate(opts Options) ([]byte, error) {
 		return nil, fmt.Errorf("derive: no Go package found in %s", opts.Dir)
 	}
 
-	types, err := collectTypes(files)
+	types, err := collectTypes(files, opts.InferUntagged)
 	if err != nil {
 		return nil, err
 	}
@@ -174,10 +182,16 @@ func Generate(opts Options) ([]byte, error) {
 	return render(pkgName, prefix, types, opts.Exported)
 }
 
-// collectTypes finds every struct with an `Info ckpt.Info` field.
-func collectTypes(files []*ast.File) ([]*typeInfo, error) {
-	var out []*typeInfo
-	var firstErr error
+// collectTypes finds every struct with an `Info ckpt.Info` field. When
+// infer is set, untagged structs get their layout inferred; inference needs
+// the full set of checkpointable names, so collection runs in two passes.
+func collectTypes(files []*ast.File, infer bool) ([]*typeInfo, error) {
+	type candidate struct {
+		name string
+		st   *ast.StructType
+	}
+	var cands []candidate
+	ckptNames := make(map[string]bool)
 	for _, file := range files {
 		for _, decl := range file.Decls {
 			gd, ok := decl.(*ast.GenDecl)
@@ -193,22 +207,77 @@ func collectTypes(files []*ast.File) ([]*typeInfo, error) {
 				if !ok || !hasInfoField(st) {
 					continue
 				}
-				ti, err := buildTypeInfo(ts.Name.Name, st)
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					continue
-				}
-				out = append(out, ti)
+				cands = append(cands, candidate{ts.Name.Name, st})
+				ckptNames[ts.Name.Name] = true
 			}
 		}
+	}
+
+	var out []*typeInfo
+	var firstErr error
+	for _, c := range cands {
+		ti, err := buildTypeInfo(c.name, c.st)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if infer && len(ti.fields) == 0 && len(ti.children) == 0 && !hasCkptTag(c.st) {
+			ti = inferTypeInfo(c.name, c.st, ckptNames)
+		}
+		out = append(out, ti)
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out, nil
+}
+
+// hasCkptTag reports whether any field of st carries a ckpt struct tag.
+func hasCkptTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if f.Tag == nil {
+			continue
+		}
+		if reflect.StructTag(strings.Trim(f.Tag.Value, "`")).Get("ckpt") != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// inferTypeInfo derives the layout of a fully untagged checkpointable
+// struct, mirroring internal/bta's class derivation: scalar and ckpt.Cell
+// fields are recorded fields, pointers to package-local checkpointable
+// structs are children, and a trailing self-pointer is the next pointer.
+// Fields outside those shapes are skipped (the Info field among them).
+func inferTypeInfo(name string, st *ast.StructType, ckptNames map[string]bool) *typeInfo {
+	ti := &typeInfo{name: name, next: -1}
+	for _, f := range st.Fields.List {
+		for _, fn := range f.Names {
+			if fn.Name == "Info" {
+				continue
+			}
+			if star, ok := f.Type.(*ast.StarExpr); ok {
+				if target, ok := star.X.(*ast.Ident); ok && ckptNames[target.Name] {
+					ti.children = append(ti.children, childInfo{name: fn.Name, target: target.Name})
+				}
+				continue
+			}
+			if fi, err := scalarField(name, fn.Name, f.Type); err == nil {
+				ti.fields = append(ti.fields, fi)
+			}
+		}
+	}
+	// A self-pointer in trailing position is the list linkage; earlier
+	// self-pointers stay tree children (the next pointer must be last).
+	if n := len(ti.children); n > 0 && ti.children[n-1].target == name {
+		ti.children[n-1].isNext = true
+		ti.next = n - 1
+	}
+	return ti
 }
 
 // hasInfoField reports an `Info ckpt.Info` field.

@@ -173,6 +173,76 @@ type T struct {
 	}
 }
 
+const untaggedPkg = `
+package plain
+
+import "ickpt/ckpt"
+
+// Item carries no ckpt tags: with InferUntagged its layout is derived —
+// scalars and Cells become fields, the trailing self-pointer the next link.
+type Item struct {
+	Info  ckpt.Info
+	Score ckpt.Cell[int64]
+	Label string
+	note  func() // unsupported shape: skipped, not an error
+	Next  *Item
+}
+
+// Box mixes an inferred child with a scalar; Tagged keeps its tags
+// authoritative even under InferUntagged.
+type Box struct {
+	Info ckpt.Info
+	Head *Item
+	N    uint32
+}
+
+type Tagged struct {
+	Info ckpt.Info
+	Kept int64 ` + "`ckpt:\"field\"`" + `
+	Skip int64
+}
+`
+
+func TestGenerateInferUntagged(t *testing.T) {
+	dir := writePkg(t, map[string]string{"types.go": untaggedPkg})
+	src, err := derive.Generate(derive.Options{Dir: dir, InferUntagged: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := string(src)
+	for _, want := range []string{
+		"e.Varint(int64(x.Score.V))", // inferred Cell field
+		"e.String(x.Label)",          // inferred plain scalar
+		"NextChild: 0,",              // Item's trailing self-pointer became next
+		"e.Uvarint(uint64(x.N))",
+		"e.Varint(int64(x.Kept))", // tagged struct: tags still authoritative
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("generated source missing %q\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "x.Skip") {
+		t.Error("InferUntagged overrode explicit tags: untagged field of a tagged struct leaked")
+	}
+	if strings.Contains(s, "note") {
+		t.Error("unsupported field shape leaked into generated code")
+	}
+
+	// Box.Head must be a child edge of Box, not a next pointer.
+	if !strings.Contains(s, `{Name: "Head", Class: "Item"`) {
+		t.Errorf("inferred child edge Box.Head missing:\n%s", s)
+	}
+
+	// Without the option, untagged structs keep today's bare layout.
+	bare, err := derive.Generate(derive.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Generate (no infer): %v", err)
+	}
+	if strings.Contains(string(bare), "x.Score.V") {
+		t.Error("layout inferred without InferUntagged")
+	}
+}
+
 func TestGenerateNoPackage(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := derive.Generate(derive.Options{Dir: dir}); err == nil {

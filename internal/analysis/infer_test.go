@@ -1,0 +1,240 @@
+package analysis_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/analysis"
+	"ickpt/internal/fixtures"
+	"ickpt/internal/minic"
+	"ickpt/spec"
+)
+
+// TestInferredPatternsMatchHandWritten closes the specialization loop's
+// static half: the patterns ckptinfer derived from the phase write-sets
+// (committed as zz_inferred_patterns.go) must reproduce the hand-written
+// Section 4.2 declarations exactly — same names, same class claims.
+func TestInferredPatternsMatchHandWritten(t *testing.T) {
+	pairs := []struct {
+		name     string
+		hand     *spec.Pattern
+		inferred *spec.Pattern
+	}{
+		{"se", analysis.PatternSE(), analysis.InferredPatternSE()},
+		{"bta", analysis.PatternBTA(), analysis.InferredPatternBTA()},
+		{"eta", analysis.PatternETA(), analysis.InferredPatternETA()},
+	}
+	for _, p := range pairs {
+		if p.inferred.Name != p.hand.Name {
+			t.Errorf("%s: inferred name %q, hand-written %q", p.name, p.inferred.Name, p.hand.Name)
+		}
+		if !reflect.DeepEqual(p.inferred.Classes, p.hand.Classes) {
+			t.Errorf("%s: inferred classes %v, hand-written %v", p.name, p.inferred.Classes, p.hand.Classes)
+		}
+		if len(p.inferred.Children) != 0 || len(p.hand.Children) != 0 {
+			t.Errorf("%s: unexpected edge claims (inferred %v, hand %v)", p.name, p.inferred.Children, p.hand.Children)
+		}
+	}
+}
+
+// TestInferredPatternsGenerateIdenticalCode proves the inferred providers
+// feed the existing pipeline unchanged: compiling each inferred pattern
+// through spec.Compile and rendering it with spec.GenerateGo under the
+// GenTargets configs reproduces the committed zz_gen files byte for byte.
+func TestInferredPatternsGenerateIdenticalCode(t *testing.T) {
+	targets, err := analysis.GenTargets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred := map[string]*spec.Pattern{
+		"se":  analysis.InferredPatternSE(),
+		"bta": analysis.InferredPatternBTA(),
+		"eta": analysis.InferredPatternETA(),
+	}
+	for _, tgt := range targets {
+		pat, ok := inferred[tgt.Config.RegisterKey]
+		if !ok {
+			continue // the structure-only target has no pattern to infer
+		}
+		plan, err := analysis.CompilePlan(pat)
+		if err != nil {
+			t.Fatalf("Compile(inferred %s): %v", pat.Name, err)
+		}
+		src, err := spec.GenerateGo(plan, tgt.Config)
+		if err != nil {
+			t.Fatalf("GenerateGo(inferred %s): %v", pat.Name, err)
+		}
+		handPlan, err := analysis.CompilePlan(map[string]func() *spec.Pattern{
+			"se": analysis.PatternSE, "bta": analysis.PatternBTA, "eta": analysis.PatternETA,
+		}[tgt.Config.RegisterKey]())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := spec.GenerateGo(handPlan, tgt.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(src, want) {
+			t.Errorf("%s: code generated from the inferred pattern differs from the hand-written pattern's", tgt.Config.RegisterKey)
+		}
+	}
+}
+
+// traceEvidence runs one engine phase with a Tracker attached as a free
+// profiler: after every iteration the mark-queue's dirty set is fed to a
+// spec.Observer, and the flags are cleared with a generic incremental
+// checkpoint. The returned pattern is the strongest claim the dynamic trace
+// supports.
+func traceEvidence(t *testing.T, run func(e *analysis.Engine, ck analysis.CheckpointFn) error) *spec.Pattern {
+	t.Helper()
+	f, err := minic.Parse(fixtures.ImageMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := analysis.NewEngine(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := spec.NewObserver(analysis.Catalog(), "Attributes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ckpt.NewTracker()
+	e.Domain.AttachTracker(tr)
+
+	clear := func() {
+		w := ckpt.NewWriter()
+		w.Start(ckpt.Incremental)
+		for _, r := range e.Roots() {
+			if err := w.Checkpoint(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clear() // drain creation flags so the trace sees only phase writes
+
+	ck := func(phase string, iter int) error {
+		// Re-Watch each iteration: phases may allocate (dynamic BT growth),
+		// and Watch both adopts the newcomers and re-enqueues everything
+		// still dirty, so Take returns the iteration's exact dirty set.
+		if err := tr.Watch(e.Roots()...); err != nil {
+			return err
+		}
+		if err := obs.ObserveDirty(tr.Take()...); err != nil {
+			return err
+		}
+		clear()
+		return nil
+	}
+	if err := run(e, ck); err != nil {
+		t.Fatal(err)
+	}
+	return obs.Pattern("trace")
+}
+
+// TestDriftCheckAcceptsTruthfulPattern cross-validates the static claims
+// against the dynamic mark-queue trace: the pattern inferred (and
+// hand-declared) for the side-effect phase must be consistent with what the
+// phase's own run actually dirtied.
+func TestDriftCheckAcceptsTruthfulPattern(t *testing.T) {
+	evidence := traceEvidence(t, func(e *analysis.Engine, ck analysis.CheckpointFn) error {
+		_, err := e.RunSE(ck)
+		return err
+	})
+	if c := spec.Contradictions(analysis.Catalog(), analysis.InferredPatternSE(), evidence); len(c) != 0 {
+		t.Errorf("truthful se pattern contradicted by its own trace: %v", c)
+	}
+}
+
+// TestDriftCheckCatchesSeededContradiction seeds the static/dynamic
+// disagreement the loop exists to catch: claiming the evaluation-time
+// pattern (SEEntry unmodified) for a run of the side-effect phase — which
+// writes SEEntry every iteration — must produce a contradiction naming the
+// class.
+func TestDriftCheckCatchesSeededContradiction(t *testing.T) {
+	evidence := traceEvidence(t, func(e *analysis.Engine, ck analysis.CheckpointFn) error {
+		_, err := e.RunSE(ck)
+		return err
+	})
+	cons := spec.Contradictions(analysis.Catalog(), analysis.PatternETA(), evidence)
+	if len(cons) == 0 {
+		t.Fatal("seeded contradiction (eta claim over se trace) not caught")
+	}
+	found := false
+	for _, c := range cons {
+		if strings.Contains(c, "SEEntry") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("contradictions do not name SEEntry: %v", cons)
+	}
+}
+
+// TestGuardDegradesToGenericEngine proves the generated providers' safety
+// net end to end: a guard built from a pattern the phase outgrew detects
+// the violation, degrades to the generic structure-only plan, and the
+// finished body is byte-identical to a pure generic checkpoint of a twin —
+// a wrong inference costs performance, never a stale checkpoint.
+func TestGuardDegradesToGenericEngine(t *testing.T) {
+	_, a1 := buildAttrs(t, 6)
+	_, a2 := buildAttrs(t, 6)
+	// The "phase" violates se's BT-unmodified claim on every odd object.
+	for i := 0; i < 6; i += 2 {
+		a1[i].BT.BT.Set(analysis.BTStatic)
+		a2[i].BT.BT.Set(analysis.BTStatic)
+	}
+
+	g, err := analysis.InferredPatternSEGuard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	roots := make([]any, len(a1))
+	for i, a := range a1 {
+		roots[i] = a
+	}
+	if err := g.Checkpoint(w, roots...); err != nil {
+		t.Fatalf("guarded checkpoint: %v", err)
+	}
+	got, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Degraded() {
+		t.Fatal("guard did not degrade on a violated pattern")
+	}
+	if g.Violation() == nil {
+		t.Error("degraded guard lost its violation")
+	}
+
+	// Generic twin. The guard restarted its writer's epoch once on the
+	// violation, so the comparison writer starts twice to align epochs.
+	w2 := ckpt.NewWriter()
+	w2.Start(ckpt.Incremental)
+	w2.Start(ckpt.Incremental)
+	for _, a := range a2 {
+		if err := w2.Checkpoint(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, err := w2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("degraded guard body differs from the generic engine's")
+	}
+
+	// Sticky: the next epoch goes straight to the generic plan.
+	if g.Plan().PatternName() != "" {
+		t.Error("degraded guard still plans to run the specialized pattern")
+	}
+}

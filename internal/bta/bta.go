@@ -1,0 +1,184 @@
+// Package bta is the static binding-time analysis of checkpointing: the
+// shared source-analysis library behind both the patternspec checker
+// (cmd/ckptvet) and the specialization-class inferrer (cmd/ckptinfer).
+//
+// The paper's conclusion proposes "automatically construct[ing]
+// specialization classes based on an analysis of the data modification
+// pattern of the program". spec.Observer does this dynamically, by
+// profiling one run. This package does it statically, in the spirit of a
+// generating extension: it recovers the structural declarations
+// (spec.Class) directly from go/types struct layouts, computes each
+// annotated phase's interprocedural write-set from source, and emits the
+// strongest modification pattern (spec.Pattern) consistent with that
+// write-set — which then feeds the existing spec.Compile/spec.GenerateGo
+// pipeline unchanged.
+//
+// The analysis is conservative in the checking direction (every visible
+// write is collected) but, like any static view, blind to writes it cannot
+// attribute: reflection, cross-package mutation, calls through function
+// values. For the checker that blindness is safe — a missed write only
+// suppresses a diagnostic. For the inferrer it is the classic
+// specialize-against-recovered-structure risk: an invisible write makes the
+// inferred pattern too strong. The generated providers therefore pair every
+// inferred pattern with a spec.Guard, which executes the specialized plan
+// in verify mode and degrades to the generic structure-only plan the moment
+// a pattern violation proves the static view stale — a wrong inference
+// costs performance, never a stale checkpoint.
+//
+// The package deliberately knows nothing about package loading or
+// diagnostics; callers (ckptlint, cmd/ckptinfer) hand it type-checked
+// packages in the minimal Package form below.
+package bta
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ickpt/internal/genmark"
+)
+
+// Package is the minimal type-checked view the analyses need: a parsed and
+// type-checked package, positions included. ckptlint.Package and anything
+// loaded through golang.org/x/tools-style loaders convert to it trivially.
+type Package struct {
+	// Fset positions the package's files.
+	Fset *token.FileSet
+	// Files are the parsed source files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression annotations. Types, Defs,
+	// Uses and Selections must be populated.
+	Info *types.Info
+}
+
+// GeneratedFiles returns the set of the package's files carrying the
+// standard generated-code marker. Generated files are never analysis
+// inputs: their generator is responsible for them.
+func (p *Package) GeneratedFiles() map[*ast.File]bool {
+	gen := make(map[*ast.File]bool)
+	for _, f := range p.Files {
+		if genmark.ASTIsGenerated(f) {
+			gen[f] = true
+		}
+	}
+	return gen
+}
+
+// Annotation markers recognized on phase function doc comments.
+const (
+	// PhaseMarker names the modification-pattern provider of a phase
+	// function: //ckptvet:phase PatternBTA
+	PhaseMarker = "//ckptvet:phase"
+	// OpaqueMarker acknowledges that the phase's declared pattern is built
+	// dynamically and cannot be checked statically:
+	// //ckptvet:opaque <reason>
+	OpaqueMarker = "//ckptvet:opaque"
+)
+
+// Phase is one //ckptvet:phase-annotated function: a program phase whose
+// checkpointing is specialized against a modification pattern.
+type Phase struct {
+	// Decl is the annotated function declaration.
+	Decl *ast.FuncDecl
+	// Provider is the annotation's argument: the function or package var
+	// holding (or to hold) the phase's spec.Pattern.
+	Provider string
+	// Opaque reports a //ckptvet:opaque acknowledgement on the same doc
+	// comment: the declared pattern is built dynamically, and the phase
+	// owner accepts that only run-time verification covers it.
+	Opaque bool
+}
+
+// Phases returns the package's annotated phase functions in file order,
+// skipping generated files. Annotations with no argument are ignored (there
+// is nothing to check or infer against).
+func Phases(pkg *Package) []Phase {
+	gen := pkg.GeneratedFiles()
+	var out []Phase
+	for _, f := range pkg.Files {
+		if gen[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			var (
+				providers []string
+				opaque    bool
+			)
+			for _, c := range fd.Doc.List {
+				switch {
+				case strings.HasPrefix(c.Text, PhaseMarker):
+					arg := strings.TrimSpace(strings.TrimPrefix(c.Text, PhaseMarker))
+					if arg != "" {
+						providers = append(providers, strings.Fields(arg)[0])
+					}
+				case strings.HasPrefix(c.Text, OpaqueMarker):
+					opaque = true
+				}
+			}
+			// A function may name several providers; each is its own phase
+			// entry.
+			for _, provider := range providers {
+				out = append(out, Phase{Decl: fd, Provider: provider, Opaque: opaque})
+			}
+		}
+	}
+	return out
+}
+
+// FuncObject returns the types.Object of a function declaration.
+func FuncObject(pkg *Package, fd *ast.FuncDecl) types.Object {
+	return pkg.Info.Defs[fd.Name]
+}
+
+// ---- shared type helpers ----
+
+// ckptPath is the import path of the checkpoint runtime.
+const ckptPath = "ickpt/ckpt"
+
+// specPath is the import path of the specialization package.
+const specPath = "ickpt/spec"
+
+// IsCkptNamed reports whether t (after unwrapping pointers) is the named
+// type ickpt/ckpt.name.
+func IsCkptNamed(t types.Type, name string) bool {
+	return isPkgNamed(t, ckptPath, name)
+}
+
+// IsSpecNamed reports whether t (after unwrapping pointers) is the named
+// type ickpt/spec.name.
+func IsSpecNamed(t types.Type, name string) bool {
+	return isPkgNamed(t, specPath, name)
+}
+
+func isPkgNamed(t types.Type, path, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// NamedOf unwraps pointers and returns the named type behind t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package bta
+
+import (
+	"go/types"
+	"sort"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+)
+
+// This file derives spec.Class structure straight from go/types struct
+// layouts — the BTA's answer to "where do specialization classes come
+// from?". Packages that annotate their structs (`ckpt:"field"`, "child",
+// "next", "list") get exactly the classes derive generates; packages with no
+// annotations at all still get classes for free, inferred from the field
+// types alone. Class names follow the derive convention: the bare type name
+// names the class, and the package-qualified name feeds ckpt.TypeIDOf.
+
+// DerivedClass is one class derived from a struct layout, with the layout
+// facts the deriver could not express in spec.Class.
+type DerivedClass struct {
+	// Class is the derived specialization class.
+	Class spec.Class
+	// Inferred reports that the struct carried no ckpt tags and the whole
+	// layout was inferred from field types.
+	Inferred bool
+	// Skipped lists fields the derivation could not classify (unsupported
+	// types under inference), for diagnostics.
+	Skipped []string
+}
+
+// DeriveClasses derives a specialization class for every checkpointable
+// struct of the package: every package-level named struct type with an
+// `Info ckpt.Info` field. Results are sorted by class name.
+//
+// Tagged structs are derived from their tags exactly as package derive
+// does. Untagged structs are inferred: supported scalars (and ckpt.Cell of
+// them) become fields, pointers to checkpointable same-package structs
+// become children, and a trailing self-pointer becomes the next pointer (a
+// non-trailing self-pointer stays a plain tree child, since spec requires
+// the next pointer to be the last child).
+func DeriveClasses(pkg *Package) []DerivedClass {
+	scope := pkg.Types.Scope()
+	var out []DerivedClass
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || !hasInfoField(st) {
+			continue
+		}
+		out = append(out, deriveClass(pkg, name, st))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class.Name < out[j].Class.Name })
+	return out
+}
+
+// hasInfoField reports an `Info ckpt.Info` field (non-pointer).
+func hasInfoField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Info" && isPkgNamed(f.Type(), ckptPath, "Info") {
+			if _, ptr := f.Type().(*types.Pointer); !ptr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deriveClass derives one struct's class.
+func deriveClass(pkg *Package, name string, st *types.Struct) DerivedClass {
+	dc := DerivedClass{Class: spec.Class{
+		Name:      name,
+		TypeID:    ckpt.TypeIDOf(pkg.Types.Name() + "." + name),
+		GoType:    "*" + name,
+		NextChild: -1,
+	}}
+
+	tagged := false
+	for i := 0; i < st.NumFields(); i++ {
+		if structTagValue(st.Tag(i), "ckpt") != "" {
+			tagged = true
+			break
+		}
+	}
+	dc.Inferred = !tagged
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Info" && IsCkptNamed(f.Type(), "Info") {
+			continue
+		}
+		tag := structTagValue(st.Tag(i), "ckpt")
+		if tagged && tag == "" {
+			continue // annotated struct: untagged fields are deliberate
+		}
+		switch tag {
+		case "field":
+			if fl, ok := scalarSpecField(f); ok {
+				dc.Class.Fields = append(dc.Class.Fields, fl)
+			} else {
+				dc.Skipped = append(dc.Skipped, f.Name())
+			}
+		case "child", "next", "list":
+			target, ok := childTarget(pkg, f.Type())
+			if !ok {
+				dc.Skipped = append(dc.Skipped, f.Name())
+				continue
+			}
+			if tag == "next" {
+				dc.Class.NextChild = len(dc.Class.Children)
+			}
+			dc.Class.Children = append(dc.Class.Children, spec.Child{
+				Name:  f.Name(),
+				Class: target,
+				List:  tag == "list",
+				Go:    "o." + f.Name(),
+			})
+		case "":
+			// Fully inferred struct: classify by type shape.
+			if fl, ok := scalarSpecField(f); ok {
+				dc.Class.Fields = append(dc.Class.Fields, fl)
+				continue
+			}
+			if target, ok := childTarget(pkg, f.Type()); ok {
+				if target == name {
+					dc.Class.NextChild = len(dc.Class.Children)
+				}
+				dc.Class.Children = append(dc.Class.Children, spec.Child{
+					Name:  f.Name(),
+					Class: target,
+					Go:    "o." + f.Name(),
+				})
+				continue
+			}
+			dc.Skipped = append(dc.Skipped, f.Name())
+		default:
+			dc.Skipped = append(dc.Skipped, f.Name())
+		}
+	}
+
+	// spec requires the next pointer to be the last child; an inferred
+	// self-pointer anywhere else is really a tree edge.
+	if dc.Class.NextChild >= 0 && dc.Class.NextChild != len(dc.Class.Children)-1 {
+		dc.Class.NextChild = -1
+	}
+	return dc
+}
+
+// scalarSpecField classifies a scalar (or ckpt.Cell-wrapped scalar) field.
+func scalarSpecField(f *types.Var) (spec.Field, bool) {
+	t := f.Type()
+	goExpr := "o." + f.Name()
+
+	// ckpt.Cell[T] records its .V.
+	if named, ok := t.(*types.Named); ok && IsCkptNamed(t, "Cell") {
+		if args := named.TypeArgs(); args != nil && args.Len() == 1 {
+			t = args.At(0)
+			goExpr += ".V"
+		}
+	}
+
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			return spec.Field{Name: f.Name(), Kind: spec.Bytes, Go: goExpr}, true
+		}
+		return spec.Field{}, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return spec.Field{}, false
+	}
+	var kind spec.FieldKind
+	switch b.Kind() {
+	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64:
+		kind = spec.Int
+	case types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+		kind = spec.Uint
+	case types.Float32, types.Float64:
+		kind = spec.Float64
+	case types.Bool:
+		kind = spec.Bool
+	case types.String:
+		kind = spec.String
+	default:
+		return spec.Field{}, false
+	}
+	return spec.Field{Name: f.Name(), Kind: kind, Go: goExpr}, true
+}
+
+// childTarget reports the class name behind a child pointer: a pointer to a
+// same-package named struct carrying an Info field.
+func childTarget(pkg *Package, t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() != pkg.Types {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || !hasInfoField(st) {
+		return "", false
+	}
+	return obj.Name(), true
+}

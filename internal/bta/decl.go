@@ -1,0 +1,368 @@
+package bta
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// This file extracts the *declared* side of the analysis from source: the
+// spec.Class and spec.Pattern composite literals a package hand-writes. The
+// checker compares them against write-sets; the inferrer compares them
+// against what it would have inferred (drift) and reuses the class
+// declarations to name inferred patterns' classes.
+
+// Pattern declaration constants, mirrored from package spec by value: the
+// extraction reads the literals' compile-time integer values, so the mirror
+// keeps the numeric comparison honest even if spec's iota order ever moved.
+const (
+	// ClassUnmodifiedVal is spec.ClassUnmodified as an extracted constant.
+	ClassUnmodifiedVal int64 = 1
+	// ChildUnmodifiedVal is spec.ChildUnmodified as an extracted constant.
+	ChildUnmodifiedVal int64 = 1
+	// LastElementOnlyVal is spec.LastElementOnly as an extracted constant.
+	LastElementOnlyVal int64 = 2
+)
+
+// ClassDecl is the statically extracted view of one spec.Class literal.
+type ClassDecl struct {
+	// Name is the class's declared name.
+	Name string
+	// GoTypeName is the declared GoType with the leading '*' stripped.
+	GoTypeName string
+	// Children maps child name to child class name.
+	Children map[string]string
+	// ChildrenUnknown reports children built dynamically.
+	ChildrenUnknown bool
+}
+
+// PatternDecl is the statically extracted view of one spec.Pattern literal.
+type PatternDecl struct {
+	// Name is the pattern's declared Name.
+	Name string
+	// Classes maps class name to the declared ClassMod value.
+	Classes map[string]int64
+	// Children maps "Class.Child" to the declared ChildMod value.
+	Children map[string]int64
+	// Opaque reports a construction not fully statically visible: computed
+	// keys, non-literal maps, or post-construction map writes.
+	Opaque bool
+}
+
+// ResolvePattern finds the named provider: first in cur, then — for
+// "pkgname.Provider" forms — in any of the loaded packages with that name.
+// Returns the defining package and the extracted pattern, or nils.
+func ResolvePattern(cur *Package, all []*Package, provider string) (*Package, *PatternDecl) {
+	target := cur
+	name := provider
+	if dot := strings.IndexByte(provider, '.'); dot > 0 {
+		qual, rest := provider[:dot], provider[dot+1:]
+		for _, p := range all {
+			if p.Types.Name() == qual {
+				target, name = p, rest
+				break
+			}
+		}
+	}
+	if pat := ExtractPattern(target, name); pat != nil {
+		return target, pat
+	}
+	return nil, nil
+}
+
+// ExtractPattern pulls the spec.Pattern literal out of the named function
+// or package var, or returns nil if no such provider exists.
+func ExtractPattern(pkg *Package, name string) *PatternDecl {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == name && d.Body != nil {
+					return PatternFromNode(pkg, d.Body)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						if id.Name == name && i < len(vs.Values) {
+							return PatternFromNode(pkg, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PatternFromNode finds the first spec.Pattern composite literal under n
+// and extracts it. Any non-constant key, unknown value, or later map write
+// marks the pattern opaque. Returns nil when no Pattern literal occurs.
+func PatternFromNode(pkg *Package, n ast.Node) *PatternDecl {
+	var lit *ast.CompositeLit
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		cl, ok := node.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[cl]; ok && IsSpecNamed(tv.Type, "Pattern") {
+			lit = cl
+			return false
+		}
+		return true
+	})
+	if lit == nil {
+		return nil
+	}
+	pat := &PatternDecl{Classes: make(map[string]int64), Children: make(map[string]int64)}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			pat.Opaque = true
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			pat.Opaque = true
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if s, ok := ConstString(pkg, kv.Value); ok {
+				pat.Name = s
+			}
+		case "Classes":
+			if !extractModMap(pkg, kv.Value, pat.Classes) {
+				pat.Opaque = true
+			}
+		case "Children":
+			if !extractModMap(pkg, kv.Value, pat.Children) {
+				pat.Opaque = true
+			}
+		}
+	}
+	// Post-construction writes into the pattern's maps make it dynamic.
+	ast.Inspect(n, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ie, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if sel, ok := ie.X.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Classes" || sel.Sel.Name == "Children") {
+				pat.Opaque = true
+			}
+		}
+		return true
+	})
+	return pat
+}
+
+// extractModMap reads a map[string]spec.ClassMod / spec.ChildMod composite
+// literal with constant keys and values into out. Returns false when any
+// entry is not statically known.
+func extractModMap(pkg *Package, e ast.Expr, out map[string]int64) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		// make(map[...]...) starts empty; later writes are caught by the
+		// post-construction scan.
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+				return true
+			}
+		}
+		return false
+	}
+	complete := true
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			complete = false
+			continue
+		}
+		key, kok := ConstString(pkg, kv.Key)
+		val, vok := ConstInt(pkg, kv.Value)
+		if !kok || !vok {
+			complete = false
+			continue
+		}
+		out[key] = val
+	}
+	return complete
+}
+
+// CollectClassDecls extracts every spec.Class composite literal of the
+// package, keyed by class name.
+func CollectClassDecls(pkg *Package) map[string]*ClassDecl {
+	classes := make(map[string]*ClassDecl)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[cl]; !ok || !IsSpecNamed(tv.Type, "Class") {
+				return true
+			}
+			c := &ClassDecl{Children: make(map[string]string)}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Name":
+					if s, ok := ConstString(pkg, kv.Value); ok {
+						c.Name = s
+					}
+				case "GoType":
+					if s, ok := ConstString(pkg, kv.Value); ok {
+						c.GoTypeName = strings.TrimPrefix(s, "*")
+					}
+				case "Children":
+					if !extractChildren(pkg, kv.Value, c) {
+						c.ChildrenUnknown = true
+					}
+				}
+			}
+			if c.Name != "" {
+				classes[c.Name] = c
+			}
+			return true
+		})
+	}
+	return classes
+}
+
+// extractChildren reads a []spec.Child literal into c. Returns false when
+// the slice is built dynamically.
+func extractChildren(pkg *Package, e ast.Expr, c *ClassDecl) bool {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	complete := true
+	for _, elt := range cl.Elts {
+		childLit, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			complete = false
+			continue
+		}
+		var childName, childClass string
+		for _, ce := range childLit.Elts {
+			kv, ok := ce.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Name":
+				if s, ok := ConstString(pkg, kv.Value); ok {
+					childName = s
+				}
+			case "Class":
+				if s, ok := ConstString(pkg, kv.Value); ok {
+					childClass = s
+				}
+			}
+		}
+		if childName == "" || childClass == "" {
+			complete = false
+			continue
+		}
+		c.Children[childName] = childClass
+	}
+	return complete
+}
+
+// ReachableClasses computes which classes a specialized traversal can still
+// record under the pattern: classes with no incoming child edge (potential
+// roots) plus classes reached through at least one edge the pattern does
+// not declare ChildUnmodified. Classes with dynamically built children are
+// treated as reaching all their (unknown) targets, so nothing is reported
+// for them.
+func ReachableClasses(classes map[string]*ClassDecl, pattern *PatternDecl) map[string]bool {
+	incoming := make(map[string]int)
+	for _, c := range classes {
+		for _, target := range c.Children {
+			incoming[target]++
+		}
+	}
+	reachable := make(map[string]bool)
+	for name, c := range classes {
+		if incoming[name] == 0 || c.ChildrenUnknown {
+			reachable[name] = true
+		}
+	}
+	anyUnknown := false
+	for _, c := range classes {
+		if c.ChildrenUnknown {
+			anyUnknown = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range classes {
+			if !reachable[c.Name] {
+				continue
+			}
+			for childName, target := range c.Children {
+				if pattern.Children[c.Name+"."+childName] == ChildUnmodifiedVal {
+					continue
+				}
+				if !reachable[target] {
+					reachable[target] = true
+					changed = true
+				}
+			}
+		}
+	}
+	if anyUnknown {
+		// Some edges are invisible; refuse to claim anything is pruned.
+		for name := range classes {
+			reachable[name] = true
+		}
+	}
+	return reachable
+}
+
+// ---- constant helpers ----
+
+// ConstString returns the compile-time string value of e, if it has one.
+func ConstString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// ConstInt returns the compile-time integer value of e, if it has one.
+func ConstInt(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,175 @@
+package bta
+
+import (
+	"fmt"
+	"go/format"
+	"sort"
+	"strings"
+
+	"ickpt/internal/genmark"
+	"ickpt/spec"
+)
+
+// This file renders inferred patterns back into the program as generated
+// provider functions — the generating-extension step: the analysis result
+// becomes code that feeds the existing spec.Compile/spec.GenerateGo
+// pipeline, instead of a report someone has to transcribe.
+
+// EmitConfig configures one generated provider file.
+type EmitConfig struct {
+	// Package is the package clause of the generated file.
+	Package string
+	// Source describes the analyzed package in the header comment
+	// (typically its import path).
+	Source string
+	// Catalog is the Go expression, valid inside the generated file, for
+	// the package's *spec.Catalog (for example "Catalog()"). Empty
+	// disables the guard constructors.
+	Catalog string
+	// Root is the root class name the guard constructors compile for.
+	// Required when Catalog is set.
+	Root string
+}
+
+// Provider is one generated pattern provider.
+type Provider struct {
+	// FuncName is the generated pattern function's name.
+	FuncName string
+	// GuardFunc is the generated guard constructor's name; empty skips it.
+	GuardFunc string
+	// PhaseFunc names the analyzed phase function, for the doc comment.
+	PhaseFunc string
+	// Pattern is the inferred pattern to render.
+	Pattern *spec.Pattern
+	// Writes and Unknown summarize the evidence, for the doc comment.
+	Writes  []Write
+	Unknown []Write
+}
+
+// ProviderFor names the generated provider for one inference result:
+// provider PatternSE on phase RunSE becomes InferredPatternSE with guard
+// constructor InferredPatternSEGuard.
+func ProviderFor(ip InferredPhase) Provider {
+	base := ip.Phase.Provider
+	if dot := strings.LastIndexByte(base, '.'); dot >= 0 {
+		base = base[dot+1:]
+	}
+	fn := "Inferred" + base
+	return Provider{
+		FuncName:  fn,
+		GuardFunc: fn + "Guard",
+		PhaseFunc: ip.Phase.Decl.Name.Name,
+		Pattern:   ip.Pattern,
+		Writes:    ip.Writes,
+		Unknown:   ip.Unknown,
+	}
+}
+
+// GenerateProviders renders the providers as one gofmt-ed generated file.
+func GenerateProviders(cfg EmitConfig, provs []Provider) ([]byte, error) {
+	if cfg.Package == "" {
+		return nil, fmt.Errorf("bta: EmitConfig.Package is required")
+	}
+	if cfg.Catalog != "" && cfg.Root == "" {
+		return nil, fmt.Errorf("bta: EmitConfig.Root is required when Catalog is set")
+	}
+	var b strings.Builder
+	b.WriteString(genmark.Comment("ckptinfer"))
+	b.WriteString("\n")
+	if cfg.Source != "" {
+		fmt.Fprintf(&b, "// Statically inferred modification patterns for %s.\n", cfg.Source)
+	}
+	fmt.Fprintf(&b, "\npackage %s\n\nimport \"ickpt/spec\"\n", cfg.Package)
+
+	for _, p := range provs {
+		if p.FuncName == "" || p.Pattern == nil {
+			return nil, fmt.Errorf("bta: provider needs FuncName and Pattern")
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "// %s is the modification pattern statically inferred for phase\n", p.FuncName)
+		fmt.Fprintf(&b, "// %s: the strongest pattern consistent with the phase's\n", p.PhaseFunc)
+		b.WriteString("// interprocedural write-set.\n//\n")
+		fmt.Fprintf(&b, "// Write-set: %s.\n", writeSummary(p.Writes, p.Unknown))
+		fmt.Fprintf(&b, "func %s() *spec.Pattern {\n", p.FuncName)
+		b.WriteString("\treturn &spec.Pattern{\n")
+		fmt.Fprintf(&b, "\t\tName: %q,\n", p.Pattern.Name)
+		if len(p.Pattern.Classes) > 0 {
+			b.WriteString("\t\tClasses: map[string]spec.ClassMod{\n")
+			for _, name := range sortedKeys(p.Pattern.Classes) {
+				fmt.Fprintf(&b, "\t\t\t%q: %s,\n", name, classModExpr(p.Pattern.Classes[name]))
+			}
+			b.WriteString("\t\t},\n")
+		}
+		if len(p.Pattern.Children) > 0 {
+			b.WriteString("\t\tChildren: map[string]spec.ChildMod{\n")
+			for _, key := range sortedKeys(p.Pattern.Children) {
+				fmt.Fprintf(&b, "\t\t\t%q: %s,\n", key, childModExpr(p.Pattern.Children[key]))
+			}
+			b.WriteString("\t\t},\n")
+		}
+		b.WriteString("\t}\n}\n")
+
+		if p.GuardFunc != "" && cfg.Catalog != "" {
+			b.WriteString("\n")
+			fmt.Fprintf(&b, "// %s compiles the guarded plan pair for the inferred\n", p.GuardFunc)
+			fmt.Fprintf(&b, "// pattern: the %s plan executed under verification, degrading to\n", p.Pattern.Name)
+			b.WriteString("// the generic structure-only plan on the first pattern violation —\n")
+			b.WriteString("// an inference the program outgrew costs performance, never a stale\n")
+			b.WriteString("// checkpoint.\n")
+			fmt.Fprintf(&b, "func %s(opts ...spec.CompileOption) (*spec.Guard, error) {\n", p.GuardFunc)
+			fmt.Fprintf(&b, "\treturn spec.NewGuard(%s, %q, %s(), opts...)\n", cfg.Catalog, cfg.Root, p.FuncName)
+			b.WriteString("}\n")
+		}
+	}
+
+	src, err := format.Source([]byte(b.String()))
+	if err != nil {
+		return nil, fmt.Errorf("bta: formatting generated providers: %w", err)
+	}
+	return src, nil
+}
+
+// writeSummary renders the evidence line: written classes' types in
+// write-set order, plus unattributed types outside any class.
+func writeSummary(writes, unknown []Write) string {
+	if len(writes) == 0 && len(unknown) == 0 {
+		return "no tracked writes"
+	}
+	var parts []string
+	for _, w := range writes {
+		parts = append(parts, w.TypeName+" ("+w.Desc+")")
+	}
+	for _, w := range unknown {
+		parts = append(parts, w.TypeName+" (no class, generic driver)")
+	}
+	return strings.Join(parts, ", ")
+}
+
+func classModExpr(m spec.ClassMod) string {
+	switch m {
+	case spec.ClassUnmodified:
+		return "spec.ClassUnmodified"
+	default:
+		return "spec.MayModify"
+	}
+}
+
+func childModExpr(m spec.ChildMod) string {
+	switch m {
+	case spec.ChildUnmodified:
+		return "spec.ChildUnmodified"
+	case spec.LastElementOnly:
+		return "spec.LastElementOnly"
+	default:
+		return "spec.Inherit"
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,307 @@
+package bta
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the write-set half of the binding-time analysis: which named
+// types a function (transitively) modifies. It started life inside
+// ckptlint's patternspec analyzer and was lifted here so the checker
+// (write-set vs declared pattern) and the inferrer (write-set becomes the
+// pattern) share one walker — a divergence between the two would let the
+// checker bless a pattern the inferrer would never produce.
+
+// Write is one write of tracked state attributed to a named type.
+type Write struct {
+	// TypeName is the name of the named type owning the written state.
+	TypeName string
+	// Pos locates the write.
+	Pos token.Pos
+	// Desc describes the write for diagnostics ("direct write to Ann",
+	// "Cell.Set of Tag", "Info.Mark").
+	Desc string
+}
+
+// WriteSets computes and memoizes per-function write-sets with a
+// same-package transitive closure over the call graph.
+//
+// The collection is conservative from source: direct writes to tracked
+// fields, Cell.Set calls, and Info.Mark/MarkOn/SetModified calls, closed
+// transitively over calls to same-package functions and methods. Writes the
+// walker cannot see (reflection, cross-package mutation, calls through
+// function values) are out of scope; see the package comment for what that
+// asymmetrically means to the checker and the inferrer.
+type WriteSets struct {
+	pkg     *Package
+	decls   map[types.Object]*ast.FuncDecl
+	memo    map[types.Object][]Write
+	visited map[types.Object]bool
+}
+
+// NewWriteSets prepares the write-set walker for one package.
+func NewWriteSets(pkg *Package) *WriteSets {
+	ws := &WriteSets{
+		pkg:     pkg,
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		memo:    make(map[types.Object][]Write),
+		visited: make(map[types.Object]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := FuncObject(pkg, fd); obj != nil {
+				ws.decls[obj] = fd
+			}
+		}
+	}
+	return ws
+}
+
+// Of returns the transitive write-set of fn, deduplicated by type.
+func (ws *WriteSets) Of(fn types.Object) []Write {
+	if fn == nil {
+		return nil
+	}
+	if got, ok := ws.memo[fn]; ok {
+		return got
+	}
+	if ws.visited[fn] {
+		return nil // recursion: the cycle's writes surface at the entry
+	}
+	ws.visited[fn] = true
+	defer func() { ws.visited[fn] = false }()
+
+	fd := ws.decls[fn]
+	if fd == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []Write
+	add := func(w Write) {
+		if w.TypeName == "" || seen[w.TypeName] {
+			return
+		}
+		seen[w.TypeName] = true
+		out = append(out, w)
+	}
+	for _, w := range directWrites(ws.pkg, fd) {
+		add(w)
+	}
+	// Close over same-package callees.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.IndexExpr:
+			if sid, ok := fun.X.(*ast.Ident); ok {
+				id = sid
+			}
+		}
+		if id == nil {
+			return true
+		}
+		callee, ok := ws.pkg.Info.Uses[id].(*types.Func)
+		if !ok || callee.Pkg() == nil || callee.Pkg() != ws.pkg.Types {
+			return true
+		}
+		for _, w := range ws.Of(callee) {
+			add(w)
+		}
+		return true
+	})
+	ws.memo[fn] = out
+	return out
+}
+
+// directWrites finds fd's own writes of tracked state: tracked-field
+// assignments, Cell.Set calls, and Info.Mark/MarkOn/SetModified calls,
+// attributed to the owning named type.
+func directWrites(pkg *Package, fd *ast.FuncDecl) []Write {
+	var out []Write
+	attr := func(owner ast.Expr, pos token.Pos, desc string) {
+		tv, ok := pkg.Info.Types[owner]
+		if !ok {
+			return
+		}
+		named := NamedOf(tv.Type)
+		if named == nil || named.Obj() == nil {
+			return
+		}
+		out = append(out, Write{TypeName: named.Obj().Name(), Pos: pos, Desc: desc})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if w, ok := ClassifyWrite(pkg, lhs); ok && w.Owner != nil {
+					attr(w.Owner, w.Pos, "direct write to "+w.Field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if w, ok := ClassifyWrite(pkg, st.X); ok && w.Owner != nil {
+				attr(w.Owner, w.Pos, "direct write to "+w.Field)
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// cell.Set(&owner.Info, v)
+			if sel.Sel.Name == "Set" {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && IsCkptNamed(tv.Type, "Cell") {
+					if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+						attr(inner.X, st.Pos(), "Cell.Set of "+inner.Sel.Name)
+					}
+				}
+			}
+			// owner.Info.{Mark,MarkOn,SetModified}() — directly or through
+			// owner.CheckpointInfo().
+			if sel.Sel.Name == "SetModified" || sel.Sel.Name == "Mark" || sel.Sel.Name == "MarkOn" {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && IsCkptNamed(tv.Type, "Info") {
+					switch x := sel.X.(type) {
+					case *ast.SelectorExpr:
+						attr(x.X, st.Pos(), "Info."+sel.Sel.Name)
+					case *ast.CallExpr:
+						if inner, ok := x.Fun.(*ast.SelectorExpr); ok && inner.Sel.Name == "CheckpointInfo" {
+							attr(inner.X, st.Pos(), "Info."+sel.Sel.Name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// TrackedWrite is one assignment target that touches tracked checkpoint
+// state, attributed to its owning object expression.
+type TrackedWrite struct {
+	// Pos locates the write.
+	Pos token.Pos
+	// Owner is the expression for the owning object, nil if
+	// unattributable.
+	Owner ast.Expr
+	// Field is the written field, for messages.
+	Field string
+	// Cell reports a write to a ckpt.Cell's V (or a whole Cell) rather
+	// than a tagged field.
+	Cell bool
+}
+
+// ClassifyWrite reports whether lhs writes tracked state — a ckpt.Cell .V
+// field or a `ckpt:"..."`-tagged struct field — and attributes the write to
+// its owning object.
+func ClassifyWrite(pkg *Package, lhs ast.Expr) (TrackedWrite, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return TrackedWrite{}, false
+	}
+
+	// Case 1: x.F.V where F is a ckpt.Cell — the direct-value write.
+	if sel.Sel.Name == "V" {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && IsCkptNamed(tv.Type, "Cell") {
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				// A free-standing Cell variable has no owning Info to
+				// dirty; nothing to attribute.
+				return TrackedWrite{}, false
+			}
+			return TrackedWrite{
+				Pos:   lhs.Pos(),
+				Owner: inner.X,
+				Field: inner.Sel.Name + ".V",
+				Cell:  true,
+			}, true
+		}
+	}
+
+	// Case 2: x.F where F is a `ckpt:"..."`-tagged struct field (covers
+	// plain tagged scalars, tagged child pointers, and whole-Cell
+	// overwrites).
+	if tag, ok := fieldCkptTag(pkg, sel); ok && tag != "" {
+		isCell := false
+		if tv, ok := pkg.Info.Types[sel]; ok && IsCkptNamed(tv.Type, "Cell") {
+			isCell = true
+		}
+		return TrackedWrite{Pos: lhs.Pos(), Owner: sel.X, Field: sel.Sel.Name, Cell: isCell}, true
+	}
+	return TrackedWrite{}, false
+}
+
+// fieldCkptTag returns the ckpt struct tag of the field sel selects, if sel
+// is a field selection on a struct type.
+func fieldCkptTag(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	named := NamedOf(s.Recv())
+	if named == nil {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == s.Obj() {
+			tag := structTagValue(st.Tag(i), "ckpt")
+			return tag, tag != ""
+		}
+	}
+	return "", false
+}
+
+// structTagValue extracts one key's value from a struct tag without
+// importing reflect.
+func structTagValue(tag, key string) string {
+	// Minimal reflect.StructTag.Get: conventional tags only.
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		if tag == "" {
+			break
+		}
+		i = 0
+		for i < len(tag) && tag[i] > ' ' && tag[i] != ':' && tag[i] != '"' {
+			i++
+		}
+		if i == 0 || i+1 >= len(tag) || tag[i] != ':' || tag[i+1] != '"' {
+			break
+		}
+		name := tag[:i]
+		tag = tag[i+1:]
+		i = 1
+		for i < len(tag) && tag[i] != '"' {
+			if tag[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(tag) {
+			break
+		}
+		value := tag[1:i]
+		tag = tag[i+1:]
+		if name == key {
+			return value
+		}
+	}
+	return ""
+}

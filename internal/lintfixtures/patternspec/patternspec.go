@@ -122,3 +122,30 @@ func FreezePhase(d *Doc) {
 //
 //ckptvet:phase PatternMissing
 func OrphanPhase(d *Doc) {} // want `//ckptvet:phase names unknown pattern provider "PatternMissing"`
+
+// PatternDynamic assembles its class map after construction — the analyzer
+// cannot know what the map holds at run time, so phases declaring it run
+// statically unchecked.
+func PatternDynamic() *spec.Pattern {
+	p := &spec.Pattern{Name: "dynamic", Classes: make(map[string]spec.ClassMod)}
+	p.Classes["Meta"] = spec.ClassUnmodified
+	return p
+}
+
+// DynamicPhase declares the dynamically built pattern without acknowledging
+// it; the analyzer must say the phase is unchecked rather than silently
+// passing it.
+//
+//ckptvet:phase PatternDynamic
+func DynamicPhase(d *Doc) { // want `pattern "PatternDynamic" is built dynamically and cannot be checked against phase DynamicPhase's write-set`
+	d.Meta.Tag.Set(&d.Meta.Info, "moved")
+}
+
+// AckPhase declares the same dynamic pattern but acknowledges the opacity:
+// run-time verification is the accepted cover, so no diagnostic.
+//
+//ckptvet:phase PatternDynamic
+//ckptvet:opaque pattern assembled at run time in this fixture
+func AckPhase(d *Doc) {
+	d.Meta.Tag.Set(&d.Meta.Info, "acknowledged")
+}

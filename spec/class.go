@@ -186,6 +186,7 @@ type Binding struct {
 type Catalog struct {
 	classes  map[string]*Class
 	bindings map[string]Binding
+	byType   map[ckpt.TypeID]*Class
 }
 
 // NewCatalog returns an empty catalog.
@@ -193,6 +194,7 @@ func NewCatalog() *Catalog {
 	return &Catalog{
 		classes:  make(map[string]*Class),
 		bindings: make(map[string]Binding),
+		byType:   make(map[ckpt.TypeID]*Class),
 	}
 }
 
@@ -231,6 +233,9 @@ func (c *Catalog) Register(cl Class, b Binding) error {
 	cp.Children = append([]Child(nil), cl.Children...)
 	c.classes[cl.Name] = &cp
 	c.bindings[cl.Name] = b
+	if _, dup := c.byType[cl.TypeID]; !dup {
+		c.byType[cl.TypeID] = &cp
+	}
 	return nil
 }
 
@@ -244,6 +249,12 @@ func (c *Catalog) MustRegister(cl Class, b Binding) {
 
 // Class returns the registered class with the given name, or nil.
 func (c *Catalog) Class(name string) *Class { return c.classes[name] }
+
+// ClassByTypeID returns the registered class whose TypeID is t, or nil. If
+// several classes share a type id (unusual, but legal), the first registered
+// one wins. It resolves a bag of dirty objects — a mark-queue drain — back
+// to specialization classes, for Observer.ObserveDirty and drift checking.
+func (c *Catalog) ClassByTypeID(t ckpt.TypeID) *Class { return c.byType[t] }
 
 // ClassNames returns the registered class names, sorted.
 func (c *Catalog) ClassNames() []string {

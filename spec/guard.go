@@ -1,0 +1,114 @@
+package spec
+
+import (
+	"errors"
+
+	"ickpt/ckpt"
+)
+
+// Guard executes a specialized plan under run-time verification and
+// degrades to the generic structure-only plan the moment the pattern is
+// proven wrong — the soundness fallback for patterns that were inferred
+// (statically from write-sets, or dynamically from observation) rather than
+// proven.
+//
+// An inferred pattern is a bet: the static analysis is blind to writes it
+// cannot attribute (reflection, cross-package mutation, calls through
+// function values), and a dynamic profile only covers the runs it saw. A
+// plan compiled from a wrong pattern silently elides exactly the records
+// the phase needed — a stale checkpoint. Guard converts that failure mode
+// into a performance cliff: the specialized plan runs WithVerify, and on
+// ErrPatternViolated the guard aborts the epoch in progress (re-marking
+// every flag the partial body cleared), retakes the whole checkpoint with
+// the nil-pattern plan in a fresh epoch, and stays on the generic plan from
+// then on. The structure-only plan tests every modified flag, so it is
+// correct under any modification behaviour.
+type Guard struct {
+	specialized *Plan
+	generic     *Plan
+	degraded    bool
+	violation   error
+}
+
+// NewGuard compiles the guarded pair for root under pat: the specialized
+// plan with verification forced on, and the generic nil-pattern fallback
+// with the same options. pat must be non-nil — a nil pattern needs no
+// guard.
+func NewGuard(cat *Catalog, root string, pat *Pattern, opts ...CompileOption) (*Guard, error) {
+	if pat == nil {
+		return nil, errors.New("spec: NewGuard requires a pattern; the nil-pattern plan needs no guard")
+	}
+	spOpts := append(append([]CompileOption(nil), opts...), WithVerify())
+	sp, err := Compile(cat, root, pat, spOpts...)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := Compile(cat, root, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Guard{specialized: sp, generic: gen}, nil
+}
+
+// Checkpoint records one epoch's roots through the guarded plan: the
+// verified specialized plan while the pattern holds, the generic plan once
+// it has been violated. Pass every root of the epoch in one call — on a
+// violation the guard restarts the writer's epoch (discarding the partial
+// body and re-marking the flags it cleared, per Writer.Start's abort
+// semantics) and retakes all the roots generically, so the finished body is
+// complete rather than missing the roots recorded before the violation.
+//
+// The caller still owns Start and Finish:
+//
+//	w.Start(mode)
+//	if err := g.Checkpoint(w, roots...); err != nil { ... }
+//	body, stats, err := w.Finish()
+//
+// Degradation is sticky: after the first violation every later epoch goes
+// straight to the generic plan. Re-arm by building a new Guard (typically
+// after re-inferring the pattern).
+func (g *Guard) Checkpoint(w *ckpt.Writer, roots ...any) error {
+	if !g.degraded {
+		err := g.executeAll(g.specialized, w, roots)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrPatternViolated) {
+			return err
+		}
+		g.degraded = true
+		g.violation = err
+		// The specialized attempt may have emitted records and cleared
+		// flags before the violation surfaced. Restarting the epoch aborts
+		// the partial body and re-marks everything it cleared (through the
+		// writer's session when one is attached), so the generic retake
+		// below sees the full dirty set in a fresh epoch.
+		w.Start(w.Mode())
+	}
+	return g.executeAll(g.generic, w, roots)
+}
+
+func (g *Guard) executeAll(p *Plan, w *ckpt.Writer, roots []any) error {
+	for _, root := range roots {
+		if err := p.Execute(w, root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Degraded reports whether a pattern violation has switched the guard to
+// the generic plan.
+func (g *Guard) Degraded() bool { return g.degraded }
+
+// Violation returns the ErrPatternViolated that degraded the guard, or nil.
+func (g *Guard) Violation() error { return g.violation }
+
+// Plan returns the plan the next Checkpoint will execute: the verified
+// specialized plan, or the generic plan after degradation.
+func (g *Guard) Plan() *Plan {
+	if g.degraded {
+		return g.generic
+	}
+	return g.specialized
+}

@@ -1,0 +1,157 @@
+package spec_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/spec"
+	"ickpt/wire"
+)
+
+func TestNewGuardRequiresPattern(t *testing.T) {
+	if _, err := spec.NewGuard(catalog(t), "Root", nil); err == nil {
+		t.Error("NewGuard(nil pattern) succeeded; the nil-pattern plan needs no guard")
+	}
+}
+
+func TestGuardHoldsWhilePatternTrue(t *testing.T) {
+	cat := catalog(t)
+	pat := &spec.Pattern{
+		Name:    "onlyA",
+		Classes: map[string]spec.ClassMod{"Meta": spec.ClassUnmodified},
+		Children: map[string]spec.ChildMod{
+			"Root.B": spec.ChildUnmodified,
+		},
+	}
+	g, err := spec.NewGuard(cat, "Root", pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := twin(t, 3, 3, func(r *root) {
+		r.A.V0++
+		r.A.Info.SetModified()
+	})
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := g.Checkpoint(w, r1); err != nil {
+		t.Fatalf("guarded checkpoint: %v", err)
+	}
+	got, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degraded() {
+		t.Fatal("guard degraded although the pattern held")
+	}
+	want, _ := genericBody(t, r2, ckpt.Incremental)
+	if !bytes.Equal(got, want) {
+		t.Error("guarded specialized body differs from generic")
+	}
+}
+
+func TestGuardDegradesAndRetakesAllRoots(t *testing.T) {
+	cat := catalog(t)
+	// The claim: Meta never changes. The phase disagrees.
+	pat := &spec.Pattern{
+		Name:    "stale",
+		Classes: map[string]spec.ClassMod{"Meta": spec.ClassUnmodified},
+	}
+	g, err := spec.NewGuard(cat, "Root", pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(r *root) {
+		r.A.V0++
+		r.A.Info.SetModified()
+		r.Meta.Tag = "changed"
+		r.Meta.Info.SetModified()
+	}
+	r1, r2 := twin(t, 2, 2, mutate)
+
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Incremental)
+	if err := g.Checkpoint(w, r1); err != nil {
+		t.Fatalf("guarded checkpoint after violation: %v", err)
+	}
+	got, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Degraded() {
+		t.Fatal("guard did not degrade")
+	}
+	if !errors.Is(g.Violation(), spec.ErrPatternViolated) {
+		t.Errorf("Violation = %v, want ErrPatternViolated", g.Violation())
+	}
+
+	// Generic twin, epoch-aligned with the guard's internal restart.
+	w2 := ckpt.NewWriter()
+	w2.Start(ckpt.Incremental)
+	w2.Start(ckpt.Incremental)
+	if err := w2.Checkpoint(r2); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := w2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("degraded body differs from generic; the retake under-captured")
+	}
+}
+
+// stranger is a checkpointable type no catalog knows.
+type stranger struct{ Info ckpt.Info }
+
+func (s *stranger) CheckpointInfo() *ckpt.Info    { return &s.Info }
+func (s *stranger) CheckpointTypeID() ckpt.TypeID { return ckpt.TypeIDOf("spectest.Stranger") }
+func (s *stranger) Record(*wire.Encoder)          {}
+func (s *stranger) Fold(*ckpt.Writer) error       { return nil }
+
+func TestObserveDirtyUnknownClass(t *testing.T) {
+	obs, err := spec.NewObserver(catalog(t), "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ckpt.NewDomain()
+	s := &stranger{Info: ckpt.NewInfo(d)}
+	if err := obs.ObserveDirty(s); !errors.Is(err, spec.ErrClass) {
+		t.Errorf("ObserveDirty(unknown type) = %v, want ErrClass", err)
+	}
+}
+
+func TestContradictionsNilViews(t *testing.T) {
+	cat := catalog(t)
+	pat := &spec.Pattern{Name: "p", Classes: map[string]spec.ClassMod{"Meta": spec.ClassUnmodified}}
+	if c := spec.Contradictions(cat, nil, pat); c != nil {
+		t.Errorf("nil claim contradicted: %v", c)
+	}
+	if c := spec.Contradictions(cat, pat, nil); c != nil {
+		t.Errorf("nil evidence contradicted: %v", c)
+	}
+}
+
+func TestContradictionsEdgeClaims(t *testing.T) {
+	cat := catalog(t)
+	// Evidence: a profile that saw Elem dirty (in both lists), Meta clean.
+	evidence := &spec.Pattern{
+		Name:    "trace",
+		Classes: map[string]spec.ClassMod{"Root": spec.ClassUnmodified, "Meta": spec.ClassUnmodified},
+	}
+	claim := &spec.Pattern{
+		Name: "hand",
+		Children: map[string]spec.ChildMod{
+			"Root.A":    spec.ChildUnmodified, // contradicted: Elem dirty in evidence
+			"Root.Meta": spec.ChildUnmodified, // consistent: Meta clean everywhere
+		},
+	}
+	cons := spec.Contradictions(cat, claim, evidence)
+	if len(cons) != 1 {
+		t.Fatalf("Contradictions = %v, want exactly the Root.A claim", cons)
+	}
+	if want := "edge Root.A"; !bytes.Contains([]byte(cons[0]), []byte(want)) {
+		t.Errorf("contradiction %q does not name %s", cons[0], want)
+	}
+}

@@ -1,6 +1,10 @@
 package spec
 
-import "fmt"
+import (
+	"fmt"
+
+	"ickpt/ckpt"
+)
 
 // Observer infers a modification [Pattern] by watching a program phase run:
 // before each checkpoint of the phase, Observe walks the structure and
@@ -27,6 +31,11 @@ type Observer struct {
 	// anywhere in the subtree, and for list edges, whether one was
 	// observed at a non-final position.
 	edges map[string]*edgeObs
+	// bagDirty records classes reported dirty positionlessly, through
+	// ObserveDirty's bag of objects rather than a walk. A bag observation
+	// carries no per-edge facts, so every edge whose subtree can reach a
+	// bag-dirty class loses its edge-level claims.
+	bagDirty map[string]bool
 
 	observations int
 }
@@ -50,6 +59,7 @@ func NewObserver(cat *Catalog, root string) (*Observer, error) {
 		root:       root,
 		classDirty: make(map[string]bool),
 		edges:      make(map[string]*edgeObs),
+		bagDirty:   make(map[string]bool),
 	}, nil
 }
 
@@ -67,6 +77,33 @@ func (o *Observer) Observe(root any) error {
 
 // Observations returns the number of Observe calls so far.
 func (o *Observer) Observations() int { return o.observations }
+
+// ObserveDirty records a bag of dirty objects — typically a mark-queue
+// drain (ckpt.Tracker.Take) — as one observation. Where Observe walks the
+// structure before a checkpoint, ObserveDirty piggybacks on the dirty index
+// the program already maintains: the tracker is a free profiler, and the
+// dirty set it hands each epoch is exactly "which classes were modified
+// this phase".
+//
+// A bag carries no positions, so the observation is conservatively
+// positionless: each object dirties its class, and every edge whose subtree
+// can reach that class loses its edge-level claims (ChildUnmodified,
+// LastElementOnly) in the emitted pattern — a bag can never make the
+// inferred pattern stronger than a walk would have. Objects whose type id
+// has no catalog class return ErrClass.
+func (o *Observer) ObserveDirty(objs ...ckpt.Checkpointable) error {
+	o.observations++
+	for _, obj := range objs {
+		cl := o.cat.ClassByTypeID(obj.CheckpointTypeID())
+		if cl == nil {
+			return fmt.Errorf("%w: no catalog class for type id %d (%T)",
+				ErrClass, obj.CheckpointTypeID(), obj)
+		}
+		o.classDirty[cl.Name] = true
+		o.bagDirty[cl.Name] = true
+	}
+	return nil
+}
 
 // visit walks an object; it reports whether the object's subtree contained
 // any dirty object.
@@ -162,6 +199,12 @@ func (o *Observer) Pattern(name string) *Pattern {
 		}
 	}
 	for key, eo := range o.edges {
+		if o.edgeReachesBagDirty(key) {
+			// A positionless (ObserveDirty) observation dirtied a class
+			// this edge can reach; without positions, no edge-level claim
+			// is sound.
+			continue
+		}
 		switch {
 		case !eo.dirtySubtree:
 			// Only worth declaring if the subtree's classes are not
@@ -180,6 +223,20 @@ func (o *Observer) Pattern(name string) *Pattern {
 // edgeSubtreeHasDirtyClass reports whether any class reachable through the
 // edge was observed dirty (somewhere else in the structure).
 func (o *Observer) edgeSubtreeHasDirtyClass(key string) bool {
+	return o.edgeReaches(key, o.classDirty)
+}
+
+// edgeReachesBagDirty reports whether any class reachable through the edge
+// was dirtied by a positionless ObserveDirty observation.
+func (o *Observer) edgeReachesBagDirty(key string) bool {
+	if len(o.bagDirty) == 0 {
+		return false
+	}
+	return o.edgeReaches(key, o.bagDirty)
+}
+
+// edgeReaches reports whether a class in hit is reachable through the edge.
+func (o *Observer) edgeReaches(key string, hit map[string]bool) bool {
 	class, child, ok := splitEdge(key)
 	if !ok {
 		return false
@@ -196,7 +253,7 @@ func (o *Observer) edgeSubtreeHasDirtyClass(key string) bool {
 			return false
 		}
 		seen[name] = true
-		if o.classDirty[name] {
+		if hit[name] {
 			return true
 		}
 		for _, sub := range o.cat.Class(name).Children {

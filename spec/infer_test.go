@@ -143,6 +143,146 @@ func TestInferredPatternDetectsBehaviourChange(t *testing.T) {
 	}
 }
 
+func TestObserverZeroObservations(t *testing.T) {
+	// With nothing observed, the strongest consistent pattern declares
+	// every class unmodified and needs no edge claims. It must still
+	// compile: the all-unmodified plan is the legitimate "nothing changed
+	// this phase" specialization.
+	cat := catalog(t)
+	obs, err := spec.NewObserver(cat, "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := obs.Pattern("empty")
+	if obs.Observations() != 0 {
+		t.Errorf("Observations = %d, want 0", obs.Observations())
+	}
+	for _, cn := range []string{"Root", "Elem", "Meta"} {
+		if pat.Classes[cn] != spec.ClassUnmodified {
+			t.Errorf("class %s not declared unmodified with zero observations", cn)
+		}
+	}
+	if len(pat.Children) != 0 {
+		t.Errorf("zero observations produced edge claims: %v", pat.Children)
+	}
+	if _, err := spec.Compile(cat, "Root", pat, spec.WithVerify()); err != nil {
+		t.Errorf("Compile(zero-observation pattern): %v", err)
+	}
+}
+
+func TestObserverBothListsFinalOnly(t *testing.T) {
+	// A phase that dirties only the final element of each list: both edges
+	// earn LastElementOnly, the strongest positional claim.
+	cat := catalog(t)
+	obs, err := spec.NewObserver(cat, "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ckpt.NewDomain()
+	r := build(d, 3, 3)
+	observeTwice(t, obs, r, func(r *root) {
+		for _, head := range []*elem{r.A, r.B} {
+			last := head
+			for last.Next != nil {
+				last = last.Next
+			}
+			last.V1--
+			last.Info.SetModified()
+		}
+	})
+	pat := obs.Pattern("finals")
+	if pat.Children["Root.A"] != spec.LastElementOnly || pat.Children["Root.B"] != spec.LastElementOnly {
+		t.Errorf("list edges = %v, want LastElementOnly on both", pat.Children)
+	}
+	p, err := spec.Compile(cat, "Root", pat, spec.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().LastOnlyLists != 2 {
+		t.Errorf("LastOnlyLists = %d, want 2", p.Stats().LastOnlyLists)
+	}
+}
+
+func TestObserverReobservationAfterWatchRearm(t *testing.T) {
+	// A profile taken by walking (Observe) claims Root.A is last-only.
+	// The phase then evolves: after a Tracker Watch re-arm, a non-final
+	// element is dirtied and re-observed through the mark-queue drain
+	// (ObserveDirty). The positionless evidence must dissolve the stale
+	// positional claim regardless of observation order — the bag carries no
+	// positions, so no edge reaching Elem may keep an edge-level claim.
+	cat := catalog(t)
+	obs, err := spec.NewObserver(cat, "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ckpt.NewDomain()
+	r := build(d, 3, 3)
+	observeTwice(t, obs, r, func(r *root) {
+		last := r.A
+		for last.Next != nil {
+			last = last.Next
+		}
+		last.V0++
+		last.Info.SetModified()
+	})
+	if pat := obs.Pattern("walkOnly"); pat.Children["Root.A"] != spec.LastElementOnly {
+		t.Fatalf("walk profile = %v, want Root.A last-only before re-arm", pat.Children)
+	}
+
+	tr := ckpt.NewTracker()
+	d.AttachTracker(tr)
+	if err := tr.Watch(r); err != nil {
+		t.Fatal(err)
+	}
+	r.A.V0++ // head of A: a non-final position
+	r.A.Info.Mark()
+	dirty := tr.Take()
+	if len(dirty) != 1 {
+		t.Fatalf("Take = %d objects, want 1", len(dirty))
+	}
+	if err := obs.ObserveDirty(dirty...); err != nil {
+		t.Fatal(err)
+	}
+
+	pat := obs.Pattern("rearmed")
+	if obs.Observations() != 3 {
+		t.Errorf("Observations = %d, want 3", obs.Observations())
+	}
+	if _, claimed := pat.Children["Root.A"]; claimed {
+		t.Errorf("stale last-only claim survived positionless re-observation: %v", pat.Children)
+	}
+	if len(pat.Children) != 0 {
+		t.Errorf("edge claims through bag-dirty classes survived: %v", pat.Children)
+	}
+	if _, ok := pat.Classes["Elem"]; ok {
+		t.Error("Elem wrongly declared unmodified after dirty observation")
+	}
+	for _, cn := range []string{"Root", "Meta"} {
+		if pat.Classes[cn] != spec.ClassUnmodified {
+			t.Errorf("class %s lost its unmodified claim", cn)
+		}
+	}
+
+	// The weakened pattern must capture the evolved behaviour byte-exactly.
+	mutate := func(r *root) {
+		r.A.V0++
+		r.A.Info.SetModified()
+	}
+	r1, r2 := twin(t, 3, 3, mutate)
+	want, _ := genericBody(t, r1, ckpt.Incremental)
+	p, err := spec.Compile(cat, "Root", pat, spec.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := planBody(t, p, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("re-armed pattern plan body differs from generic body")
+	}
+}
+
 func TestObserverUnknownRoot(t *testing.T) {
 	if _, err := spec.NewObserver(catalog(t), "Nope"); !errors.Is(err, spec.ErrClass) {
 		t.Errorf("NewObserver = %v, want ErrClass", err)
