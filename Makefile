@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short bench-dirty generate check-generated infer infer-check faultcheck difftest fuzz-smoke experiments examples clean
+.PHONY: all build test lint race cover bench bench-short bench-dirty generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -69,6 +69,15 @@ faultcheck:
 # parallel, byte-level and rebuild-level (see internal/difftest).
 difftest:
 	$(GO) test -count=1 -v -run 'TestDifferential' ./internal/difftest/
+
+# Time-travel suite: rewind equivalence for every trace x engine x strategy
+# (RewindTo(e) byte-identical to the live state at epoch e, before and after
+# retention), the retention/rewind unit and fault sweeps (post-rename
+# Compact faults, retention crash sweep, aborted-epoch skipping), and the
+# harness sweep's O(log T) retained-storage bound.
+rewind-check:
+	$(GO) test -count=1 -run 'TestRewind|TestRetain|TestCompact|TestRecoverRejectsIncoherent|TestValidateRun|TestEpochIndex|TestApplyRunAtomic|TestCrashSweepRetain|TestVerifyIncoherentChain' ./internal/difftest/ ./stablelog/ ./ckpt/ ./cmd/ckptinspect/
+	$(GO) test -count=1 -run 'TestRewindSweep' ./internal/harness/
 
 # Short coverage-guided fuzzing of the wire decoder, the checkpoint body
 # decoder, and the rebuilder (go test -fuzz runs one target at a time).

@@ -90,6 +90,38 @@ func (rb *Rebuilder) Apply(body []byte) error {
 	return nil
 }
 
+// ApplyRun folds a sequence of checkpoint bodies into the rebuilder as one
+// atomic unit: either every body applies, or the rebuilder is left exactly as
+// it was. It is the replay primitive behind stablelog's rewind — a chain read
+// from a retained log must never leave the rebuilder half-rewound when a
+// later body turns out to be unreadable or corrupt.
+//
+// The bodies are staged into a scratch rebuilder (starting empty when the
+// first body is Full, since a full checkpoint resets the state anyway) and
+// swapped in only after the last one applies. An empty run is a no-op.
+func (rb *Rebuilder) ApplyRun(bodies [][]byte) error {
+	if len(bodies) == 0 {
+		return nil
+	}
+	scratch := &Rebuilder{reg: rb.reg, latest: make(map[uint64]record)}
+	if h, err := parseBodyHeader(wire.NewDecoder(bodies[0])); err != nil || h.mode != Full {
+		// The run extends the current state rather than replacing it: stage
+		// onto a copy so partial failure cannot leak into rb.
+		for id, rec := range rb.latest {
+			scratch.latest[id] = rec
+		}
+		scratch.bodies = append([][]byte(nil), rb.bodies...)
+		scratch.maxID, scratch.seen = rb.maxID, rb.seen
+	}
+	for i, b := range bodies {
+		if err := scratch.Apply(b); err != nil {
+			return fmt.Errorf("apply body %d of %d: %w", i+1, len(bodies), err)
+		}
+	}
+	*rb = *scratch
+	return nil
+}
+
 // Objects returns the number of distinct object ids currently known.
 func (rb *Rebuilder) Objects() int { return len(rb.latest) }
 

@@ -65,3 +65,96 @@ func TestApplyCorruptBodyIsAtomic(t *testing.T) {
 		t.Errorf("head.x = %d, want 99 (incremental applied)", head.x)
 	}
 }
+
+// TestApplyRunAtomic: ApplyRun is all-or-nothing over a whole chain — the
+// replay primitive behind stablelog's rewind. A failure at any position
+// (including after earlier bodies already staged) must leave the rebuilder
+// exactly as it was, and a successful full-anchored run must replace the
+// prior state wholesale.
+func TestApplyRunAtomic(t *testing.T) {
+	d := ckpt.NewDomain()
+	w := ckpt.NewWriter()
+	b := buildChain(d, 3)
+	full, _ := checkpointBody(t, w, ckpt.Full, b)
+
+	mutate := func(x int64) []byte {
+		b.head.x = x
+		b.head.CheckpointInfo().SetModified()
+		body, _ := checkpointBody(t, w, ckpt.Incremental, b)
+		return body
+	}
+	incr1, incr2 := mutate(41), mutate(42)
+
+	// Seed a rebuilder with an older generation.
+	rb := ckpt.NewRebuilder(testRegistry(t))
+	if err := rb.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Apply(incr1); err != nil {
+		t.Fatal(err)
+	}
+	want := rb.Objects()
+
+	// A run whose last body is torn must change nothing, even though the
+	// full and the first incremental staged fine.
+	err := rb.ApplyRun([][]byte{full, incr1, incr2[:len(incr2)-1]})
+	if !errors.Is(err, ckpt.ErrBadBody) {
+		t.Fatalf("torn run ApplyRun = %v, want ErrBadBody", err)
+	}
+	if got := rb.Objects(); got != want {
+		t.Errorf("objects after failed run = %d, want %d", got, want)
+	}
+	objs, err := rb.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head := objs[b.head.CheckpointInfo().ID()].(*point); head.x != 41 {
+		t.Errorf("head.x = %d after failed run, want 41 (state leaked)", head.x)
+	}
+
+	// The intact run replaces the state wholesale.
+	if err := rb.ApplyRun([][]byte{full, incr1, incr2}); err != nil {
+		t.Fatalf("intact ApplyRun: %v", err)
+	}
+	objs, err = rb.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head := objs[b.head.CheckpointInfo().ID()].(*point); head.x != 42 {
+		t.Errorf("head.x = %d, want 42", head.x)
+	}
+
+	// An incremental-first run on a fresh rebuilder is rejected up front.
+	fresh := ckpt.NewRebuilder(testRegistry(t))
+	if err := fresh.ApplyRun([][]byte{incr1}); !errors.Is(err, ckpt.ErrBadBody) {
+		t.Fatalf("incremental-first run = %v, want ErrBadBody", err)
+	}
+	if fresh.Objects() != 0 {
+		t.Error("failed run populated a fresh rebuilder")
+	}
+
+	// An incremental run extending existing state applies without
+	// disturbing it on failure.
+	ext := ckpt.NewRebuilder(testRegistry(t))
+	if err := ext.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.ApplyRun([][]byte{incr1, incr2[:len(incr2)-1]}); !errors.Is(err, ckpt.ErrBadBody) {
+		t.Fatalf("torn extension run = %v, want ErrBadBody", err)
+	}
+	objs, err = ext.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head := objs[b.head.CheckpointInfo().ID()].(*point); head.x != 0 {
+		t.Errorf("head.x = %d after failed extension, want 0", head.x)
+	}
+	if err := ext.ApplyRun([][]byte{incr1, incr2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty run is a no-op.
+	if err := ext.ApplyRun(nil); err != nil {
+		t.Fatalf("empty ApplyRun = %v", err)
+	}
+}

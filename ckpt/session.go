@@ -384,3 +384,10 @@ func (x *RootIndex) Object(id uint64) Checkpointable { return x.objs[id] }
 
 // Len returns the number of indexed objects.
 func (x *RootIndex) Len() int { return len(x.objs) }
+
+// Each calls fn for every indexed object, in unspecified order.
+func (x *RootIndex) Each(fn func(id uint64, o Checkpointable)) {
+	for id, o := range x.objs {
+		fn(id, o)
+	}
+}

@@ -2,9 +2,9 @@
 //
 // Usage:
 //
-//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset]
+//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind]
 //	          [-n STRUCTURES] [-scale N] [-reps R] [-warmup W] [-seed S]
-//	          [-csv DIR] [-parallel WORKERS] [-shards N]
+//	          [-csv DIR] [-parallel WORKERS] [-shards N] [-rewind]
 //
 // The parallel experiment measures the sharded parallel fold (ckpt/parfold)
 // against the sequential writer across a worker grid, and writes the result
@@ -15,6 +15,11 @@
 // The dirtyset experiment sweeps modification density (0.1%..100%) and
 // measures the O(dirty) mark-queue fold against the incremental traversal,
 // writing BENCH_dirtyset.json.
+//
+// The rewind experiment (also reachable as -rewind) checkpoints an editor
+// undo/redo history into a stablelog at several history lengths, ages it
+// with the binomial retention schedule, and measures RewindTo at several
+// distances from the head, writing BENCH_rewind.json.
 //
 // Each experiment prints a table whose rows mirror the corresponding paper
 // result; with -csv the tables are also written as CSV files.
@@ -42,8 +47,12 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		parallel   = flag.Int("parallel", 0, "run synthetic experiments through the parallel fold with this many workers (0 = sequential)")
 		shards     = flag.Int("shards", 0, "shard count for the parallel fold (0 = 4x workers)")
+		rewind     = flag.Bool("rewind", false, "shorthand for -experiment rewind")
 	)
 	flag.Parse()
+	if *rewind {
+		*experiment = "rewind"
+	}
 
 	opts := harness.Options{
 		Structures:  *structures,
@@ -88,6 +97,16 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			}
 			return tbl, nil
 		}},
+		"rewind": {func() (*harness.Table, error) {
+			tbl, rep, err := harness.RewindSweep(opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeJSON("BENCH_rewind.json", rep); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}},
 		"table1":         {func() (*harness.Table, error) { return harness.Table1For(aw, scale) }},
 		"table1-profile": {func() (*harness.Table, error) { return harness.Table1ProfileFor(aw, scale) }},
 		"table2":         {func() (*harness.Table, error) { return harness.Table2(opts) }},
@@ -104,7 +123,7 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			func() (*harness.Table, error) { return harness.AblationAsync(opts) },
 		},
 	}
-	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset"}
+	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind"}
 
 	var selected []experimentFn
 	if experiment == "all" {

@@ -10,9 +10,11 @@
 // type names; with -diff it compares the object records of two segments.
 //
 // With -verify it instead checks the log end-to-end — framing, checksums,
-// body structure, and that the recovery run applies cleanly — distinguishes
-// a torn tail from mid-log corruption, and flags a stale compaction temp
-// file. It exits non-zero if the log is not fully intact.
+// body structure, chain coherence (strictly increasing epochs and
+// full-anchored runs, over the whole retained chain), and that the recovery
+// run applies cleanly — distinguishes a torn tail from mid-log corruption,
+// flags a stale compaction temp file, and prints the rewindable epoch
+// catalog. It exits non-zero if the log is not fully intact.
 package main
 
 import (
@@ -194,6 +196,20 @@ func verifyLog(path string) error {
 	run, err := log.RecoveryRun()
 	if err != nil {
 		return fmt.Errorf("no usable recovery run: %w", err)
+	}
+	if err := stablelog.ValidateRun(run); err != nil {
+		return fmt.Errorf("incoherent recovery run: %w", err)
+	}
+	// The epoch index validates the whole retained chain (strictly
+	// increasing epochs, full-anchored runs), not just the latest run — an
+	// incoherent older chain would poison RewindTo even when Recover works.
+	idx, err := log.EpochIndex()
+	if err != nil {
+		return fmt.Errorf("incoherent segment chain: %w", err)
+	}
+	if epochs := idx.Epochs(); len(epochs) > 0 {
+		fmt.Printf("  epoch catalog: %d rewindable epochs (%d..%d)\n",
+			len(epochs), epochs[0], epochs[len(epochs)-1])
 	}
 	rb := ckpt.NewRebuilder(ckpt.NewRegistry())
 	if err := log.Recover(rb); err != nil {

@@ -133,6 +133,35 @@ func TestVerifyTornTail(t *testing.T) {
 	}
 }
 
+// TestVerifyIncoherentChain appends an incremental whose epoch runs
+// backwards from its anchoring full: framing and checksums are fine, but the
+// chain is incoherent and -verify must reject it.
+func TestVerifyIncoherentChain(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "incoherent.log")
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := ckpt.NewWriter()
+	add := func(mode ckpt.Mode, epoch uint64) {
+		wr.Start(mode)
+		body, _, err := wr.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lg.Append(mode, epoch, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(ckpt.Full, 5)
+	add(ckpt.Incremental, 3)
+	lg.Close()
+	if err := verifyLog(path); err == nil {
+		t.Error("verify accepted an incoherent epoch chain")
+	}
+}
+
 func TestVerifyNoFullCheckpoint(t *testing.T) {
 	silence(t)
 	path := filepath.Join(t.TempDir(), "nofull.log")

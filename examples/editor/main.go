@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -167,7 +168,8 @@ func run(dir string) error {
 	fmt.Printf("session 1: base checkpoint (%d objects, %d bytes)\n", stats.Recorded, stats.Bytes)
 
 	// Editing loop: each tick mutates a couple of paragraphs through
-	// Cells and takes an incremental checkpoint.
+	// Cells and takes an incremental checkpoint; every fourth tick takes a
+	// full one, anchoring a new chain the rewind session can start from.
 	rng := rand.New(rand.NewSource(2))
 	for tick := 1; tick <= 8; tick++ {
 		n := 0
@@ -180,7 +182,11 @@ func run(dir string) error {
 		}
 		doc.Edits.Set(&doc.Info, doc.Edits.V+int64(n))
 
-		w.Start(ckpt.Incremental)
+		mode := ckpt.Incremental
+		if tick%4 == 0 {
+			mode = ckpt.Full
+		}
+		w.Start(mode)
 		if err := w.Checkpoint(doc); err != nil {
 			return err
 		}
@@ -188,11 +194,11 @@ func run(dir string) error {
 		if err != nil {
 			return err
 		}
-		if err := async.Append(ckpt.Incremental, w.Epoch(), body); err != nil {
+		if err := async.Append(mode, w.Epoch(), body); err != nil {
 			return err
 		}
-		fmt.Printf("  tick %d: edited %d paragraphs, recorded %d objects (%d bytes)\n",
-			tick, n, stats.Recorded, stats.Bytes)
+		fmt.Printf("  tick %d (%v): edited %d paragraphs, recorded %d objects (%d bytes)\n",
+			tick, mode, n, stats.Recorded, stats.Bytes)
 	}
 	if err := async.Close(); err != nil {
 		return err
@@ -244,6 +250,64 @@ func run(dir string) error {
 	}
 	fmt.Printf("recovery verified (live edits=%d, restored edits=%d; new ids resume after %d)\n",
 		doc.Edits.V, restored.Edits.V, domain2.Last())
+
+	// ---- Session 3: time travel. ----
+	// The log holds every surviving epoch, so the editor can offer undo at
+	// the persistence layer: rewind to a mid-history epoch and materialize
+	// the document exactly as it was then.
+	idx, err := lg2.EpochIndex()
+	if err != nil {
+		return err
+	}
+	epochs := idx.Epochs()
+	mid := epochs[len(epochs)/2]
+	rb3 := ckpt.NewRebuilder(registry())
+	rstats, err := lg2.RewindTo(rb3, mid)
+	if err != nil {
+		return err
+	}
+	objs3, err := rb3.Build(ckpt.NewDomain())
+	if err != nil {
+		return err
+	}
+	undone := objs3[doc.Info.ID()].(*document)
+	fmt.Printf("session 3: rewound to epoch %d of %d — %q at %d edits (replayed %d segments, %d bytes, from full at epoch %d)\n",
+		mid, epochs[len(epochs)-1], undone.Title.V, undone.Edits.V, rstats.Segments, rstats.Bytes, rstats.BaseEpoch)
+	if undone.Edits.V > restored.Edits.V {
+		return fmt.Errorf("rewind went forward: epoch %d has %d edits, head has %d",
+			mid, undone.Edits.V, restored.Edits.V)
+	}
+
+	// Age the history with binomial retention: recent epochs stay dense,
+	// older ones thin to one full (plus a short incremental tail) per
+	// power-of-two age bucket — O(log T) storage for a length-T history.
+	if err := lg2.Retain(stablelog.Binomial{Window: 2, Tail: 1}); err != nil {
+		return err
+	}
+	idx, err = lg2.EpochIndex()
+	if err != nil {
+		return err
+	}
+	retained := idx.Epochs()
+	fmt.Printf("after retention: %d of %d epochs remain %v\n", len(retained), len(epochs), retained)
+
+	kept := make(map[uint64]bool, len(retained))
+	for _, e := range retained {
+		kept[e] = true
+	}
+	for _, e := range epochs {
+		if kept[e] {
+			continue
+		}
+		// An aged-out epoch fails with its nearest retained neighbors — the
+		// undo UI snaps to one of those instead.
+		if _, err := lg2.RewindTo(rb3, e); !errors.Is(err, stablelog.ErrEpochUnavailable) {
+			return fmt.Errorf("rewind to dropped epoch %d: got %v, want ErrEpochUnavailable", e, err)
+		} else {
+			fmt.Printf("epoch %d aged out: %v\n", e, err)
+		}
+		break
+	}
 	return nil
 }
 

@@ -142,6 +142,16 @@ func (e EngineSpec) dirtyEmit(phase string) ckpt.EmitOne {
 	return nil
 }
 
+// engine returns the population's EngineSpec with the given name, or nil.
+func (pop *Population) engine(name string) *EngineSpec {
+	for i := range pop.Engines {
+		if pop.Engines[i].Name == name {
+			return &pop.Engines[i]
+		}
+	}
+	return nil
+}
+
 // Replay builds the trace's population and replays it under one engine and
 // strategy. It returns the checkpoint bodies in trace order (copied) and the
 // final population, for rebuild-equivalence checks against the live graph.
@@ -150,13 +160,7 @@ func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: build: %w", tr.Name, err)
 	}
-	var eng *EngineSpec
-	for i := range pop.Engines {
-		if pop.Engines[i].Name == engine {
-			eng = &pop.Engines[i]
-			break
-		}
-	}
+	eng := pop.engine(engine)
 	if eng == nil {
 		return nil, nil, fmt.Errorf("%s: no engine %q", tr.Name, engine)
 	}
@@ -166,18 +170,24 @@ func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error)
 
 	var bodies [][]byte
 	var epoch uint64
-	var take Take
+	take := newTake(pop, eng, st, roots, &epoch, &bodies)
+	if err := pop.Replay(take); err != nil {
+		return nil, nil, fmt.Errorf("%s/%s/%s: replay: %w", tr.Name, engine, st.Name, err)
+	}
+	return bodies, pop, nil
+}
+
+// newTake builds the Take for one engine x strategy, appending a copy of
+// every produced body to *bodies. Extracted from Replay so rewind replays
+// (see rewind.go) can wrap the take with per-epoch live-state capture.
+func newTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Checkpointable, epoch *uint64, bodies *[][]byte) Take {
 	if st.Dirty {
-		take, bodiesRef := dirtyTake(pop, eng, st, roots, &epoch)
-		if err := pop.Replay(take); err != nil {
-			return nil, nil, fmt.Errorf("%s/%s/%s: replay: %w", tr.Name, engine, st.Name, err)
-		}
-		return *bodiesRef, pop, nil
+		return dirtyTake(pop, eng, st, roots, epoch, bodies)
 	}
 	if st.Workers <= 0 {
 		wr := ckpt.NewWriter()
-		take = func(mode ckpt.Mode, phase string) error {
-			epoch++
+		return func(mode ckpt.Mode, phase string) error {
+			*epoch++
 			fold := eng.factory(mode, phase)()
 			wr.Start(mode)
 			for _, r := range roots {
@@ -189,26 +199,21 @@ func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error)
 			if err != nil {
 				return err
 			}
-			bodies = append(bodies, append([]byte(nil), body...))
-			return nil
-		}
-	} else {
-		take = func(mode ckpt.Mode, phase string) error {
-			epoch++
-			folder := parfold.New(eng.factory(mode, phase),
-				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
-			body, _, err := folder.FoldAt(mode, epoch, roots)
-			if err != nil {
-				return err
-			}
-			bodies = append(bodies, append([]byte(nil), body...))
+			*bodies = append(*bodies, append([]byte(nil), body...))
 			return nil
 		}
 	}
-	if err := pop.Replay(take); err != nil {
-		return nil, nil, fmt.Errorf("%s/%s/%s: replay: %w", tr.Name, engine, st.Name, err)
+	return func(mode ckpt.Mode, phase string) error {
+		*epoch++
+		folder := parfold.New(eng.factory(mode, phase),
+			parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+		body, _, err := folder.FoldAt(mode, *epoch, roots)
+		if err != nil {
+			return err
+		}
+		*bodies = append(*bodies, append([]byte(nil), body...))
+		return nil
 	}
-	return bodies, pop, nil
 }
 
 // dirtyTake builds the Take for a dirty strategy: a tracker watches the
@@ -217,8 +222,7 @@ func Replay(tr Trace, engine string, st Strategy) ([][]byte, *Population, error)
 // checkpoints — the trace's own base takes plus any Tracker.NextMode
 // degradation upgrade — fall back to the engine's traversal fold, followed
 // by a re-Watch that rebuilds the view.
-func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Checkpointable, epoch *uint64) (Take, *[][]byte) {
-	bodies := new([][]byte)
+func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Checkpointable, epoch *uint64, bodies *[][]byte) Take {
 	trk := ckpt.NewTracker()
 	if pop.Domain != nil {
 		pop.Domain.AttachTracker(trk)
@@ -289,7 +293,7 @@ func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Check
 		*bodies = append(*bodies, append([]byte(nil), body...))
 		return nil
 	}
-	return take, bodies
+	return take
 }
 
 // RunDiff replays tr through every engine x strategy combination and asserts
@@ -373,18 +377,7 @@ func RebuildDump(reg *ckpt.Registry, bodies [][]byte) ([]byte, error) {
 			return nil, fmt.Errorf("apply body %d: %w", i, err)
 		}
 	}
-	objs, err := rb.Build(ckpt.NewDomain())
-	if err != nil {
-		return nil, err
-	}
-	dump := make(map[uint64]dumpRec, len(objs))
-	var e wire.Encoder
-	for id, o := range objs {
-		e.Reset()
-		o.Record(&e)
-		dump[id] = dumpRec{typeID: o.CheckpointTypeID(), payload: append([]byte(nil), e.Bytes()...)}
-	}
-	return canonical(dump), nil
+	return rebuilderDump(rb)
 }
 
 // LiveDump captures the population's current object graph as a canonical

@@ -1,0 +1,210 @@
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/faultfs"
+	"ickpt/internal/synth"
+	"ickpt/stablelog"
+)
+
+// rewindTraces is the rewind-equivalence suite: the undo/redo showcase (full
+// checkpoints every 4 rounds, so retention has real chains to age out), the
+// plain editor trace (a single base full — chain closure must retain the
+// whole history), and a synthetic trace for a non-editor population.
+func rewindTraces() []Trace {
+	return []Trace{
+		EditorUndoTrace(4, 5, 12, 4, 21),
+		EditorTrace(4, 4, 5, 13),
+		SynthTrace(
+			synth.Shape{Structures: 16, ListLen: 4, Kind: synth.Ints1},
+			synth.ModPattern{Percent: 50, ModifiableLists: 3}, 4, 7),
+	}
+}
+
+// TestRewindEquivalence is the time-travel matrix from the issue: for every
+// trace x engine x strategy, RewindTo(e) rebuilds a state byte-identical to
+// the live population at epoch e — for every epoch, and again for every
+// retained epoch after a binomial retention pass.
+func TestRewindEquivalence(t *testing.T) {
+	for _, tr := range rewindTraces() {
+		t.Run(tr.Name, func(t *testing.T) {
+			RunRewind(t, tr)
+		})
+	}
+}
+
+// TestRewindReadFaultLeavesRebuilderUnchanged sweeps a read fault over every
+// read a chain replay performs: each failing position must surface ErrIO and
+// leave the rebuilder exactly as it was, and the next attempt must succeed.
+func TestRewindReadFaultLeavesRebuilderUnchanged(t *testing.T) {
+	tr := EditorUndoTrace(3, 4, 10, 4, 5)
+	bodies, states, pop, err := ReplayStates(tr, "virtual", Strategies[0])
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("rewind.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatalf("create log: %v", err)
+	}
+	defer l.Close()
+	if err := appendBodies(l, bodies); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: rewind to an early epoch, so the faulted attempts below have
+	// real state to corrupt if they were not atomic.
+	rb := ckpt.NewRebuilder(pop.Registry)
+	base := uint64(2)
+	if _, err := l.RewindTo(rb, base); err != nil {
+		t.Fatalf("baseline rewind: %v", err)
+	}
+	baseline, err := rebuilderDump(rb)
+	if err != nil {
+		t.Fatalf("baseline dump: %v", err)
+	}
+	if !bytes.Equal(baseline, states[base-1]) {
+		t.Fatalf("baseline state differs from live state at epoch %d", base)
+	}
+
+	// Target an epoch whose chain spans a full plus several incrementals.
+	target := uint64(len(bodies) - 1)
+	faulted := 0
+	for countdown := 1; ; countdown++ {
+		if countdown > 1000 {
+			t.Fatal("read-fault sweep did not terminate")
+		}
+		m.FailRead(countdown, syscall.EIO)
+		_, err := l.RewindTo(rb, target)
+		if err == nil {
+			break // countdown outlived the replay's reads: fault never fired
+		}
+		faulted++
+		if !errors.Is(err, stablelog.ErrIO) {
+			t.Fatalf("countdown %d: got %v, want ErrIO", countdown, err)
+		}
+		dump, derr := rebuilderDump(rb)
+		if derr != nil {
+			t.Fatalf("countdown %d: dump after fault: %v", countdown, derr)
+		}
+		if !bytes.Equal(dump, baseline) {
+			t.Fatalf("countdown %d: failed rewind changed the rebuilder", countdown)
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("sweep injected no faults: chain replay performed no reads?")
+	}
+	dump, err := rebuilderDump(rb)
+	if err != nil {
+		t.Fatalf("final dump: %v", err)
+	}
+	if !bytes.Equal(dump, states[target-1]) {
+		t.Fatalf("post-sweep rewind state differs from live state at epoch %d", target)
+	}
+}
+
+// TestRewindSkipsAbortedEpoch is the retention-vs-abort case: a session
+// abort consumes an epoch number without committing a body, so that epoch
+// must never appear in the log, never be a chain link, and RewindTo must
+// report it unavailable with committed neighbors — before and after a
+// retention pass whose boundary lands on it.
+func TestRewindSkipsAbortedEpoch(t *testing.T) {
+	tr := EditorUndoTrace(4, 5, 12, 4, 21)
+	// Step 8 is the round-8 full checkpoint: epochs 1..8 commit, the fault
+	// kills epoch 9 (the would-be retention anchor), the retake commits
+	// epoch 10, and the remaining steps commit 11..13.
+	const failStep = 8
+	res, err := FaultReplay(tr, "virtual", Strategies[0], failStep, FaultSink)
+	if err != nil {
+		t.Fatalf("fault replay: %v", err)
+	}
+	aborted := uint64(failStep + 1)
+
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("rewind.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatalf("create log: %v", err)
+	}
+	defer l.Close()
+	if err := appendBodies(l, res.Bodies); err != nil {
+		t.Fatal(err)
+	}
+
+	latest := func() uint64 {
+		t.Helper()
+		idx, err := l.EpochIndex()
+		if err != nil {
+			t.Fatalf("epoch index: %v", err)
+		}
+		var last uint64
+		for _, e := range idx.Epochs() {
+			if e == aborted {
+				t.Fatalf("aborted epoch %d appears in the epoch index", aborted)
+			}
+			last = e
+		}
+		return last
+	}
+	checkAborted := func(wantBefore, wantAfter uint64) {
+		t.Helper()
+		rb := ckpt.NewRebuilder(res.Pop.Registry)
+		_, err := l.RewindTo(rb, aborted)
+		var ua *stablelog.EpochUnavailableError
+		if !errors.As(err, &ua) {
+			t.Fatalf("RewindTo(%d): got %v, want EpochUnavailableError", aborted, err)
+		}
+		if ua.Before != wantBefore || ua.After != wantAfter {
+			t.Fatalf("RewindTo(%d): neighbors (%d, %d), want (%d, %d)",
+				aborted, ua.Before, ua.After, wantBefore, wantAfter)
+		}
+	}
+
+	if got := latest(); got != aborted+4 {
+		t.Fatalf("latest epoch %d, want %d", got, aborted+4)
+	}
+	checkAborted(aborted-1, aborted+1)
+
+	// Retention with the window boundary on the gap: the aborted epoch must
+	// still be skipped, not resurrected as a chain link.
+	if err := l.Retain(stablelog.Binomial{Window: 2, Tail: 1}); err != nil {
+		t.Fatalf("retain: %v", err)
+	}
+	head := latest()
+	idx, err := l.EpochIndex()
+	if err != nil {
+		t.Fatalf("epoch index: %v", err)
+	}
+	retained := idx.Epochs()
+	var before, after uint64
+	for _, e := range retained {
+		if e < aborted {
+			before = e
+		}
+		if e > aborted && after == 0 {
+			after = e
+		}
+	}
+	checkAborted(before, after)
+
+	// Rewinding to the head of the aged log still matches the live graph.
+	rb := ckpt.NewRebuilder(res.Pop.Registry)
+	if _, err := l.RewindTo(rb, head); err != nil {
+		t.Fatalf("RewindTo(%d): %v", head, err)
+	}
+	dump, err := rebuilderDump(rb)
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	live, err := LiveDump(res.Pop)
+	if err != nil {
+		t.Fatalf("live dump: %v", err)
+	}
+	if !bytes.Equal(dump, live) {
+		t.Fatalf("rewind to head differs from live population after abort+retention")
+	}
+}

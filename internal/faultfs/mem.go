@@ -37,6 +37,10 @@ type Mem struct {
 	readErr        error
 	syncCountdown  int
 	syncErr        error
+	openCountdown  int
+	openErr        error
+	closeCountdown int
+	closeErr       error
 }
 
 type opKind int
@@ -89,6 +93,12 @@ var _ FS = (*Mem)(nil)
 func (m *Mem) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.openCountdown > 0 {
+		m.openCountdown--
+		if m.openCountdown == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: m.openErr}
+		}
+	}
 	ino, exists := m.names[name]
 	switch {
 	case exists && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
@@ -179,6 +189,22 @@ func (m *Mem) FailSync(countdown int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.syncCountdown, m.syncErr = countdown, err
+}
+
+// FailOpen arms a one-shot fault on the countdown-th OpenFile. The namespace
+// is untouched; a retry succeeds.
+func (m *Mem) FailOpen(countdown int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.openCountdown, m.openErr = countdown, err
+}
+
+// FailClose arms a one-shot fault on the countdown-th File.Close. The close
+// still releases the handle (as a real close does even when it errors).
+func (m *Mem) FailClose(countdown int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closeCountdown, m.closeErr = countdown, err
 }
 
 func (m *Mem) injectSync() error {
@@ -432,6 +458,16 @@ func (f *memFile) Sync() error {
 	return nil
 }
 
-func (f *memFile) Close() error { return nil }
+func (f *memFile) Close() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.m.closeCountdown > 0 {
+		f.m.closeCountdown--
+		if f.m.closeCountdown == 0 {
+			return &os.PathError{Op: "close", Path: f.name, Err: f.m.closeErr}
+		}
+	}
+	return nil
+}
 
 func (f *memFile) Name() string { return f.name }

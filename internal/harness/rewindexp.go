@@ -1,0 +1,391 @@
+package harness
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ickpt/ckpt"
+	"ickpt/internal/faultfs"
+	"ickpt/stablelog"
+	"ickpt/wire"
+)
+
+// This file measures the time-travel tentpole: an editor undo/redo history
+// checkpointed into a stablelog, aged with binomial retention, and rewound.
+// The questions the sweep answers are the retention layer's two claims —
+// retained storage grows O(log T) in the history length T while the full log
+// grows O(T), and RewindTo(e) costs one short chain replay (a full plus a
+// bounded incremental suffix), not a replay of the whole history.
+
+// The workload mirrors examples/editor: documents holding linked lists of
+// paragraphs, edited through Cells, with an undo/redo script — the natural
+// consumer of time-travel recovery. It is harness-local because the example
+// is package main and the difftest population lives behind a test harness.
+
+var (
+	typeRewindDoc  = ckpt.TypeIDOf("harness.rewind.document")
+	typeRewindPara = ckpt.TypeIDOf("harness.rewind.paragraph")
+)
+
+type rewindPara struct {
+	Info ckpt.Info
+	Text ckpt.Cell[string]
+	Revs ckpt.Cell[int64]
+	Next *rewindPara
+}
+
+var _ ckpt.Restorable = (*rewindPara)(nil)
+
+func (p *rewindPara) CheckpointInfo() *ckpt.Info    { return &p.Info }
+func (p *rewindPara) CheckpointTypeID() ckpt.TypeID { return typeRewindPara }
+func (p *rewindPara) Record(e *wire.Encoder) {
+	e.String(p.Text.V)
+	e.Varint(p.Revs.V)
+	if p.Next != nil {
+		e.Uvarint(p.Next.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+func (p *rewindPara) Fold(w *ckpt.Writer) error {
+	if p.Next != nil {
+		return w.Checkpoint(p.Next)
+	}
+	return nil
+}
+func (p *rewindPara) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	p.Text.V = d.String()
+	p.Revs.V = d.Varint()
+	next, err := ckpt.ResolveAs[*rewindPara](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	p.Next = next
+	return nil
+}
+
+type rewindDoc struct {
+	Info  ckpt.Info
+	Title ckpt.Cell[string]
+	Edits ckpt.Cell[int64]
+	Head  *rewindPara
+}
+
+var _ ckpt.Restorable = (*rewindDoc)(nil)
+
+func (doc *rewindDoc) CheckpointInfo() *ckpt.Info    { return &doc.Info }
+func (doc *rewindDoc) CheckpointTypeID() ckpt.TypeID { return typeRewindDoc }
+func (doc *rewindDoc) Record(e *wire.Encoder) {
+	e.String(doc.Title.V)
+	e.Varint(doc.Edits.V)
+	if doc.Head != nil {
+		e.Uvarint(doc.Head.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+func (doc *rewindDoc) Fold(w *ckpt.Writer) error {
+	if doc.Head != nil {
+		return w.Checkpoint(doc.Head)
+	}
+	return nil
+}
+func (doc *rewindDoc) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	doc.Title.V = d.String()
+	doc.Edits.V = d.Varint()
+	head, err := ckpt.ResolveAs[*rewindPara](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	doc.Head = head
+	return nil
+}
+
+func rewindRegistry() *ckpt.Registry {
+	reg := ckpt.NewRegistry()
+	reg.MustRegister("harness.rewind.document", func(id uint64) ckpt.Restorable {
+		return &rewindDoc{Info: ckpt.RestoredInfo(id)}
+	})
+	reg.MustRegister("harness.rewind.paragraph", func(id uint64) ckpt.Restorable {
+		return &rewindPara{Info: ckpt.RestoredInfo(id)}
+	})
+	return reg
+}
+
+// rewindEditor is the undo/redo mutation driver: every call to round either
+// edits a document (pushing reversible edits), undoes the newest edits, or
+// redoes undone ones.
+type rewindEditor struct {
+	docs  []*rewindDoc
+	roots []ckpt.Checkpointable
+	rng   *rand.Rand
+	undo  []rewindEdit
+	redo  []rewindEdit
+}
+
+type rewindEdit struct {
+	doc              *rewindDoc
+	p                *rewindPara
+	oldText, newText string
+}
+
+func newRewindEditor(docs, paras int, seed int64) *rewindEditor {
+	ed := &rewindEditor{rng: rand.New(rand.NewSource(seed))}
+	domain := ckpt.NewDomain()
+	for di := 0; di < docs; di++ {
+		doc := &rewindDoc{Info: ckpt.NewInfo(domain)}
+		doc.Title.V = fmt.Sprintf("doc %d", di)
+		for pi := paras - 1; pi >= 0; pi-- {
+			p := &rewindPara{Info: ckpt.NewInfo(domain)}
+			p.Text.V = fmt.Sprintf("d%d p%d", di, pi)
+			p.Next = doc.Head
+			doc.Head = p
+		}
+		ed.docs = append(ed.docs, doc)
+		ed.roots = append(ed.roots, doc)
+	}
+	ckpt.SortRoots(ed.roots)
+	return ed
+}
+
+func (ed *rewindEditor) apply(e rewindEdit, text string) {
+	e.p.Text.Set(&e.p.Info, text)
+	e.p.Revs.Set(&e.p.Info, e.p.Revs.V+1)
+	e.doc.Edits.Set(&e.doc.Info, e.doc.Edits.V+1)
+}
+
+// round performs one editing round before a checkpoint.
+func (ed *rewindEditor) round() {
+	switch action := ed.rng.Intn(4); {
+	case action == 2 && len(ed.undo) > 0:
+		for n := ed.rng.Intn(3) + 1; n > 0 && len(ed.undo) > 0; n-- {
+			e := ed.undo[len(ed.undo)-1]
+			ed.undo = ed.undo[:len(ed.undo)-1]
+			ed.apply(e, e.oldText)
+			ed.redo = append(ed.redo, e)
+		}
+	case action == 3 && len(ed.redo) > 0:
+		for n := ed.rng.Intn(3) + 1; n > 0 && len(ed.redo) > 0; n-- {
+			e := ed.redo[len(ed.redo)-1]
+			ed.redo = ed.redo[:len(ed.redo)-1]
+			ed.apply(e, e.newText)
+			ed.undo = append(ed.undo, e)
+		}
+	default:
+		doc := ed.docs[ed.rng.Intn(len(ed.docs))]
+		for p := doc.Head; p != nil; p = p.Next {
+			if ed.rng.Intn(3) != 0 {
+				continue
+			}
+			e := rewindEdit{doc: doc, p: p, oldText: p.Text.V, newText: p.Text.V + "+"}
+			ed.apply(e, e.newText)
+			ed.undo = append(ed.undo, e)
+		}
+		ed.redo = ed.redo[:0]
+	}
+}
+
+// RewindRow is one (history length, rewind distance) cell of the sweep.
+type RewindRow struct {
+	// History is T: the number of checkpointed editing rounds.
+	History int `json:"history"`
+	// FullEvery is the full-checkpoint cadence of the history.
+	FullEvery int `json:"full_every"`
+	// TotalBytes is the log payload size before retention: the O(T) cost of
+	// keeping everything.
+	TotalBytes int64 `json:"total_bytes"`
+	// RetainedBytes and RetainedEpochs describe the log after the binomial
+	// retention pass: the O(log T) claim under test.
+	RetainedBytes  int64 `json:"retained_bytes"`
+	RetainedEpochs int   `json:"retained_epochs"`
+	// Distance is how far back from the head the rewind targets.
+	Distance int `json:"rewind_distance"`
+	// TargetEpoch is the retained epoch actually rewound to: the nearest
+	// retained epoch at or below head-Distance.
+	TargetEpoch uint64 `json:"target_epoch"`
+	// ReplaySegments and ReplayBytes are the chain RewindTo replayed.
+	ReplaySegments int   `json:"replay_segments"`
+	ReplayBytes    int64 `json:"replay_bytes"`
+	// RewindNs is the median wall time of the rewind.
+	RewindNs float64 `json:"rewind_ns"`
+}
+
+// RewindReport is the machine-readable result of the sweep
+// (BENCH_rewind.json).
+type RewindReport struct {
+	Experiment string      `json:"experiment"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	FullEvery  int         `json:"full_every"`
+	Window     int         `json:"window"`
+	Tail       int         `json:"tail"`
+	Histories  []int       `json:"histories"`
+	Rows       []RewindRow `json:"rows"`
+}
+
+// The sweep grid: history lengths, full-checkpoint cadence, and the
+// retention schedule applied before the rewinds.
+var (
+	rewindHistories = []int{64, 256, 1024}
+	rewindPolicy    = stablelog.Binomial{Window: 16, Tail: 2}
+)
+
+const rewindFullEvery = 16
+
+// RewindEpochBound is the retention-size bound the binomial schedule
+// guarantees for a history of length T: the in-window epochs plus, per
+// power-of-two age bucket, one full and its incremental tail. The harness
+// test asserts every sweep row stays under it — the O(log T) claim.
+func RewindEpochBound(T int) int {
+	buckets := bits.Len64(uint64(T)) + 1
+	return rewindPolicy.Window + rewindFullEvery + buckets*(2+rewindPolicy.Tail)
+}
+
+// RewindSweep runs the editor undo/redo history at each length in the grid,
+// ages it with the binomial schedule, and measures RewindTo at several
+// distances from the head.
+func RewindSweep(opts Options) (*Table, *RewindReport, error) {
+	opts = opts.withDefaults()
+	rep := &RewindReport{
+		Experiment: "rewind",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		FullEvery:  rewindFullEvery,
+		Window:     rewindPolicy.Window,
+		Tail:       rewindPolicy.Tail,
+		Histories:  rewindHistories,
+	}
+	t := &Table{
+		ID:      "rewind",
+		Title:   "Time-travel: binomial retention and RewindTo on an editor undo/redo history",
+		Columns: []string{"history", "distance", "target", "epochs kept", "log (KB)", "kept (KB)", "replay segs", "replay (KB)", "rewind (ms)"},
+		Notes: []string{
+			fmt.Sprintf("full checkpoint every %d rounds; retention Binomial{Window: %d, Tail: %d}",
+				rewindFullEvery, rewindPolicy.Window, rewindPolicy.Tail),
+			"kept bytes grow O(log T) in the history length while the raw log grows O(T)",
+			"target = nearest retained epoch at or below head-distance; replay = one full + its incremental suffix",
+		},
+	}
+
+	reg := rewindRegistry()
+	for _, T := range rewindHistories {
+		ed := newRewindEditor(8, 12, opts.Seed)
+		m := faultfs.NewMem()
+		l, err := stablelog.Create("rewind.bench", stablelog.WithFS(m))
+		if err != nil {
+			return nil, nil, err
+		}
+		wr := ckpt.NewWriter()
+		for e := 1; e <= T; e++ {
+			ed.round()
+			mode := ckpt.Incremental
+			if (e-1)%rewindFullEvery == 0 {
+				mode = ckpt.Full
+			}
+			wr.Start(mode)
+			for _, r := range ed.roots {
+				if err := wr.Checkpoint(r); err != nil {
+					return nil, nil, err
+				}
+			}
+			body, _, err := wr.Finish()
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := l.Append(mode, uint64(e), body); err != nil {
+				return nil, nil, err
+			}
+		}
+		var totalBytes int64
+		for _, seg := range l.Segments() {
+			totalBytes += int64(seg.Length)
+		}
+
+		if err := l.Retain(rewindPolicy); err != nil {
+			return nil, nil, err
+		}
+		var retainedBytes int64
+		for _, seg := range l.Segments() {
+			retainedBytes += int64(seg.Length)
+		}
+		idx, err := l.EpochIndex()
+		if err != nil {
+			return nil, nil, err
+		}
+		epochs := idx.Epochs()
+
+		rb := ckpt.NewRebuilder(reg)
+		for _, dist := range rewindDistances(T) {
+			// The exact epoch head-dist may have aged out; rewind to the
+			// nearest retained epoch at or below it, like an undo UI would.
+			want := uint64(T - dist)
+			var target uint64
+			for _, e := range epochs {
+				if e <= want {
+					target = e
+				}
+			}
+			if target == 0 {
+				// Everything at or below the wanted epoch aged out: rewind
+				// as far back as the log still reaches.
+				target = epochs[0]
+			}
+			var times []float64
+			var stats stablelog.RewindStats
+			for i := 0; i < opts.Warmup+opts.Repetitions; i++ {
+				t0 := time.Now()
+				stats, err = l.RewindTo(rb, target)
+				dt := time.Since(t0)
+				if err != nil {
+					return nil, nil, err
+				}
+				if i >= opts.Warmup {
+					times = append(times, float64(dt.Nanoseconds()))
+				}
+			}
+			row := RewindRow{
+				History:        T,
+				FullEvery:      rewindFullEvery,
+				TotalBytes:     totalBytes,
+				RetainedBytes:  retainedBytes,
+				RetainedEpochs: len(epochs),
+				Distance:       dist,
+				TargetEpoch:    target,
+				ReplaySegments: stats.Segments,
+				ReplayBytes:    stats.Bytes,
+				RewindNs:       median(times),
+			}
+			rep.Rows = append(rep.Rows, row)
+			t.AddRow(
+				fmt.Sprintf("%d", T),
+				fmt.Sprintf("%d", dist),
+				fmt.Sprintf("%d", target),
+				fmt.Sprintf("%d", len(epochs)),
+				fmt.Sprintf("%.1f", float64(totalBytes)/1024),
+				fmt.Sprintf("%.1f", float64(retainedBytes)/1024),
+				fmt.Sprintf("%d", stats.Segments),
+				fmt.Sprintf("%.1f", float64(stats.Bytes)/1024),
+				fmt.Sprintf("%.3f", row.RewindNs/1e6),
+			)
+		}
+		if err := l.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, rep, nil
+}
+
+// rewindDistances picks the rewind targets for a history of length T: one
+// step back, a quarter, half, and (almost) the whole history.
+func rewindDistances(T int) []int {
+	out := []int{1}
+	for _, d := range []int{T / 4, T / 2, T - 1} {
+		if d > out[len(out)-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

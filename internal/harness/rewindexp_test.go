@@ -1,0 +1,64 @@
+package harness_test
+
+import (
+	"testing"
+
+	"ickpt/internal/harness"
+)
+
+// TestRewindSweep runs the time-travel sweep and asserts the retention
+// layer's structural claims: retained epochs stay under the O(log T) bound
+// at every history length, retained bytes shrink against the raw log as T
+// grows, and every rewind replays a bounded chain rather than the history.
+func TestRewindSweep(t *testing.T) {
+	tbl, rep, err := harness.RewindSweep(harness.Options{Repetitions: 2, Warmup: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("empty report")
+	}
+	checkTable(t, tbl, len(rep.Rows))
+
+	perHistory := make(map[int]bool)
+	for _, row := range rep.Rows {
+		perHistory[row.History] = true
+		if bound := harness.RewindEpochBound(row.History); row.RetainedEpochs > bound {
+			t.Errorf("history %d: %d retained epochs exceed the O(log T) bound %d",
+				row.History, row.RetainedEpochs, bound)
+		}
+		if row.RetainedEpochs > 0 && row.RetainedBytes >= row.TotalBytes && row.History > row.FullEvery*2 {
+			t.Errorf("history %d: retention kept everything (%d of %d bytes)",
+				row.History, row.RetainedBytes, row.TotalBytes)
+		}
+		if row.ReplaySegments < 1 || row.ReplaySegments > row.FullEvery {
+			t.Errorf("history %d distance %d: replayed %d segments, want 1..%d (one full + suffix)",
+				row.History, row.Distance, row.ReplaySegments, row.FullEvery)
+		}
+		if row.ReplayBytes <= 0 || row.ReplayBytes > row.RetainedBytes {
+			t.Errorf("history %d distance %d: replay bytes %d outside (0, retained=%d]",
+				row.History, row.Distance, row.ReplayBytes, row.RetainedBytes)
+		}
+		if row.TargetEpoch == 0 || row.TargetEpoch > uint64(row.History) {
+			t.Errorf("history %d distance %d: target epoch %d out of range",
+				row.History, row.Distance, row.TargetEpoch)
+		}
+	}
+	for _, T := range rep.Histories {
+		if !perHistory[T] {
+			t.Errorf("no rows for history %d", T)
+		}
+	}
+
+	// The O(log T) claim as a trend, not just a per-row bound: over a 16x
+	// longer history the retained fraction of the log must shrink by well
+	// over the 2x a merely-linear policy would manage.
+	frac := make(map[int]float64)
+	for _, row := range rep.Rows {
+		frac[row.History] = float64(row.RetainedBytes) / float64(row.TotalBytes)
+	}
+	if f64, f1024 := frac[64], frac[1024]; f64 > 0 && f1024 > f64/2 {
+		t.Errorf("retained fraction fell only from %.3f (T=64) to %.3f (T=1024); want sublinear growth",
+			f64, f1024)
+	}
+}

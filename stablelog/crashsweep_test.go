@@ -371,6 +371,64 @@ func TestCrashSweepCompact(t *testing.T) {
 	runCrashSweep(t, m, possible, acks)
 }
 
+// TestCrashSweepRetain: a binomial retention rewrite must be atomic at every
+// cut — the log is either the full history or the retained one, never a
+// mixture — and durable once Retain returns.
+func TestCrashSweepRetain(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create(sweepLog, stablelog.WithFS(m), stablelog.WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mark("created")
+	// Epochs 1..10, fulls at 1, 4, 7, 10.
+	var payloads [][]byte
+	var modes []ckpt.Mode
+	for e := 1; e <= 10; e++ {
+		payloads = append(payloads, []byte(fmt.Sprintf("body-%d", e)))
+		if (e-1)%3 == 0 {
+			modes = append(modes, ckpt.Full)
+		} else {
+			modes = append(modes, ckpt.Incremental)
+		}
+	}
+	// Binomial{Window: 2, Tail: 0} over epochs 1..10 (head 10): the window
+	// keeps 9-10, closure pulls 8 and its full 7, and one full per age
+	// bucket keeps 7, 4, and 1.
+	retained := [][]byte{payloads[0], payloads[3], payloads[6], payloads[7], payloads[8], payloads[9]}
+	acks := map[string][]crashExpectation{"created": {{}}}
+	for i, p := range payloads {
+		if _, err := l.Append(modes[i], uint64(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("ack-%d", i+1)
+		m.Mark(label)
+		acks[label] = []crashExpectation{crashExpectation(payloads[:i+1]), retained}
+	}
+	if err := l.Retain(stablelog.Binomial{Window: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m.Mark("retained")
+	acks["retained"] = []crashExpectation{retained}
+	if got := len(l.Segments()); got != len(retained) {
+		t.Fatalf("retained %d segments, expectation built for %d", got, len(retained))
+	}
+
+	post := []byte("post-retain-delta")
+	if _, err := l.Append(ckpt.Incremental, 11, post); err != nil {
+		t.Fatal(err)
+	}
+	m.Mark("post")
+	withPost := append(append([][]byte{}, retained...), post)
+	acks["post"] = []crashExpectation{withPost}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	possible := [][][]byte{payloads, withPost}
+	runCrashSweep(t, m, possible, acks)
+}
+
 // TestCrashSweepRecoveryAfterRecovery: a crash during the truncation of a
 // torn tail must itself be recoverable, at every cut point.
 func TestCrashSweepRecoveryAfterRecovery(t *testing.T) {

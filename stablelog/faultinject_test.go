@@ -220,6 +220,189 @@ func TestAppendFailureNoGarbageSuffix(t *testing.T) {
 	}
 }
 
+// --- Post-rename fault sweep ---------------------------------------------
+//
+// Once a Compact/Retain rename has committed, the old inode is unlinked.
+// The commit tail (directory fsync, closing the replaced handle, reopening
+// and rescanning the renamed file) used to bail out on the first error,
+// leaving l.f pointing at the unlinked inode and l.segs stale — subsequent
+// Appends then wrote to a file no future Open would ever see. Each test
+// below faults one post-rename step and asserts the required outcome: the
+// disk is fully post-compaction (the rename already committed), and the
+// in-memory Log either matches it or refuses every further op with
+// ErrWedged.
+
+// newDeadPrefixLog builds [dead-full, live-full, live-delta] on m, so that
+// compaction visibly shrinks the log from 3 segments to 2.
+func newDeadPrefixLog(t *testing.T, m *faultfs.Mem) *stablelog.Log {
+	t.Helper()
+	l, err := stablelog.Create("w.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := [][]byte{[]byte("dead-full"), []byte("live-full"), []byte("live-delta")}
+	modes := []ckpt.Mode{ckpt.Full, ckpt.Full, ckpt.Incremental}
+	for i, b := range bodies {
+		if _, err := l.Append(modes[i], uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// assertDiskCompacted opens m's current view of w.log fresh and asserts it
+// holds exactly the compacted run.
+func assertDiskCompacted(t *testing.T, m *faultfs.Mem) {
+	t.Helper()
+	reopened := faultfs.NewMemFromState(m.Snapshot())
+	lg, err := stablelog.Open("w.log", stablelog.WithFS(reopened))
+	if err != nil {
+		t.Fatalf("fresh Open of post-rename disk: %v", err)
+	}
+	defer lg.Close()
+	if got := len(lg.Segments()); got != 2 {
+		t.Fatalf("disk has %d segments, want the 2 compacted ones", got)
+	}
+	if body, err := lg.Read(1); err != nil || string(body) != "live-full" {
+		t.Errorf("disk Read(1) = %q, %v, want live-full", body, err)
+	}
+}
+
+// TestCompactPostRenameSyncDirFault: a failed directory fsync after the
+// rename is transient — the error surfaces (as ErrIO), but the handle lands
+// on the new file and the log stays fully usable.
+func TestCompactPostRenameSyncDirFault(t *testing.T) {
+	m := faultfs.NewMem()
+	l := newDeadPrefixLog(t, m)
+	defer l.Close()
+
+	// Compact's syncs: tmp Create fsyncs file+dir (1,2), tmp data fsync (3),
+	// tmp Close fsync (4), post-rename SyncDir (5).
+	m.FailSync(5, syscall.EIO)
+	err := l.Compact()
+	if !errors.Is(err, stablelog.ErrIO) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Compact = %v, want ErrIO wrapping EIO", err)
+	}
+	if errors.Is(err, stablelog.ErrWedged) {
+		t.Fatalf("transient dir-fsync fault wedged the log: %v", err)
+	}
+	assertDiskCompacted(t, m)
+	// The in-memory log matches disk and keeps working over the new inode.
+	if got := len(l.Segments()); got != 2 {
+		t.Fatalf("in-memory index has %d segments, want 2", got)
+	}
+	if body, err := l.Read(1); err != nil || string(body) != "live-full" {
+		t.Errorf("Read(1) = %q, %v", body, err)
+	}
+	if _, err := l.Append(ckpt.Incremental, 4, []byte("post-fault")); err != nil {
+		t.Fatalf("Append after recovered fault: %v", err)
+	}
+	// What it appends is visible to a fresh Open — the old unlinked-inode
+	// bug made exactly this invisible.
+	reopened := faultfs.NewMemFromState(m.Snapshot())
+	lg, err := stablelog.Open("w.log", stablelog.WithFS(reopened))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	if body, err := lg.Read(3); err != nil || string(body) != "post-fault" {
+		t.Errorf("appended segment not visible to fresh Open: %q, %v", body, err)
+	}
+}
+
+// TestCompactPostRenameCloseFault: a failed close of the replaced handle is
+// likewise transient — reported, not wedging.
+func TestCompactPostRenameCloseFault(t *testing.T) {
+	m := faultfs.NewMem()
+	l := newDeadPrefixLog(t, m)
+	defer l.Close()
+
+	// Closes during Compact: the tmp log's Close (1), the replaced handle (2).
+	m.FailClose(2, syscall.EIO)
+	err := l.Compact()
+	if !errors.Is(err, stablelog.ErrIO) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Compact = %v, want ErrIO wrapping EIO", err)
+	}
+	if errors.Is(err, stablelog.ErrWedged) {
+		t.Fatalf("close fault wedged the log: %v", err)
+	}
+	assertDiskCompacted(t, m)
+	if _, err := l.Append(ckpt.Incremental, 4, []byte("post-fault")); err != nil {
+		t.Fatalf("Append after recovered fault: %v", err)
+	}
+}
+
+// TestCompactPostRenameReopenFaultWedges: if the renamed file cannot be
+// reopened, there is no valid handle to restore — every later operation
+// must fail with ErrWedged instead of touching the unlinked old inode.
+func TestCompactPostRenameReopenFaultWedges(t *testing.T) {
+	m := faultfs.NewMem()
+	l := newDeadPrefixLog(t, m)
+
+	// Opens during Compact: the tmp Create (1), the post-rename reopen (2).
+	m.FailOpen(2, syscall.EIO)
+	err := l.Compact()
+	if !errors.Is(err, stablelog.ErrWedged) {
+		t.Fatalf("Compact = %v, want ErrWedged", err)
+	}
+	assertWedgedOps(t, l, m)
+}
+
+// TestCompactPostRenameRescanFaultWedges: same contract when the reopen
+// succeeds but rescanning the renamed file fails.
+func TestCompactPostRenameRescanFaultWedges(t *testing.T) {
+	m := faultfs.NewMem()
+	l := newDeadPrefixLog(t, m)
+
+	// Reads during Compact: the two kept payloads (1,2), then the rescan's
+	// file magic (3).
+	m.FailRead(3, syscall.EIO)
+	err := l.Compact()
+	if !errors.Is(err, stablelog.ErrWedged) {
+		t.Fatalf("Compact = %v, want ErrWedged", err)
+	}
+	assertWedgedOps(t, l, m)
+}
+
+// assertWedgedOps: a wedged log refuses every operation with ErrWedged, the
+// disk is fully post-compaction, and a fresh Open of the path works.
+func assertWedgedOps(t *testing.T, l *stablelog.Log, m *faultfs.Mem) {
+	t.Helper()
+	if _, err := l.Append(ckpt.Incremental, 9, []byte("x")); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("Append on wedged log = %v, want ErrWedged", err)
+	}
+	if _, err := l.Read(1); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("Read on wedged log = %v, want ErrWedged", err)
+	}
+	if err := l.Sync(); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("Sync on wedged log = %v, want ErrWedged", err)
+	}
+	if err := l.Compact(); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("Compact on wedged log = %v, want ErrWedged", err)
+	}
+	rb := ckpt.NewRebuilder(ckpt.NewRegistry())
+	if err := l.Recover(rb); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("Recover on wedged log = %v, want ErrWedged", err)
+	}
+	if _, err := l.RewindTo(rb, 2); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("RewindTo on wedged log = %v, want ErrWedged", err)
+	}
+	if err := l.Close(); !errors.Is(err, stablelog.ErrWedged) {
+		t.Errorf("Close on wedged log = %v, want ErrWedged", err)
+	}
+	assertDiskCompacted(t, m)
+	// The path itself is fine: abandoning the wedged handle and reopening
+	// resumes service.
+	lg, err := stablelog.Open("w.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatalf("reopen after wedge: %v", err)
+	}
+	defer lg.Close()
+	if _, err := lg.Append(ckpt.Incremental, 4, []byte("resumed")); err != nil {
+		t.Errorf("Append after reopen: %v", err)
+	}
+}
+
 // TestAppendSyncFailureSurfaced: WithSync must propagate fsync failures.
 func TestAppendSyncFailureSurfaced(t *testing.T) {
 	m := faultfs.NewMem()

@@ -53,6 +53,25 @@ var (
 	ErrNoFull = errors.New("stablelog: no full checkpoint in log")
 	// ErrClosed reports use of a closed log or writer.
 	ErrClosed = errors.New("stablelog: closed")
+	// ErrWedged reports a log whose in-memory handle was lost after a
+	// compaction/retention rename committed: the rewrite is durable on disk,
+	// but reopening or rescanning the renamed file failed, so the old handle
+	// (which points at the unlinked pre-rewrite inode) cannot be used. Every
+	// subsequent operation fails with this error; Close and reopen the path
+	// to continue. Without this guard, an Append after such a failure would
+	// write to an unlinked file no future Open could ever see.
+	ErrWedged = errors.New("stablelog: log handle lost after rewrite; reopen the path")
+	// ErrIncoherent reports a recovery run or rewind chain whose segments do
+	// not form a valid chain: epochs not strictly increasing, an incremental
+	// not anchored to a preceding full, or non-consecutive sequence numbers.
+	// A CRC-valid but hand-edited (or collision-corrupted) history is
+	// rejected rather than silently applied.
+	ErrIncoherent = errors.New("stablelog: incoherent segment chain")
+	// ErrEpochUnavailable reports a RewindTo target that is not retained:
+	// either never written or aged out by a retention policy. The concrete
+	// error is an *EpochUnavailableError carrying the nearest retained
+	// neighbors.
+	ErrEpochUnavailable = errors.New("stablelog: epoch not retained")
 )
 
 // SegmentInfo describes one checkpoint segment in the log.
@@ -77,6 +96,28 @@ type Log struct {
 	end    int64 // offset one past the last valid segment
 	sync   bool
 	closed bool
+	wedged error // non-nil: handle lost after a rewrite rename (ErrWedged)
+
+	// Epoch catalog cache, maintained by EpochIndex (see retain.go).
+	idx    *EpochIndex
+	idxLen int // segments covered by idx
+}
+
+// usable reports why the log cannot be operated on, or nil.
+func (l *Log) usable() error {
+	if l.wedged != nil {
+		return l.wedged
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// poison marks the log permanently unusable and returns the stored error.
+func (l *Log) poison(cause error) error {
+	l.wedged = fmt.Errorf("%w: %w", ErrWedged, cause)
+	return l.wedged
 }
 
 // Option configures Open and Create.
@@ -249,8 +290,8 @@ func (l *Log) readSegmentAt(off int64, hdr []byte) (SegmentInfo, []byte, error) 
 // Append writes one checkpoint body as a new segment and returns its
 // sequence number.
 func (l *Log) Append(mode ckpt.Mode, epoch uint64, body []byte) (uint64, error) {
-	if l.closed {
-		return 0, ErrClosed
+	if err := l.usable(); err != nil {
+		return 0, err
 	}
 	seq := uint64(len(l.segs) + 1)
 	hdr := make([]byte, segmentHeaderSize)
@@ -309,8 +350,8 @@ func (l *Log) Segments() []SegmentInfo {
 
 // Read returns the payload of segment seq, verifying its checksum.
 func (l *Log) Read(seq uint64) ([]byte, error) {
-	if l.closed {
-		return nil, ErrClosed
+	if err := l.usable(); err != nil {
+		return nil, err
 	}
 	if seq == 0 || seq > uint64(len(l.segs)) {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, seq)
@@ -342,94 +383,80 @@ func (l *Log) RecoveryRun() ([]SegmentInfo, error) {
 	return nil, ErrNoFull
 }
 
-// Recover applies the recovery run to rb, reading each segment's payload.
-func (l *Log) Recover(rb *ckpt.Rebuilder) error {
-	run, err := l.RecoveryRun()
-	if err != nil {
-		return err
+// ValidateRun checks that run is a coherent replay chain: non-empty, anchored
+// by a full checkpoint, consecutive sequence numbers, strictly increasing
+// epochs, and no second full mid-run. Segment framing CRCs protect individual
+// payloads, but nothing in the framing ties segments to each other — a
+// hand-edited (or collision-corrupted) history could otherwise replay
+// silently into nonsense. Violations return an error wrapping ErrIncoherent.
+func ValidateRun(run []SegmentInfo) error {
+	if len(run) == 0 {
+		return fmt.Errorf("%w: empty run", ErrIncoherent)
 	}
-	for _, seg := range run {
-		body, err := l.Read(seg.Seq)
-		if err != nil {
-			return err
+	if run[0].Mode != ckpt.Full {
+		return fmt.Errorf("%w: run starts with an incremental (seq %d)", ErrIncoherent, run[0].Seq)
+	}
+	for i := 1; i < len(run); i++ {
+		prev, cur := run[i-1], run[i]
+		if cur.Mode != ckpt.Incremental {
+			return fmt.Errorf("%w: full checkpoint mid-run (seq %d)", ErrIncoherent, cur.Seq)
 		}
-		if err := rb.Apply(body); err != nil {
-			return fmt.Errorf("recover segment %d: %w", seg.Seq, err)
+		if cur.Seq != prev.Seq+1 {
+			return fmt.Errorf("%w: seq jumps %d -> %d", ErrIncoherent, prev.Seq, cur.Seq)
+		}
+		if cur.Epoch <= prev.Epoch {
+			return fmt.Errorf("%w: epoch not increasing at seq %d (%d after %d)",
+				ErrIncoherent, cur.Seq, cur.Epoch, prev.Epoch)
 		}
 	}
 	return nil
 }
 
-// Compact rewrites the log to contain only the latest recovery run,
-// renumbering segments from 1. The rewrite is atomic and durable: it writes
-// a sibling temporary file, fsyncs it, renames it over the log, and fsyncs
-// the parent directory so the rename cannot be undone by a power cut. When
-// Compact returns nil, the compacted log is what any future Open sees.
-//
-// A `<path>.compact` file left behind by a compaction that crashed before
-// its rename is garbage by construction (the rename is the commit point) and
-// is removed before retrying, so a crashed compaction never wedges the log.
-func (l *Log) Compact() error {
-	if l.closed {
-		return ErrClosed
+// Recover applies the recovery run to rb, reading each segment's payload.
+// The run is validated first (see ValidateRun) and applied atomically: on any
+// error — incoherent chain, read failure, corrupt body — rb is unchanged.
+func (l *Log) Recover(rb *ckpt.Rebuilder) error {
+	if err := l.usable(); err != nil {
+		return err
 	}
 	run, err := l.RecoveryRun()
 	if err != nil {
 		return err
 	}
-	tmp := l.path + ".compact"
-	if err := l.fs.Remove(tmp); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("remove stale compact file: %w", err)
-	}
-	nl, err := Create(tmp, WithFS(l.fs))
-	if err != nil {
+	return l.replayRun(rb, run)
+}
+
+// replayRun validates run, reads every payload, and applies them to rb as
+// one atomic unit.
+func (l *Log) replayRun(rb *ckpt.Rebuilder, run []SegmentInfo) error {
+	if err := ValidateRun(run); err != nil {
 		return err
 	}
-	defer l.fs.Remove(tmp)
-	for _, seg := range run {
+	bodies := make([][]byte, len(run))
+	for i, seg := range run {
 		body, err := l.Read(seg.Seq)
 		if err != nil {
-			nl.Close()
 			return err
 		}
-		if _, err := nl.Append(seg.Mode, seg.Epoch, body); err != nil {
-			nl.Close()
-			return err
-		}
+		bodies[i] = body
 	}
-	if err := nl.f.Sync(); err != nil {
-		nl.Close()
-		return err
+	if err := rb.ApplyRun(bodies); err != nil {
+		return fmt.Errorf("replay run at seq %d: %w", run[0].Seq, err)
 	}
-	if err := nl.Close(); err != nil {
-		return err
-	}
-	if err := l.fs.Rename(tmp, l.path); err != nil {
-		return err
-	}
-	// Commit point: harden the directory entry so the pre-compaction log
-	// cannot resurrect (or the file vanish) after a crash.
-	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
-		return err
-	}
-	// Reopen over the compacted file.
-	if err := l.f.Close(); err != nil {
-		return err
-	}
-	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0)
-	if err != nil {
-		return err
-	}
-	l.f = f
-	l.segs = nil
-	return l.scan(false)
+	return nil
 }
+
+// Compact rewrites the log to contain only the latest recovery run,
+// renumbering segments from 1. It is the degenerate retention policy: Compact
+// is exactly Retain(KeepLastRun{}); see Retain for the rewrite's atomicity
+// and durability contract.
+func (l *Log) Compact() error { return l.Retain(KeepLastRun{}) }
 
 // Sync flushes the file to stable storage. A failed fsync is classified
 // ErrIO: transient, retryable, and saying nothing about the bytes on disk.
 func (l *Log) Sync() error {
-	if l.closed {
-		return ErrClosed
+	if err := l.usable(); err != nil {
+		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("%w: sync: %w", ErrIO, err)
@@ -443,12 +470,19 @@ func (l *Log) Path() string { return l.path }
 // Dir returns the directory containing the log.
 func (l *Log) Dir() string { return filepath.Dir(l.path) }
 
-// Close syncs and closes the log file.
+// Close syncs and closes the log file. Closing a wedged log releases the
+// handle (if any survives) and returns the wedging error.
 func (l *Log) Close() error {
 	if l.closed {
 		return ErrClosed
 	}
 	l.closed = true
+	if l.wedged != nil {
+		if l.f != nil {
+			l.f.Close()
+		}
+		return l.wedged
+	}
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
 		return err
