@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short bench-dirty generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
+.PHONY: all build test lint race cover bench bench-short bench-dirty bench-interp race-interp generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -37,6 +37,18 @@ bench-short:
 bench-dirty:
 	$(GO) test -count=1 -run 'TestSteadyStateDirtyFoldAllocsZero|TestSteadyStateNilEmitDirtyFoldAllocsZero|TestPooledEncoderAllocsZero' ./ckpt/ ./wire/
 	$(GO) run ./cmd/ckptbench -experiment dirtyset -n 20000 -reps 7 -warmup 2
+
+# Interpreter workload sweep: zero-copy encode (Reserve/SwapEncoder/Submit)
+# vs the scratch-encoder baseline across program size x allocation churn,
+# written as BENCH_interp.json, gated by the zero-allocation regression tests
+# for the mutation step and the fused dirty fold under interpreter churn.
+bench-interp:
+	$(GO) test -count=1 -run 'TestMutationStepAllocsZero|TestInterpDirtyEpochAllocsZero' ./internal/interp/
+	$(GO) run ./cmd/ckptbench -experiment interp -reps 7 -warmup 2
+
+# Race leg over the interpreter workload and the zero-copy encode substrate.
+race-interp:
+	$(GO) test -race -count=1 ./internal/interp/ ./ckpt/ ./wire/ ./stablelog/
 
 # Regenerate the specialized checkpoint routines (cmd/ckptgen) and the
 # derived protocol for the derive test workload (cmd/ckptderive).
@@ -87,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./wire/
 	$(GO) test -run '^$$' -fuzz FuzzInspectBody -fuzztime $(FUZZTIME) ./ckpt/
 	$(GO) test -run '^$$' -fuzz FuzzRebuilderApply -fuzztime $(FUZZTIME) ./ckpt/
+	$(GO) test -run '^$$' -fuzz FuzzInterpEval -fuzztime $(FUZZTIME) ./internal/interp/
 
 # Paper-scale evaluation: prints every table/figure and writes CSVs.
 experiments:

@@ -47,16 +47,35 @@ func AppendBodyHeader(dst *wire.Encoder, mode Mode, epoch uint64) {
 // low-level sink used by the generic Writer, by compiled specialization
 // plans, and by generated specialized checkpoint functions, guaranteeing
 // that all of them produce byte-identical streams.
+//
+// By default records are encoded zero-copy: Begin writes the id and type to
+// the destination, reserves a one-byte length placeholder, and hands the
+// destination encoder straight to Record; End patches the placeholder
+// (wire.Encoder.PatchUvarint), shifting the payload only when it runs 128
+// bytes or longer. The older scratch path — encode the payload into a
+// per-emitter scratch buffer, then copy it behind a computed prefix — is
+// retained behind SetScratchEncode as the measurable baseline; both paths
+// produce byte-identical bodies.
 type Emitter struct {
 	dst     *wire.Encoder
 	scratch wire.Encoder
 	stats   Stats
 	clears  []ClearEntry
 
-	curID   uint64
-	curType TypeID
-	open    bool
+	curID       uint64
+	curType     TypeID
+	lenPos      int
+	scratchMode bool
+	open        bool
 }
+
+// SetScratchEncode switches the emitter between the zero-copy encode path
+// (false, the default) and the scratch-copy baseline (true): payloads built
+// in a scratch buffer and copied behind a precomputed length prefix. The two
+// paths produce byte-identical bodies; the scratch path exists so the copy
+// tax stays measurable (cmd/ckptbench -experiment interp). Must not be
+// called between Begin and End.
+func (em *Emitter) SetScratchEncode(on bool) { em.scratchMode = on }
 
 // Reset points the emitter at dst, writes the body header, and clears the
 // statistics.
@@ -98,19 +117,31 @@ func (em *Emitter) Begin(info *Info, t TypeID) *wire.Encoder {
 	if info.Modified() {
 		em.clears = append(em.clears, ClearEntry{ID: info.ID(), Info: info})
 	}
-	em.curID = info.ID()
-	em.curType = t
 	em.open = true
-	em.scratch.Reset()
-	return &em.scratch
+	if em.scratchMode {
+		em.curID = info.ID()
+		em.curType = t
+		em.scratch.Reset()
+		return &em.scratch
+	}
+	em.dst.Uvarint(info.ID())
+	em.dst.Uvarint(uint64(t))
+	em.lenPos = em.dst.ReserveUvarint()
+	return em.dst
 }
 
-// End frames the payload started by Begin into the destination stream.
+// End frames the payload started by Begin into the destination stream: on
+// the zero-copy path it patches the reserved length prefix in place; on the
+// scratch path it copies the scratch payload behind a computed prefix.
 func (em *Emitter) End() {
-	em.dst.Uvarint(em.curID)
-	em.dst.Uvarint(uint64(em.curType))
-	em.dst.Uvarint(uint64(em.scratch.Len()))
-	em.dst.Raw(em.scratch.Bytes())
+	if em.scratchMode {
+		em.dst.Uvarint(em.curID)
+		em.dst.Uvarint(uint64(em.curType))
+		em.dst.Uvarint(uint64(em.scratch.Len()))
+		em.dst.Raw(em.scratch.Bytes())
+	} else {
+		em.dst.PatchUvarint(em.lenPos)
+	}
 	em.stats.Recorded++
 	em.open = false
 }

@@ -127,9 +127,29 @@ type Domain struct {
 
 // AttachTracker makes every Info the domain issues from now on report to t:
 // new objects are tagged with the tracker and counted as unsettled
-// allocations until Watch or Track registers them (see NewInfo). Attach nil
-// to detach.
+// allocations until Watch, Track, or Adopt registers them (see NewInfo).
+// Attach nil to detach.
 func (d *Domain) AttachTracker(t *Tracker) { d.tracker = t }
+
+// Adopt registers a freshly allocated object with the tracker attached to
+// the domain, settling the fresh-allocation debt NewInfo charged. Without
+// it, a single allocation between two checkpoints forces the attached
+// tracker's next Take — and therefore the whole epoch — to degrade to a Full
+// traversal: the conservative answer for an object the dirty index cannot
+// see. Calling Adopt at the allocation site, before the object can be marked
+// or copied, keeps churning workloads (an interpreter allocating
+// environments and cons cells every step) on the O(dirty) incremental path:
+// the newborn joins the view with its identity intact (its embedded Info is
+// the one every future Mark will enqueue) and, being born modified, is
+// queued for the next dirty fold immediately.
+//
+// With no tracker attached Adopt is a no-op, so allocation sites can call it
+// unconditionally.
+func (d *Domain) Adopt(o Checkpointable) {
+	if d.tracker != nil {
+		d.tracker.Track(o)
+	}
+}
 
 // NewDomain returns a Domain whose first issued id is 1 (NilID is reserved).
 func NewDomain() *Domain { return &Domain{} }

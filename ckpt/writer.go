@@ -83,6 +83,16 @@ func WithEncoder(enc *wire.Encoder) WriterOption {
 	return writerOptionFunc(func(w *Writer) { w.enc = enc })
 }
 
+// WithScratchEncode makes the writer's emitter encode each record payload
+// into a scratch buffer and copy it behind a computed length prefix — the
+// pre-zero-copy baseline — instead of writing payloads directly into the
+// body with a reserved/patched prefix. Bodies are byte-identical either way;
+// the option exists so benchmarks can measure the scratch-copy tax
+// (cmd/ckptbench -experiment interp).
+func WithScratchEncode() WriterOption {
+	return writerOptionFunc(func(w *Writer) { w.emitter.SetScratchEncode(true) })
+}
+
 // NewWriter returns a Writer.
 func NewWriter(opts ...WriterOption) *Writer {
 	w := &Writer{}
@@ -150,6 +160,17 @@ func (w *Writer) abandon() {
 		Remark(clears)
 		putClears(clears)
 	}
+}
+
+// SwapEncoder points the writer at enc for the bodies that follow. It is the
+// zero-copy handoff hook: a caller that sinks bodies into
+// stablelog.AsyncWriter can swap in a log-owned buffer
+// (AsyncWriter.Reserve) before each Start, let Record write straight into
+// it, and submit it without a copy (AsyncWriter.Submit). Must not be called
+// while a body is in progress; the previous encoder — and any body aliasing
+// it — stays owned by whoever supplied it.
+func (w *Writer) SwapEncoder(enc *wire.Encoder) {
+	w.enc = enc
 }
 
 // BodyLen returns the number of bytes written to the body in progress.

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind]
+//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind|interp]
 //	          [-n STRUCTURES] [-scale N] [-reps R] [-warmup W] [-seed S]
 //	          [-csv DIR] [-parallel WORKERS] [-shards N] [-rewind]
 //
@@ -20,6 +20,12 @@
 // undo/redo history into a stablelog at several history lengths, ages it
 // with the binomial retention schedule, and measures RewindTo at several
 // distances from the head, writing BENCH_rewind.json.
+//
+// The interp experiment runs the hostile interpreter workload
+// (internal/interp) across a program-size x allocation-churn grid and
+// measures the zero-copy encode path (AsyncWriter.Reserve / Writer.SwapEncoder
+// / AsyncWriter.Submit) against the scratch-encoder baseline, for both the
+// O(dirty) and full checkpoint disciplines, writing BENCH_interp.json.
 //
 // Each experiment prints a table whose rows mirror the corresponding paper
 // result; with -csv the tables are also written as CSV files.
@@ -107,6 +113,16 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			}
 			return tbl, nil
 		}},
+		"interp": {func() (*harness.Table, error) {
+			tbl, rep, err := harness.InterpSweep(opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeJSON("BENCH_interp.json", rep); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}},
 		"table1":         {func() (*harness.Table, error) { return harness.Table1For(aw, scale) }},
 		"table1-profile": {func() (*harness.Table, error) { return harness.Table1ProfileFor(aw, scale) }},
 		"table2":         {func() (*harness.Table, error) { return harness.Table2(opts) }},
@@ -123,7 +139,7 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			func() (*harness.Table, error) { return harness.AblationAsync(opts) },
 		},
 	}
-	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind"}
+	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind", "interp"}
 
 	var selected []experimentFn
 	if experiment == "all" {

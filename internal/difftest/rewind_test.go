@@ -15,7 +15,9 @@ import (
 // rewindTraces is the rewind-equivalence suite: the undo/redo showcase (full
 // checkpoints every 4 rounds, so retention has real chains to age out), the
 // plain editor trace (a single base full — chain closure must retain the
-// whole history), and a synthetic trace for a non-editor population.
+// whole history), a synthetic trace for a non-editor population, and the
+// interpreter workload (full every 4 rounds over a heap that keeps
+// allocating mid-history, so rewind targets span object-population growth).
 func rewindTraces() []Trace {
 	return []Trace{
 		EditorUndoTrace(4, 5, 12, 4, 21),
@@ -23,6 +25,7 @@ func rewindTraces() []Trace {
 		SynthTrace(
 			synth.Shape{Structures: 16, ListLen: 4, Kind: synth.Ints1},
 			synth.ModPattern{Percent: 50, ModifiableLists: 3}, 4, 7),
+		InterpRewindTrace(60, 0.5, 10, 4, 4, 37),
 	}
 }
 

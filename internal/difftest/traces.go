@@ -7,7 +7,8 @@ import (
 
 // Traces returns the standard differential suite: two synthetic traces (the
 // list pattern and the harder last-element-only pattern), the minic analysis
-// engine on the paper's image program, and the editor workload.
+// engine on the paper's image program, the editor workload, and two
+// interpreter traces (mutation-heavy and allocation-heavy churn).
 func Traces() []Trace {
 	return []Trace{
 		SynthTrace(
@@ -18,6 +19,8 @@ func Traces() []Trace {
 			synth.ModPattern{Percent: 100, ModifiableLists: 3, LastOnly: true}, 3, 9),
 		AnalysisTrace(harness.ImageWorkload, 1),
 		EditorTrace(8, 6, 4, 13),
+		InterpTrace(80, 0.15, 5, 6, 29),
+		InterpTrace(80, 0.75, 5, 6, 31),
 	}
 }
 

@@ -1,0 +1,111 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/interp"
+)
+
+// mutationProgram builds a program whose steady-state steps are pure
+// mutations: boxes and counters churned through set-box!/set! with no heap
+// allocation after the prelude.
+func mutationProgram(steps int) string {
+	var b strings.Builder
+	b.WriteString("(define b0 (box 0))\n(define b1 (box 7))\n(define c0 0)\n")
+	for i := 0; i < steps; i++ {
+		switch i % 3 {
+		case 0:
+			b.WriteString("(set-box! b0 (+ (unbox b0) 1))\n")
+		case 1:
+			b.WriteString("(set-box! b1 (+ (unbox b1) (unbox b0)))\n")
+		case 2:
+			b.WriteString("(set! c0 (+ c0 2))\n")
+		}
+	}
+	return b.String()
+}
+
+// TestMutationStepAllocsZero gates the interpreter's mutation fast path: a
+// steady-state step that only mutates existing boxes and bindings performs
+// zero heap allocations — argument vectors live in fixed stack arrays, and
+// the write barrier is a flag store.
+func TestMutationStepAllocsZero(t *testing.T) {
+	m, err := interp.NewMachine(ckpt.NewDomain(), mutationProgram(400), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(3) // prelude defines allocate; run them out
+	step := func() {
+		if !m.Step() {
+			t.Fatal("program exhausted mid-measurement")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("steady-state mutation step allocates %v per run, want 0", avg)
+	}
+}
+
+// TestInterpDirtyEpochAllocsZero gates the whole zero-copy pipeline under
+// interpreter churn: mutation steps, the fused dirty fold off the tracker's
+// dense scan, and the direct (reserve/patch) record encode must together
+// allocate nothing per epoch once warm. A regression in any layer — a
+// scratch-buffer copy creeping back into the emitter, a per-record slice in
+// the tracker drain, an escape in the evaluator — trips this gate.
+func TestInterpDirtyEpochAllocsZero(t *testing.T) {
+	d := ckpt.NewDomain()
+	m, err := interp.NewMachine(d, mutationProgram(800), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(3)
+
+	// Base full checkpoint drains construction flags, then attach the index.
+	w := ckpt.NewWriter(ckpt.WithSession(ckpt.NewSession()))
+	base := ckpt.NewWriter()
+	base.Start(ckpt.Full)
+	if err := base.Checkpoint(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := base.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	tr := ckpt.NewTracker()
+	d.AttachTracker(tr)
+	if err := tr.Watch(m); err != nil {
+		t.Fatal(err)
+	}
+
+	s := ckpt.NewSession()
+	w = ckpt.NewWriter(ckpt.WithSession(s))
+	epoch := func() {
+		for i := 0; i < 3; i++ {
+			if !m.Step() {
+				t.Fatal("program exhausted mid-measurement")
+			}
+		}
+		if mode := tr.NextMode(ckpt.Incremental); mode != ckpt.Incremental {
+			t.Fatalf("NextMode = %v, want Incremental", mode)
+		}
+		w.Start(ckpt.Incremental)
+		if err := w.CheckpointDirty(tr, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Commit(w.Epoch()) {
+			t.Fatal("epoch not pending at Commit")
+		}
+	}
+	for i := 0; i < 5; i++ { // warm pools and grow backing arrays
+		epoch()
+	}
+	if avg := testing.AllocsPerRun(50, epoch); avg != 0 {
+		t.Fatalf("steady-state interpreter dirty epoch allocates %v per run, want 0", avg)
+	}
+}

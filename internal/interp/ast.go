@@ -1,0 +1,168 @@
+// Package interp is a small tree-walking interpreter whose entire runtime
+// state — environments, closures, cons cells, mutable boxes, the program
+// text itself — lives in a checkpointable heap under one ckpt.Domain. It is
+// the hostile workload for the checkpoint engines: deep and cyclic object
+// graphs, polymorphic records (tagged-union values), and allocation churn on
+// every step, with execution resumable from any top-level statement
+// boundary. The paper's target is long-running Java programs whose state
+// evolves under an interpreter-like mutator; this package is that mutator in
+// miniature, aggressive enough to exercise the dirty index, the rebuilder,
+// and the zero-copy encode path at once.
+//
+// The language is a deterministic s-expression Scheme subset:
+//
+//	(define x 1) (set! x (+ x 1))
+//	(lambda (a b) body...) (if c t e) (let ((n v)...) body...)
+//	(begin ...) (while c body...)
+//	cons car cdr set-car! set-cdr! box unbox set-box!
+//	+ - * < = eq? null? pair? not list print
+//
+// Evaluation is fueled: each top-level step gets a fixed budget of eval
+// nodes, so adversarial (fuzzed) programs halt deterministically instead of
+// spinning. All runtime errors halt the machine with a deterministic
+// message; there are no other side channels. Observable output is folded
+// into a rolling FNV-1a hash, so "observationally identical" is one integer
+// comparison.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// ErrParse reports malformed program text.
+var ErrParse = errors.New("interp: parse error")
+
+// NodeKind tags an AST node.
+type NodeKind uint8
+
+const (
+	// NInt is an integer literal (Num).
+	NInt NodeKind = iota + 1
+	// NBool is #t or #f (Num is 0 or 1).
+	NBool
+	// NSym is a symbol reference (Sym).
+	NSym
+	// NList is a parenthesized form (Kids are node indices).
+	NList
+)
+
+// Node is one AST node. Nodes are stored by index in Prog.Nodes so that a
+// program re-parsed from the same source yields identical indices — which is
+// what lets closures checkpoint their bodies as plain integers.
+type Node struct {
+	Kind NodeKind
+	Num  int64
+	Sym  string
+	Kids []int
+}
+
+// Prog is a parsed program: the source text plus its node table and the
+// indices of the top-level forms. Only Src is checkpointed; Nodes and Tops
+// are rebuilt by re-parsing, and the parser is deterministic, so node
+// indices survive a checkpoint/restore round trip.
+type Prog struct {
+	Src   string
+	Nodes []Node
+	Tops  []int
+}
+
+// Parse parses src. The node table is filled in a deterministic order (a
+// node is appended after all its children), so equal sources yield equal
+// tables.
+func Parse(src string) (*Prog, error) {
+	p := &Prog{Src: src}
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	for pos < len(toks) {
+		idx, next, err := p.parseForm(toks, pos)
+		if err != nil {
+			return nil, err
+		}
+		p.Tops = append(p.Tops, idx)
+		pos = next
+	}
+	return p, nil
+}
+
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ';': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && !isDelim(src[j]) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == ')' || c == ';'
+}
+
+// parseForm parses one form starting at toks[pos]; it returns the node index
+// and the position after the form.
+func (p *Prog) parseForm(toks []string, pos int) (int, int, error) {
+	if pos >= len(toks) {
+		return 0, 0, fmt.Errorf("%w: unexpected end of input", ErrParse)
+	}
+	tok := toks[pos]
+	switch tok {
+	case "(":
+		pos++
+		var kids []int
+		for {
+			if pos >= len(toks) {
+				return 0, 0, fmt.Errorf("%w: unclosed list", ErrParse)
+			}
+			if toks[pos] == ")" {
+				pos++
+				break
+			}
+			idx, next, err := p.parseForm(toks, pos)
+			if err != nil {
+				return 0, 0, err
+			}
+			kids = append(kids, idx)
+			pos = next
+		}
+		p.Nodes = append(p.Nodes, Node{Kind: NList, Kids: kids})
+		return len(p.Nodes) - 1, pos, nil
+	case ")":
+		return 0, 0, fmt.Errorf("%w: unexpected )", ErrParse)
+	case "#t", "#f":
+		n := int64(0)
+		if tok == "#t" {
+			n = 1
+		}
+		p.Nodes = append(p.Nodes, Node{Kind: NBool, Num: n})
+		return len(p.Nodes) - 1, pos + 1, nil
+	default:
+		if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			p.Nodes = append(p.Nodes, Node{Kind: NInt, Num: v})
+			return len(p.Nodes) - 1, pos + 1, nil
+		}
+		p.Nodes = append(p.Nodes, Node{Kind: NSym, Sym: tok})
+		return len(p.Nodes) - 1, pos + 1, nil
+	}
+}

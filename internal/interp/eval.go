@@ -1,0 +1,517 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Runtime halt reasons. All are deterministic: a given program halts at the
+// same step with the same message on every run and after any resume.
+var (
+	errFuel     = errors.New("fuel exhausted")
+	errArity    = errors.New("wrong argument count")
+	errTooMany  = errors.New("too many arguments")
+	errNotProc  = errors.New("not a procedure")
+	errNotPair  = errors.New("not a pair")
+	errNotBox   = errors.New("not a box")
+	errNotInt   = errors.New("not an integer")
+	errEmptyApp = errors.New("empty application")
+	errBadForm  = errors.New("malformed special form")
+)
+
+// maxArgs bounds call arity so argument vectors live in fixed stack arrays —
+// the mutation-only fast path must not allocate (see the AllocsPerRun gates).
+const maxArgs = 8
+
+// Step evaluates the next top-level form. It returns false when there is
+// nothing left to do (program exhausted or machine halted); runtime errors
+// and fuel exhaustion halt the machine deterministically rather than
+// propagate. Each step gets a fresh fuel budget, so checkpoint/resume at
+// step boundaries never observes partial fuel.
+func (m *Machine) Step() bool {
+	if m.Done() {
+		return false
+	}
+	top := m.prog.Prog.Tops[m.pc]
+	m.pc++
+	m.steps++
+	m.Info.Mark()
+	m.fuelLeft = m.fuel
+	if _, err := m.eval(m.globals, top); err != nil {
+		m.halted = true
+		m.haltMsg = err.Error()
+		m.Info.Mark()
+	}
+	return true
+}
+
+// Run steps the machine at most max times, returning the number of steps
+// taken.
+func (m *Machine) Run(max int) int {
+	n := 0
+	for n < max && m.Step() {
+		n++
+	}
+	return n
+}
+
+func (m *Machine) eval(env *Env, idx int) (Value, error) {
+	m.fuelLeft--
+	if m.fuelLeft < 0 {
+		return Value{}, errFuel
+	}
+	node := &m.prog.Prog.Nodes[idx]
+	switch node.Kind {
+	case NInt:
+		return Value{Kind: KInt, Int: node.Num}, nil
+	case NBool:
+		return Value{Kind: KBool, Int: node.Num}, nil
+	case NSym:
+		if f, i := env.lookup(node.Sym); f != nil {
+			return f.Vals[i], nil
+		}
+		return Value{}, fmt.Errorf("undefined symbol %q", node.Sym)
+	case NList:
+		if len(node.Kids) == 0 {
+			return Value{}, nil // () is the nil literal
+		}
+		head := &m.prog.Prog.Nodes[node.Kids[0]]
+		if head.Kind == NSym {
+			switch head.Sym {
+			case "define":
+				return m.evalDefine(env, node)
+			case "set!":
+				return m.evalSet(env, node)
+			case "lambda":
+				return m.evalLambda(env, node)
+			case "if":
+				return m.evalIf(env, node)
+			case "let":
+				return m.evalLet(env, node)
+			case "begin":
+				return m.evalSeq(env, node.Kids[1:])
+			case "while":
+				return m.evalWhile(env, node)
+			}
+		}
+		return m.evalApply(env, node)
+	default:
+		return Value{}, fmt.Errorf("bad node kind %d", node.Kind)
+	}
+}
+
+func (m *Machine) evalDefine(env *Env, node *Node) (Value, error) {
+	if len(node.Kids) != 3 {
+		return Value{}, errBadForm
+	}
+	name := &m.prog.Prog.Nodes[node.Kids[1]]
+	if name.Kind != NSym {
+		return Value{}, errBadForm
+	}
+	v, err := m.eval(env, node.Kids[2])
+	if err != nil {
+		return Value{}, err
+	}
+	env.define(name.Sym, v)
+	return Value{}, nil
+}
+
+func (m *Machine) evalSet(env *Env, node *Node) (Value, error) {
+	if len(node.Kids) != 3 {
+		return Value{}, errBadForm
+	}
+	name := &m.prog.Prog.Nodes[node.Kids[1]]
+	if name.Kind != NSym {
+		return Value{}, errBadForm
+	}
+	v, err := m.eval(env, node.Kids[2])
+	if err != nil {
+		return Value{}, err
+	}
+	f, i := env.lookup(name.Sym)
+	if f == nil {
+		return Value{}, fmt.Errorf("set! of undefined symbol %q", name.Sym)
+	}
+	f.Vals[i] = v
+	f.Info.Mark()
+	return Value{}, nil
+}
+
+func (m *Machine) evalLambda(env *Env, node *Node) (Value, error) {
+	if len(node.Kids) < 3 {
+		return Value{}, errBadForm
+	}
+	plist := &m.prog.Prog.Nodes[node.Kids[1]]
+	if plist.Kind != NList {
+		return Value{}, errBadForm
+	}
+	params := make([]string, 0, len(plist.Kids))
+	for _, k := range plist.Kids {
+		pn := &m.prog.Prog.Nodes[k]
+		if pn.Kind != NSym {
+			return Value{}, errBadForm
+		}
+		params = append(params, pn.Sym)
+	}
+	body := append([]int(nil), node.Kids[2:]...)
+	c := m.newClosure(params, body, env)
+	return Value{Kind: KObj, Obj: c}, nil
+}
+
+func (m *Machine) evalIf(env *Env, node *Node) (Value, error) {
+	if len(node.Kids) != 3 && len(node.Kids) != 4 {
+		return Value{}, errBadForm
+	}
+	c, err := m.eval(env, node.Kids[1])
+	if err != nil {
+		return Value{}, err
+	}
+	if c.Truthy() {
+		return m.eval(env, node.Kids[2])
+	}
+	if len(node.Kids) == 4 {
+		return m.eval(env, node.Kids[3])
+	}
+	return Value{}, nil
+}
+
+func (m *Machine) evalLet(env *Env, node *Node) (Value, error) {
+	if len(node.Kids) < 3 {
+		return Value{}, errBadForm
+	}
+	binds := &m.prog.Prog.Nodes[node.Kids[1]]
+	if binds.Kind != NList {
+		return Value{}, errBadForm
+	}
+	frame := m.newEnv(env)
+	for _, bk := range binds.Kids {
+		b := &m.prog.Prog.Nodes[bk]
+		if b.Kind != NList || len(b.Kids) != 2 {
+			return Value{}, errBadForm
+		}
+		bn := &m.prog.Prog.Nodes[b.Kids[0]]
+		if bn.Kind != NSym {
+			return Value{}, errBadForm
+		}
+		// Inits evaluate in the outer environment (plain let, not let*).
+		v, err := m.eval(env, b.Kids[1])
+		if err != nil {
+			return Value{}, err
+		}
+		frame.define(bn.Sym, v)
+	}
+	return m.evalSeq(frame, node.Kids[2:])
+}
+
+func (m *Machine) evalSeq(env *Env, body []int) (Value, error) {
+	var last Value
+	for _, k := range body {
+		v, err := m.eval(env, k)
+		if err != nil {
+			return Value{}, err
+		}
+		last = v
+	}
+	return last, nil
+}
+
+func (m *Machine) evalWhile(env *Env, node *Node) (Value, error) {
+	if len(node.Kids) < 2 {
+		return Value{}, errBadForm
+	}
+	for {
+		c, err := m.eval(env, node.Kids[1])
+		if err != nil {
+			return Value{}, err
+		}
+		if !c.Truthy() {
+			return Value{}, nil
+		}
+		if _, err := m.evalSeq(env, node.Kids[2:]); err != nil {
+			return Value{}, err
+		}
+	}
+}
+
+func (m *Machine) evalApply(env *Env, node *Node) (Value, error) {
+	nargs := len(node.Kids) - 1
+	if nargs > maxArgs {
+		return Value{}, errTooMany
+	}
+	var argv [maxArgs]Value
+	for i := 0; i < nargs; i++ {
+		v, err := m.eval(env, node.Kids[1+i])
+		if err != nil {
+			return Value{}, err
+		}
+		argv[i] = v
+	}
+	head := &m.prog.Prog.Nodes[node.Kids[0]]
+	// A symbol head that is bound resolves to its value; an unbound symbol
+	// head falls through to the builtin table, so user bindings shadow
+	// builtins deterministically.
+	if head.Kind == NSym {
+		if f, i := env.lookup(head.Sym); f != nil {
+			return m.apply(f.Vals[i], argv[:nargs])
+		}
+		return m.applyBuiltin(head.Sym, argv[:nargs])
+	}
+	fn, err := m.eval(env, node.Kids[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return m.apply(fn, argv[:nargs])
+}
+
+func (m *Machine) apply(fn Value, argv []Value) (Value, error) {
+	if fn.Kind != KObj {
+		return Value{}, errNotProc
+	}
+	c, ok := fn.Obj.(*Closure)
+	if !ok {
+		return Value{}, errNotProc
+	}
+	if len(argv) != len(c.Params) {
+		return Value{}, errArity
+	}
+	frame := m.newEnv(c.Env)
+	for i, p := range c.Params {
+		frame.define(p, argv[i])
+	}
+	return m.evalSeq(frame, c.Body)
+}
+
+func (m *Machine) applyBuiltin(name string, argv []Value) (Value, error) {
+	switch name {
+	case "+":
+		var sum int64
+		for _, a := range argv {
+			if a.Kind != KInt {
+				return Value{}, errNotInt
+			}
+			sum += a.Int
+		}
+		return Value{Kind: KInt, Int: sum}, nil
+	case "-":
+		if len(argv) == 0 {
+			return Value{}, errArity
+		}
+		if argv[0].Kind != KInt {
+			return Value{}, errNotInt
+		}
+		if len(argv) == 1 {
+			return Value{Kind: KInt, Int: -argv[0].Int}, nil
+		}
+		acc := argv[0].Int
+		for _, a := range argv[1:] {
+			if a.Kind != KInt {
+				return Value{}, errNotInt
+			}
+			acc -= a.Int
+		}
+		return Value{Kind: KInt, Int: acc}, nil
+	case "*":
+		acc := int64(1)
+		for _, a := range argv {
+			if a.Kind != KInt {
+				return Value{}, errNotInt
+			}
+			acc *= a.Int
+		}
+		return Value{Kind: KInt, Int: acc}, nil
+	case "<", "=":
+		if len(argv) != 2 || argv[0].Kind != KInt || argv[1].Kind != KInt {
+			return Value{}, errNotInt
+		}
+		ok := argv[0].Int < argv[1].Int
+		if name == "=" {
+			ok = argv[0].Int == argv[1].Int
+		}
+		return boolVal(ok), nil
+	case "eq?":
+		if len(argv) != 2 {
+			return Value{}, errArity
+		}
+		a, b := argv[0], argv[1]
+		return boolVal(a.Kind == b.Kind && a.Int == b.Int && a.Obj == b.Obj), nil
+	case "null?":
+		if len(argv) != 1 {
+			return Value{}, errArity
+		}
+		return boolVal(argv[0].Kind == KNil), nil
+	case "pair?":
+		if len(argv) != 1 {
+			return Value{}, errArity
+		}
+		if argv[0].Kind != KObj {
+			return boolVal(false), nil
+		}
+		_, ok := argv[0].Obj.(*Pair)
+		return boolVal(ok), nil
+	case "not":
+		if len(argv) != 1 {
+			return Value{}, errArity
+		}
+		return boolVal(!argv[0].Truthy()), nil
+	case "cons":
+		if len(argv) != 2 {
+			return Value{}, errArity
+		}
+		return Value{Kind: KObj, Obj: m.newPair(argv[0], argv[1])}, nil
+	case "car", "cdr":
+		if len(argv) != 1 {
+			return Value{}, errArity
+		}
+		p, err := asPair(argv[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if name == "car" {
+			return p.Car, nil
+		}
+		return p.Cdr, nil
+	case "set-car!", "set-cdr!":
+		if len(argv) != 2 {
+			return Value{}, errArity
+		}
+		p, err := asPair(argv[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if name == "set-car!" {
+			p.Car = argv[1]
+		} else {
+			p.Cdr = argv[1]
+		}
+		p.Info.Mark()
+		return Value{}, nil
+	case "box":
+		if len(argv) != 1 {
+			return Value{}, errArity
+		}
+		return Value{Kind: KObj, Obj: m.newBox(argv[0])}, nil
+	case "unbox":
+		if len(argv) != 1 {
+			return Value{}, errArity
+		}
+		b, err := asBox(argv[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return b.Val, nil
+	case "set-box!":
+		if len(argv) != 2 {
+			return Value{}, errArity
+		}
+		b, err := asBox(argv[0])
+		if err != nil {
+			return Value{}, err
+		}
+		b.Val = argv[1]
+		b.Info.Mark()
+		return Value{}, nil
+	case "list":
+		v := Value{}
+		for i := len(argv) - 1; i >= 0; i-- {
+			v = Value{Kind: KObj, Obj: m.newPair(argv[i], v)}
+		}
+		return v, nil
+	case "print":
+		m.print(argv)
+		return Value{}, nil
+	default:
+		return Value{}, fmt.Errorf("undefined symbol %q", name)
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Value{Kind: KBool, Int: 1}
+	}
+	return Value{Kind: KBool}
+}
+
+func asPair(v Value) (*Pair, error) {
+	if v.Kind != KObj {
+		return nil, errNotPair
+	}
+	p, ok := v.Obj.(*Pair)
+	if !ok {
+		return nil, errNotPair
+	}
+	return p, nil
+}
+
+func asBox(v Value) (*Box, error) {
+	if v.Kind != KObj {
+		return nil, errNotBox
+	}
+	b, ok := v.Obj.(*Box)
+	if !ok {
+		return nil, errNotBox
+	}
+	return b, nil
+}
+
+// FNV-1a parameters for the output hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// print folds the rendered arguments into the machine's output hash: the
+// observable channel resume tests compare. Heap references render by id —
+// ids are stable across checkpoint and resume, so the rendering is too.
+func (m *Machine) print(argv []Value) {
+	buf := m.rbuf[:0]
+	for i, v := range argv {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = renderValue(buf, v)
+	}
+	buf = append(buf, '\n')
+	m.rbuf = buf
+	h := m.outHash
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	m.outHash = h
+	m.outCount++
+	m.Info.Mark()
+}
+
+func renderValue(buf []byte, v Value) []byte {
+	switch v.Kind {
+	case KNil:
+		return append(buf, "()"...)
+	case KInt:
+		return strconv.AppendInt(buf, v.Int, 10)
+	case KBool:
+		if v.Int != 0 {
+			return append(buf, "#t"...)
+		}
+		return append(buf, "#f"...)
+	case KObj:
+		switch v.Obj.(type) {
+		case *Pair:
+			buf = append(buf, "#pair:"...)
+		case *Box:
+			buf = append(buf, "#box:"...)
+		case *Closure:
+			buf = append(buf, "#closure:"...)
+		case *Env:
+			buf = append(buf, "#env:"...)
+		default:
+			buf = append(buf, "#obj:"...)
+		}
+		return strconv.AppendUint(buf, v.Obj.CheckpointInfo().ID(), 10)
+	default:
+		return append(buf, "#?"...)
+	}
+}

@@ -1,0 +1,56 @@
+package interp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/interp"
+)
+
+// FuzzInterpEval generates random programs — a seeded workload plus
+// arbitrary fuzzer-appended source — and checks the tentpole invariant on
+// each: evaluation with a checkpoint/restore round trip interleaved at every
+// step is observationally identical to uninterrupted evaluation, including
+// programs that halt mid-way on runtime errors or fuel exhaustion.
+func FuzzInterpEval(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(30), "")
+	f.Add(int64(7), uint8(50), uint8(80), "(print (sum 3))")
+	f.Add(int64(9), uint8(10), uint8(0), "(define q (box 1)) (set-box! q (cons 1 2)) (print (unbox q))")
+	f.Add(int64(3), uint8(5), uint8(100), "(while #t (set! c0 (+ c0 1)))")
+	f.Add(int64(4), uint8(0), uint8(0), "(car 5)")
+	f.Add(int64(5), uint8(8), uint8(50), "((lambda (a b) (cons a b)) 1)")
+	f.Fuzz(func(t *testing.T, seed int64, size, churnPct uint8, extra string) {
+		src := interp.GenProgram(seed, int(size%64), float64(churnPct%101)/100)
+		if extra != "" {
+			src += "\n" + extra
+		}
+		if _, err := interp.Parse(src); err != nil {
+			t.Skip()
+		}
+		const fuel = 2048
+		const maxSteps = 200
+
+		ref, err := interp.NewMachine(ckpt.NewDomain(), src, fuel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Run(maxSteps)
+
+		res, err := interp.NewMachine(ckpt.NewDomain(), src, fuel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < maxSteps && !res.Done(); i++ {
+			res = rebuild(t, fullBody(t, res))
+			res.Step()
+		}
+
+		if got, want := stateOf(res), stateOf(ref); got != want {
+			t.Fatalf("resumed state %+v differs from uninterrupted %+v\nsrc:\n%s", got, want, src)
+		}
+		if !bytes.Equal(fullBody(t, ref), fullBody(t, res)) {
+			t.Fatalf("final heaps differ byte-for-byte\nsrc:\n%s", src)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenProgram deterministically generates an interpreter workload: a prelude
+// that builds boxes, lists, closures (one recursive), and a cyclic pair,
+// followed by size top-level forms. Each form is an allocating one (cons
+// onto a list, fresh box, fresh closure, let frame) with probability churn,
+// and a pure mutation (set-box!, set!, set-car!, closure call) otherwise —
+// so churn dials the fresh-allocation rate the dirty index must absorb,
+// while the same seed always yields the same program, step for step.
+func GenProgram(seed int64, size int, churn float64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	// Prelude: the fixed heap shapes every generated program starts from.
+	b.WriteString("(define c0 0)\n")
+	b.WriteString("(define c1 100)\n")
+	b.WriteString("(define b0 (box 0))\n")
+	b.WriteString("(define b1 (box 7))\n")
+	b.WriteString("(define l0 (list 1 2 3))\n")
+	b.WriteString("(define l1 ())\n")
+	b.WriteString("(define inc (lambda (x) (+ x 1)))\n")
+	b.WriteString("(define sum (lambda (n) (if (< n 1) 0 (+ n (sum (- n 1))))))\n")
+	b.WriteString("(define cyc (cons 1 2))\n")
+	b.WriteString("(set-cdr! cyc cyc)\n")
+
+	boxes := 2
+	lists := 2
+	fns := 2 // inc, sum
+	counters := 2
+
+	for i := 0; i < size; i++ {
+		if rng.Float64() < churn {
+			// Allocating form.
+			switch rng.Intn(4) {
+			case 0:
+				fmt.Fprintf(&b, "(define b%d (box %d))\n", boxes, rng.Intn(100))
+				boxes++
+			case 1:
+				fmt.Fprintf(&b, "(set! l%d (cons %d l%d))\n",
+					rng.Intn(lists), rng.Intn(100), rng.Intn(lists))
+			case 2:
+				fmt.Fprintf(&b, "(define f%d (lambda (x) (+ x %d)))\n", fns, rng.Intn(50))
+				fns++
+			case 3:
+				fmt.Fprintf(&b, "(let ((t %d)) (set! c%d (+ c%d t)))\n",
+					rng.Intn(20), rng.Intn(counters), rng.Intn(counters))
+			}
+		} else {
+			// Pure mutation form: no heap allocation.
+			switch rng.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "(set-box! b%d (+ (unbox b%d) %d))\n",
+					rng.Intn(boxes), rng.Intn(boxes), 1+rng.Intn(9))
+			case 1:
+				fmt.Fprintf(&b, "(set! c%d (+ c%d %d))\n",
+					rng.Intn(counters), rng.Intn(counters), 1+rng.Intn(9))
+			case 2:
+				fmt.Fprintf(&b, "(set-car! cyc %d)\n", rng.Intn(1000))
+			case 3:
+				fmt.Fprintf(&b, "(set-box! b%d (sum %d))\n", rng.Intn(boxes), 1+rng.Intn(8))
+			case 4:
+				fmt.Fprintf(&b, "(set-cdr! cyc cyc)\n")
+			}
+		}
+		if rng.Intn(8) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "(print (unbox b%d))\n", rng.Intn(boxes))
+			case 1:
+				fmt.Fprintf(&b, "(print c%d)\n", rng.Intn(counters))
+			case 2:
+				b.WriteString("(print (car cyc) cyc)\n")
+			}
+		}
+	}
+	return b.String()
+}

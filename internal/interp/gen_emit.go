@@ -1,0 +1,133 @@
+package interp
+
+import (
+	"ickpt/ckpt"
+)
+
+// This file is the hand-written analog of cmd/ckptgen output for the
+// interpreter structure, in the exact shape the generator emits: a
+// specialized incremental traversal (CheckpointIncr) and a single-object
+// emit routine (EmitOne), both encoding fields inline through the Emitter.
+// It stands in for the codegen engine in the differential harness — the
+// struct layout here is a union-heavy heap the generator's catalog cannot
+// yet describe, so the specialized routines are written by hand in its
+// idiom and pinned byte-identical to the virtual path by the difftest
+// matrix.
+
+// CheckpointIncr is the specialized incremental checkpoint routine: visit
+// the machine, then every heap object, emitting the modified ones. No
+// pattern is assumed (every object may be modified).
+func CheckpointIncr(root ckpt.Checkpointable, em *ckpt.Emitter) {
+	m := root.(*Machine)
+	em.Visit()
+	if m.Info.Modified() {
+		emitMachine(em, m)
+	} else {
+		em.Skip()
+	}
+	for _, o := range m.heap {
+		em.Visit()
+		if o.CheckpointInfo().Modified() {
+			emitHeapObj(em, o)
+		} else {
+			em.Skip()
+		}
+	}
+}
+
+// EmitOne is the specialized single-object emit routine, the dirty-strategy
+// counterpart of CheckpointIncr. The driver owns the Visit call.
+func EmitOne(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+	switch v := o.(type) {
+	case *Machine:
+		if v.Info.Modified() {
+			emitMachine(em, v)
+		} else {
+			em.Skip()
+		}
+	case *Env, *Closure, *Pair, *Box, *Program:
+		obj := o.(Obj)
+		if obj.CheckpointInfo().Modified() {
+			emitHeapObj(em, obj)
+		} else {
+			em.Skip()
+		}
+	default:
+		return ckpt.ErrUnknownType
+	}
+	return nil
+}
+
+func emitMachine(em *ckpt.Emitter, m *Machine) {
+	p := em.Begin(&m.Info, TypeMachine)
+	p.Varint(int64(m.pc))
+	p.Uvarint(m.steps)
+	p.Varint(m.fuel)
+	p.Uint64(m.outHash)
+	p.Uvarint(m.outCount)
+	p.Bool(m.halted)
+	p.String(m.haltMsg)
+	p.Uvarint(m.prog.Info.ID())
+	p.Uvarint(m.globals.Info.ID())
+	if len(m.heap) == 0 {
+		p.Uvarint(ckpt.NilID)
+		p.Uvarint(0)
+	} else {
+		p.Uvarint(m.heap[0].CheckpointInfo().ID())
+		p.Uvarint(uint64(len(m.heap)))
+	}
+	em.End()
+	m.Info.ResetModified()
+}
+
+func emitHeapObj(em *ckpt.Emitter, o Obj) {
+	switch v := o.(type) {
+	case *Env:
+		p := em.Begin(&v.Info, TypeEnv)
+		if v.Parent != nil {
+			p.Uvarint(v.Parent.Info.ID())
+		} else {
+			p.Uvarint(ckpt.NilID)
+		}
+		p.Uvarint(uint64(len(v.Names)))
+		for i, n := range v.Names {
+			p.String(n)
+			EncodeValue(p, v.Vals[i])
+		}
+		em.End()
+		v.Info.ResetModified()
+	case *Closure:
+		p := em.Begin(&v.Info, TypeClosure)
+		if v.Env != nil {
+			p.Uvarint(v.Env.Info.ID())
+		} else {
+			p.Uvarint(ckpt.NilID)
+		}
+		p.Uvarint(uint64(len(v.Params)))
+		for _, s := range v.Params {
+			p.String(s)
+		}
+		p.Uvarint(uint64(len(v.Body)))
+		for _, b := range v.Body {
+			p.Uvarint(uint64(b))
+		}
+		em.End()
+		v.Info.ResetModified()
+	case *Pair:
+		p := em.Begin(&v.Info, TypePair)
+		EncodeValue(p, v.Car)
+		EncodeValue(p, v.Cdr)
+		em.End()
+		v.Info.ResetModified()
+	case *Box:
+		p := em.Begin(&v.Info, TypeBox)
+		EncodeValue(p, v.Val)
+		em.End()
+		v.Info.ResetModified()
+	case *Program:
+		p := em.Begin(&v.Info, TypeProgram)
+		p.String(v.Prog.Src)
+		em.End()
+		v.Info.ResetModified()
+	}
+}

@@ -1,0 +1,238 @@
+package interp_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/internal/interp"
+)
+
+// runAll steps m to completion, bounded by cap, and returns the steps taken.
+func runAll(t *testing.T, m *interp.Machine, cap int) int {
+	t.Helper()
+	n := m.Run(cap)
+	if n == cap && !m.Done() {
+		t.Fatalf("program did not finish within %d steps", cap)
+	}
+	return n
+}
+
+// outHashOf runs src to completion and returns the machine's output hash.
+func outHashOf(t *testing.T, src string) uint64 {
+	t.Helper()
+	m, err := interp.NewMachine(ckpt.NewDomain(), src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, m, 10000)
+	if m.Halted() {
+		t.Fatalf("program halted: %s", m.HaltMsg())
+	}
+	return m.OutHash()
+}
+
+// fullBody takes a full checkpoint of m and returns a stable copy.
+func fullBody(t *testing.T, m *interp.Machine) []byte {
+	t.Helper()
+	w := ckpt.NewWriter()
+	w.Start(ckpt.Full)
+	if err := w.Checkpoint(m); err != nil {
+		t.Fatal(err)
+	}
+	body, _, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), body...)
+}
+
+// rebuild reconstructs a machine from a full body and binds it to a fresh
+// domain so it can resume allocating.
+func rebuild(t *testing.T, body []byte) *interp.Machine {
+	t.Helper()
+	rb := ckpt.NewRebuilder(interp.NewRegistry())
+	if err := rb.Apply(body); err != nil {
+		t.Fatal(err)
+	}
+	d := ckpt.NewDomain()
+	objs, err := rb.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *interp.Machine
+	for _, o := range objs {
+		if mm, ok := o.(*interp.Machine); ok {
+			if m != nil {
+				t.Fatal("body holds two machines")
+			}
+			m = mm
+		}
+	}
+	if m == nil {
+		t.Fatal("body holds no machine")
+	}
+	m.Bind(d)
+	return m
+}
+
+// TestEvalBasics checks evaluation through the observable-output channel: a
+// program that computes its results hashes identically to one that prints
+// the expected literals.
+func TestEvalBasics(t *testing.T) {
+	for _, tc := range []struct{ name, got, want string }{
+		{"arith-and-set",
+			"(define x 3) (set! x (+ x 4)) (print x) (print (* 2 21)) (print (- 10 2 3))",
+			"(print 7) (print 42) (print 5)"},
+		{"pairs",
+			"(define p (cons 5 (cons 6 ()))) (print (car p)) (print (car (cdr p))) (print (null? (cdr (cdr p))))",
+			"(print 5) (print 6) (print #t)"},
+		{"recursion",
+			"(define sum (lambda (n) (if (< n 1) 0 (+ n (sum (- n 1)))))) (print (sum 10))",
+			"(print 55)"},
+		{"closure-capture",
+			"(define mk (lambda (n) (lambda (x) (+ x n)))) (define add5 (mk 5)) (print (add5 37))",
+			"(print 42)"},
+		{"while-boxes",
+			"(define i (box 0)) (define acc (box 0))" +
+				"(while (< (unbox i) 5) (set-box! acc (+ (unbox acc) (unbox i))) (set-box! i (+ (unbox i) 1)))" +
+				"(print (unbox acc))",
+			"(print 10)"},
+		{"let-shadowing",
+			"(define x 1) (let ((x 10) (y x)) (print (+ x y))) (print x)",
+			"(print 11) (print 1)"},
+		{"mutating-pairs",
+			"(define p (cons 1 2)) (set-car! p 8) (set-cdr! p 9) (print (car p) (cdr p))",
+			"(print 8 9)"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if g, w := outHashOf(t, tc.got), outHashOf(t, tc.want); g != w {
+				t.Fatalf("output hash %#x, want %#x", g, w)
+			}
+		})
+	}
+}
+
+// TestParseDeterminism pins the property closures depend on: re-parsing the
+// same source yields an identical node table, index for index.
+func TestParseDeterminism(t *testing.T) {
+	src := interp.GenProgram(3, 60, 0.5)
+	a, err := interp.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Nodes, b.Nodes) || !reflect.DeepEqual(a.Tops, b.Tops) {
+		t.Fatal("re-parse produced a different node table")
+	}
+}
+
+// TestFuelHaltsDeterministically: an infinite loop exhausts its per-step
+// budget and halts the machine with a fixed message instead of hanging.
+func TestFuelHaltsDeterministically(t *testing.T) {
+	src := "(define c 0) (while #t (set! c (+ c 1)))"
+	m, err := interp.NewMachine(ckpt.NewDomain(), src, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.Step() {
+	}
+	if !m.Halted() || m.HaltMsg() != "fuel exhausted" {
+		t.Fatalf("halted=%v msg=%q, want fuel exhaustion", m.Halted(), m.HaltMsg())
+	}
+	if !m.Done() {
+		t.Fatal("halted machine not done")
+	}
+}
+
+// TestRuntimeErrorHalts: runtime errors halt with deterministic messages.
+func TestRuntimeErrorHalts(t *testing.T) {
+	for _, tc := range []struct{ src, msg string }{
+		{"(print zzz)", `undefined symbol "zzz"`},
+		{"(car 5)", "not a pair"},
+		{"(unbox 1)", "not a box"},
+		{"(3 4)", "not a procedure"},
+		{"((lambda (a) a) 1 2)", "wrong argument count"},
+	} {
+		m, err := interp.NewMachine(ckpt.NewDomain(), tc.src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m.Step() {
+		}
+		if !m.Halted() || m.HaltMsg() != tc.msg {
+			t.Fatalf("%s: halted=%v msg=%q, want %q", tc.src, m.Halted(), m.HaltMsg(), tc.msg)
+		}
+	}
+}
+
+// TestCyclicHeapCheckpoints: a heap made cyclic by set-cdr! checkpoints
+// under the generic traversal writer (the flat heap table folds each object
+// exactly once) and rebuilds with the cycle intact, proven by a
+// byte-identical re-checkpoint.
+func TestCyclicHeapCheckpoints(t *testing.T) {
+	src := "(define cyc (cons 1 2)) (set-cdr! cyc cyc) (define l (list 1 2 3)) (print (car cyc) cyc)"
+	m, err := interp.NewMachine(ckpt.NewDomain(), src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, m, 100)
+	body := fullBody(t, m)
+	m2 := rebuild(t, body)
+	if !bytes.Equal(body, fullBody(t, m2)) {
+		t.Fatal("rebuilt cyclic heap re-checkpoints differently")
+	}
+	if m2.OutHash() != m.OutHash() || m2.Steps() != m.Steps() {
+		t.Fatal("rebuilt machine state differs")
+	}
+}
+
+// TestChurnStaysIncremental is the interpreter-side regression for the
+// fresh-allocation fix: a high-churn program allocating environments, pairs,
+// boxes, and closures every few steps must never degrade an attached
+// tracker — allocation sites adopt their newborns — so every epoch after the
+// base full stays on the O(dirty) incremental path.
+func TestChurnStaysIncremental(t *testing.T) {
+	src := interp.GenProgram(11, 120, 0.8)
+	d := ckpt.NewDomain()
+	m, err := interp.NewMachine(d, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base full checkpoint, then attach the dirty index.
+	fullBody(t, m)
+	tr := ckpt.NewTracker()
+	d.AttachTracker(tr)
+	if err := tr.Watch(m); err != nil {
+		t.Fatal(err)
+	}
+	w := ckpt.NewWriter()
+	epochs := 0
+	for !m.Done() {
+		m.Run(5)
+		if mode := tr.NextMode(ckpt.Incremental); mode != ckpt.Incremental {
+			t.Fatalf("epoch %d: NextMode = %v after interpreter churn, want Incremental", epochs, mode)
+		}
+		w.Start(ckpt.Incremental)
+		if err := w.CheckpointDirty(tr, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Degraded() {
+			t.Fatalf("epoch %d: tracker degraded under adopted allocation churn", epochs)
+		}
+		epochs++
+		if epochs > 10000 {
+			t.Fatal("runaway")
+		}
+	}
+	if epochs < 5 {
+		t.Fatalf("workload too short to exercise churn: %d epochs", epochs)
+	}
+}

@@ -1,0 +1,101 @@
+package interp
+
+import (
+	"fmt"
+
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// ValKind tags a runtime value.
+type ValKind uint8
+
+const (
+	// KNil is the empty list / unit value.
+	KNil ValKind = iota
+	// KInt is a 64-bit integer (Int).
+	KInt
+	// KBool is a boolean (Int is 0 or 1).
+	KBool
+	// KObj is a heap reference (Obj).
+	KObj
+)
+
+// Value is the interpreter's tagged-union runtime value. It is the
+// polymorphic record the struct-tag reflection schema cannot express: a
+// single field whose wire shape depends on a runtime tag, embedded inside
+// pairs, boxes, and environment frames.
+type Value struct {
+	Kind ValKind
+	Int  int64
+	Obj  Obj
+}
+
+// Obj is a heap-allocated interpreter object: every one is checkpointable
+// and restorable, carries its own ckpt.Info, and lives in the owning
+// Machine's flat heap table (heap objects fold no children themselves — the
+// Machine folds the table — which is what makes cyclic values safe under the
+// generic traversal writer).
+type Obj interface {
+	ckpt.Checkpointable
+	ckpt.Restorable
+}
+
+// Truthy reports the conditional interpretation of v: #f and nil are false,
+// everything else is true.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KNil:
+		return false
+	case KBool:
+		return v.Int != 0
+	default:
+		return true
+	}
+}
+
+// EncodeValue writes v's wire form: a kind byte, then a varint for KInt, a
+// byte for KBool, or the referenced object's id for KObj. The encoding is
+// shared by every engine (virtual, reflect fallback, codegen-shaped), so
+// bodies stay byte-identical across them by construction.
+func EncodeValue(e *wire.Encoder, v Value) {
+	e.Byte(byte(v.Kind))
+	switch v.Kind {
+	case KInt:
+		e.Varint(v.Int)
+	case KBool:
+		e.Byte(byte(v.Int))
+	case KObj:
+		e.Uvarint(v.Obj.CheckpointInfo().ID())
+	}
+}
+
+// DecodeValue reads a value written by EncodeValue, resolving heap
+// references through res (they may still be unrestored shells — the
+// rebuilder restores in ascending id order, and values only hold pointers).
+func DecodeValue(d *wire.Decoder, res *ckpt.Resolver) (Value, error) {
+	switch k := ValKind(d.Byte()); k {
+	case KNil:
+		return Value{}, nil
+	case KInt:
+		return Value{Kind: KInt, Int: d.Varint()}, nil
+	case KBool:
+		return Value{Kind: KBool, Int: int64(d.Byte())}, nil
+	case KObj:
+		id := d.Uvarint()
+		r, err := res.Lookup(id)
+		if err != nil {
+			return Value{}, err
+		}
+		o, ok := r.(Obj)
+		if !ok {
+			return Value{}, fmt.Errorf("%w: object %d is %T, not an interp object", ckpt.ErrTypeConflict, id, r)
+		}
+		return Value{Kind: KObj, Obj: o}, nil
+	default:
+		if err := d.Err(); err != nil {
+			return Value{}, err
+		}
+		return Value{}, fmt.Errorf("interp: bad value kind %d", k)
+	}
+}

@@ -26,6 +26,17 @@
 //
 // A ckpt.Cell[T] tagged `ckpt:"field"` is unwrapped and encoded as its
 // value.
+//
+// # Self-described types
+//
+// Some wire formats cannot be expressed by struct tags: tagged unions, flat
+// object tables, variable-length child lists (the interpreter heap in
+// internal/interp is all three). Such a type opts out of the tag schema by
+// implementing the SelfDescribed marker; the engine then delegates to the
+// type's own Record method for encoding and Fold method for traversal —
+// bodies stay byte-identical to the virtual path by construction. This is
+// the documented behaviour of reflection-based systems on types they cannot
+// introspect: fall back to the class's own serialization hook.
 package reflectckpt
 
 import (
@@ -39,6 +50,16 @@ import (
 
 // ErrSchema reports a struct that cannot be checkpointed by reflection.
 var ErrSchema = errors.New("reflectckpt: invalid schema")
+
+// SelfDescribed marks a checkpointable type whose wire format the tag schema
+// cannot express (tagged unions, object tables). The engine records such an
+// object through its own Record method and traverses it through its own Fold
+// method instead of compiling a field plan. The method body is empty; the
+// name is the contract.
+type SelfDescribed interface {
+	ckpt.Checkpointable
+	SelfDescribedCheckpoint()
+}
 
 // fieldKind classifies a tagged scalar field.
 type fieldKind uint8
@@ -96,13 +117,25 @@ func (en *Engine) Checkpoint(w *ckpt.Writer, root ckpt.Checkpointable) error {
 	}
 	em := w.Emitter()
 	mode := w.Mode()
-	return en.visit(em, mode, root)
+	return en.visit(w, em, mode, root)
 }
 
 // EmitOne records exactly one object — no traversal — through the engine's
 // cached schema: the reflection engine's ckpt.EmitOne, for encoding a
 // tracker's dirty set (ckpt.Writer.CheckpointDirty, parfold.FoldDirty).
 func (en *Engine) EmitOne(em *ckpt.Emitter, o ckpt.Checkpointable) error {
+	if _, ok := o.(SelfDescribed); ok {
+		info := o.CheckpointInfo()
+		if !info.Modified() {
+			em.Skip()
+			return nil
+		}
+		p := em.Begin(info, o.CheckpointTypeID())
+		o.Record(p)
+		em.End()
+		info.ResetModified()
+		return nil
+	}
 	v := reflect.ValueOf(o)
 	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
 		return fmt.Errorf("%w: %T is not a pointer to struct", ErrSchema, o)
@@ -126,8 +159,20 @@ func (en *Engine) EmitOne(em *ckpt.Emitter, o ckpt.Checkpointable) error {
 	return nil
 }
 
-func (en *Engine) visit(em *ckpt.Emitter, mode ckpt.Mode, o ckpt.Checkpointable) error {
+func (en *Engine) visit(w *ckpt.Writer, em *ckpt.Emitter, mode ckpt.Mode, o ckpt.Checkpointable) error {
 	em.Visit()
+	if _, ok := o.(SelfDescribed); ok {
+		info := o.CheckpointInfo()
+		if mode == ckpt.Full || info.Modified() {
+			p := em.Begin(info, o.CheckpointTypeID())
+			o.Record(p)
+			em.End()
+			info.ResetModified()
+		}
+		// The type owns its traversal; children it folds re-enter through
+		// the writer's virtual path, which frames records identically.
+		return o.Fold(w)
+	}
 	v := reflect.ValueOf(o)
 	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
 		return fmt.Errorf("%w: %T is not a pointer to struct", ErrSchema, o)
@@ -158,7 +203,7 @@ func (en *Engine) visit(em *ckpt.Emitter, mode ckpt.Mode, o ckpt.Checkpointable)
 			return fmt.Errorf("%w: field %s of %s is not Checkpointable",
 				ErrSchema, sv.Type().Field(idx).Name, sv.Type())
 		}
-		if err := en.visit(em, mode, child); err != nil {
+		if err := en.visit(w, em, mode, child); err != nil {
 			return err
 		}
 	}
@@ -207,6 +252,13 @@ func (sc *schema) record(sv reflect.Value, e *wire.Encoder) error {
 // order-compatible Record method), resolving children through res. It lets
 // types implement ckpt.Restorable in one line.
 func (en *Engine) Restore(o ckpt.Checkpointable, d *wire.Decoder, res *ckpt.Resolver) error {
+	if _, ok := o.(SelfDescribed); ok {
+		r, ok := o.(ckpt.Restorable)
+		if !ok {
+			return fmt.Errorf("%w: self-described %T is not Restorable", ErrSchema, o)
+		}
+		return r.Restore(d, res)
+	}
 	v := reflect.ValueOf(o)
 	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
 		return fmt.Errorf("%w: %T is not a pointer to struct", ErrSchema, o)

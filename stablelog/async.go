@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ickpt/ckpt"
+	"ickpt/wire"
 )
 
 // AsyncWriter appends checkpoint bodies to a Log from a background
@@ -25,6 +26,12 @@ import (
 // checkpoint writers (which clear modified flags at encode time) and the
 // log: the session commits an epoch only when its body is acknowledged
 // durable, and aborts — re-marking the cleared flags — when it is not.
+//
+// Bodies enter the queue either by Append — which copies — or by the
+// zero-copy pair Reserve/Submit, which hands the writer an encoder backed
+// by a recycled log-owned buffer so checkpoint Record calls write body
+// bytes straight into storage the log will persist, with no per-body copy
+// at all (see DESIGN.md decision 11 for the ownership contract).
 //
 // Appends are ordered. Transient I/O failures (ErrIO) are retried under a
 // bounded backoff policy (WithRetry); the first unrecovered write or sync
@@ -46,7 +53,8 @@ type AsyncWriter struct {
 	cond     *sync.Cond
 	queue    []asyncItem
 	unsynced []uint64 // epochs written since the last fsync, awaiting ack
-	dirty    int      // segments appended since the last fsync
+	free     []*wire.Encoder
+	dirty    int // segments appended since the last fsync
 	syncReq  bool
 	err      error
 	closed   bool
@@ -58,7 +66,15 @@ type asyncItem struct {
 	mode  ckpt.Mode
 	epoch uint64
 	body  []byte
+	// enc, when non-nil, owns body's backing storage (a Submit handoff);
+	// the writer recycles it into the free list once the body has been
+	// written or dropped.
+	enc *wire.Encoder
 }
+
+// maxFreeEncoders bounds the Reserve/Submit recycle list; encoders beyond it
+// are dropped to the garbage collector. Steady-state use holds one or two.
+const maxFreeEncoders = 8
 
 // AsyncStats counts acknowledgement outcomes over the writer's lifetime.
 type AsyncStats struct {
@@ -161,7 +177,53 @@ func (w *AsyncWriter) policyActive() bool {
 func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
 	cp := make([]byte, len(body))
 	copy(cp, body)
+	return w.push(asyncItem{mode: mode, epoch: epoch, body: cp})
+}
 
+// Reserve returns an empty encoder backed by a recycled body buffer, for
+// the zero-copy encode path: point a checkpoint writer at it
+// (ckpt.Writer.SwapEncoder or ckpt.WithEncoder), let Record write the body
+// straight into it, and hand it back with Submit. The encoder — and every
+// slice its Bytes returned — is owned by the AsyncWriter again after
+// Submit; Reserve recycles buffers of bodies already written, so a
+// steady-state reserve/encode/submit loop stops allocating body storage
+// once its buffers have grown to the body size.
+func (w *AsyncWriter) Reserve() *wire.Encoder {
+	w.mu.Lock()
+	var enc *wire.Encoder
+	if n := len(w.free); n > 0 {
+		enc = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+	}
+	w.mu.Unlock()
+	if enc == nil {
+		enc = wire.NewEncoder(0)
+	}
+	enc.Reset()
+	return enc
+}
+
+// Submit enqueues the contents of enc — a body encoded into a Reserve
+// encoder — for writing, without copying: ownership of enc and its buffer
+// transfers to the AsyncWriter, which recycles it after the body is durably
+// written (or dropped on failure). The caller must not touch enc, or any
+// body slice aliasing it, after Submit returns — including on error.
+// Blocking, backpressure, acknowledgement, and retry behave exactly as for
+// Append.
+func (w *AsyncWriter) Submit(mode ckpt.Mode, epoch uint64, enc *wire.Encoder) error {
+	err := w.push(asyncItem{mode: mode, epoch: epoch, body: enc.Bytes(), enc: enc})
+	if err != nil {
+		// The item never entered the queue; reclaim its buffer here.
+		w.mu.Lock()
+		w.recycleLocked(enc)
+		w.mu.Unlock()
+	}
+	return err
+}
+
+// push enqueues one item, blocking while a bounded queue is full.
+func (w *AsyncWriter) push(item asyncItem) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.queueLimit > 0 && len(w.queue) >= w.queueLimit && w.err == nil && !w.closed {
@@ -173,9 +235,17 @@ func (w *AsyncWriter) Append(mode ckpt.Mode, epoch uint64, body []byte) error {
 	if w.err != nil {
 		return w.err
 	}
-	w.queue = append(w.queue, asyncItem{mode: mode, epoch: epoch, body: cp})
+	w.queue = append(w.queue, item)
 	w.cond.Broadcast()
 	return nil
+}
+
+// recycleLocked returns a Submit encoder to the free list. Caller holds w.mu.
+func (w *AsyncWriter) recycleLocked(enc *wire.Encoder) {
+	if enc != nil && len(w.free) < maxFreeEncoders {
+		enc.Reset()
+		w.free = append(w.free, enc)
+	}
 }
 
 // Flush blocks until every enqueued body has been written (or a write has
@@ -315,6 +385,7 @@ func (w *AsyncWriter) run() {
 
 		w.mu.Lock()
 		w.queue = w.queue[1:]
+		w.recycleLocked(item.enc)
 		if err != nil && w.err == nil {
 			w.err = fmt.Errorf("async append: %w", err)
 		}
@@ -418,6 +489,7 @@ func (w *AsyncWriter) failRemaining() {
 	var acks []uint64
 	for _, item := range w.queue {
 		acks = append(acks, item.epoch)
+		w.recycleLocked(item.enc)
 	}
 	acks = append(acks, w.unsynced...)
 	w.stats.Dropped += uint64(len(acks))

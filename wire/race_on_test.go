@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose sync.Pool instrumentation randomly bypasses caching and breaks
+// zero-allocation gates.
+const raceEnabled = true

@@ -137,6 +137,35 @@ func (e *Encoder) Raw(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// ReserveUvarint appends a one-byte placeholder for a uvarint whose value is
+// not known yet and returns its position, for PatchUvarint. It is the
+// primitive behind the zero-copy record framing: a length prefix can be
+// reserved before the payload is encoded in place, instead of encoding the
+// payload into a scratch buffer and copying it behind a computed prefix.
+func (e *Encoder) ReserveUvarint() int {
+	e.buf = append(e.buf, 0)
+	return len(e.buf) - 1
+}
+
+// PatchUvarint sets the placeholder reserved at pos (by ReserveUvarint) to
+// the number of bytes appended after it. Counts under 128 overwrite the
+// placeholder in place — the common case for checkpoint record payloads;
+// larger counts shift the tail right by the extra varint bytes, still
+// producing exactly the stream a precomputed prefix would have.
+func (e *Encoder) PatchUvarint(pos int) {
+	n := uint64(len(e.buf) - pos - 1)
+	if n < 0x80 {
+		e.buf[pos] = byte(n)
+		return
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	w := binary.PutUvarint(tmp[:], n)
+	old := len(e.buf)
+	e.buf = slices.Grow(e.buf, w-1)[:old+w-1]
+	copy(e.buf[pos+w:], e.buf[pos+1:old])
+	copy(e.buf[pos:pos+w], tmp[:w])
+}
+
 // Decoder reads binary values from a byte slice.
 //
 // Errors are sticky: after the first failure every subsequent read returns

@@ -275,3 +275,59 @@ func TestEncoderGrow(t *testing.T) {
 		t.Fatalf("Grow(16) reallocated from %d to %d", grown, cap(e.buf))
 	}
 }
+
+func TestReservePatchUvarint(t *testing.T) {
+	// Every payload size class: in-place patch (<128), and tails that need a
+	// 2- and 3-byte length prefix shifted in.
+	for _, n := range []int{0, 1, 5, 127, 128, 129, 300, 16383, 16384, 70000} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var want Encoder
+		want.Uvarint(42)
+		want.BytesField(payload)
+		want.Uvarint(7)
+
+		var got Encoder
+		got.Uvarint(42)
+		pos := got.ReserveUvarint()
+		got.Raw(payload)
+		got.PatchUvarint(pos)
+		got.Uvarint(7)
+
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("n=%d: reserve/patch stream differs from precomputed prefix", n)
+		}
+	}
+}
+
+func TestReservePatchUvarintNested(t *testing.T) {
+	// Reserve/patch composes with surrounding writes: frame two records
+	// back to back and decode them.
+	var e Encoder
+	p1 := e.ReserveUvarint()
+	e.String("hello")
+	e.Varint(-9)
+	e.PatchUvarint(p1)
+	p2 := e.ReserveUvarint()
+	e.Raw(make([]byte, 200))
+	e.PatchUvarint(p2)
+
+	d := NewDecoder(e.Bytes())
+	b1 := d.BytesField()
+	b2 := d.BytesField()
+	if d.Err() != nil || d.Len() != 0 {
+		t.Fatalf("decode: err=%v rest=%d", d.Err(), d.Len())
+	}
+	inner := NewDecoder(b1)
+	if s := inner.String(); s != "hello" {
+		t.Fatalf("inner string = %q", s)
+	}
+	if v := inner.Varint(); v != -9 {
+		t.Fatalf("inner varint = %d", v)
+	}
+	if len(b2) != 200 {
+		t.Fatalf("second field = %d bytes, want 200", len(b2))
+	}
+}
