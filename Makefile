@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short bench-dirty bench-interp race-interp generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
+.PHONY: all build test lint race cover bench bench-short bench-dirty bench-interp bench-multitenant race-interp race-tenant generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -49,6 +49,20 @@ bench-interp:
 # Race leg over the interpreter workload and the zero-copy encode substrate.
 race-interp:
 	$(GO) test -race -count=1 ./internal/interp/ ./ckpt/ ./wire/ ./stablelog/
+
+# Multi-tenant service sweep: tenant count x churn rate x worker count over
+# one shared worker pool and AsyncWriter log, written as
+# BENCH_multitenant.json (records GOMAXPROCS and the physical core count),
+# gated by the workers=1 inline-path speedup floor.
+bench-multitenant:
+	$(GO) test -count=1 -run 'TestWorkers1RunsInline|TestWorkers1SpeedupFloor|TestSteadyStateFoldClearSetRecycled' ./ckpt/parfold/
+	$(GO) run ./cmd/ckptbench -experiment multitenant -reps 7 -warmup 2
+
+# Race leg over the multi-tenant service, its scheduler, and the parallel
+# fold it multiplexes (includes the shared-log fault sweeps in difftest).
+race-tenant:
+	$(GO) test -race -count=1 ./ckpt/tenant/ ./ckpt/parfold/
+	$(GO) test -race -count=1 -run 'TestTenant' ./internal/difftest/
 
 # Regenerate the specialized checkpoint routines (cmd/ckptgen) and the
 # derived protocol for the derive test workload (cmd/ckptderive).

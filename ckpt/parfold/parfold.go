@@ -62,6 +62,23 @@ type Sink interface {
 	Append(mode ckpt.Mode, epoch uint64, body []byte) error
 }
 
+// ReserveSink is a Sink with a zero-copy handoff path (DESIGN.md decision
+// 11): Reserve hands out a sink-owned encoder, Submit transfers it — and the
+// body encoded into it — back without copying a byte, and Recycle returns an
+// unused reservation to the sink's free list when the fold that was encoding
+// into it aborts, so a failed epoch never leaks the buffer.
+// *stablelog.AsyncWriter satisfies it. FoldTo detects the interface and
+// routes the canonical merge straight into the reserved buffer: the
+// per-worker shard chunks are concatenated into sink-owned storage (one copy
+// total), and on the single-worker inline path the records are encoded into
+// it directly (no copy at all).
+type ReserveSink interface {
+	Sink
+	Reserve() *wire.Encoder
+	Submit(mode ckpt.Mode, epoch uint64, enc *wire.Encoder) error
+	Recycle(enc *wire.Encoder)
+}
+
 // Option configures a Folder.
 type Option interface {
 	apply(*Folder)
@@ -114,6 +131,15 @@ type Folder struct {
 	epoch uint64
 	out   wire.Encoder
 	pool  []*worker
+
+	// target, when non-nil, receives the next fold's body in place of the
+	// folder's own merge buffer — FoldTo points it at a ReserveSink's
+	// reserved encoder so the merge lands in sink-owned storage.
+	target *wire.Encoder
+	// lastLen is the previous merged body's length, the pre-size hint for
+	// the per-worker shard buffers (f.out.Len() is stale when the previous
+	// fold merged into a target).
+	lastLen int
 
 	// spawned counts fold goroutines launched over the folder's lifetime;
 	// the degraded-to-sequential path (one effective worker, or
@@ -182,20 +208,60 @@ func (f *Folder) Fold(mode ckpt.Mode, roots []ckpt.Checkpointable) ([]byte, ckpt
 // the epoch commits on durable fsync and aborts on a failed or dropped
 // write.
 func (f *Folder) FoldTo(sink Sink, mode ckpt.Mode, roots []ckpt.Checkpointable) (ckpt.Stats, error) {
+	if zc, ok := sink.(ReserveSink); ok {
+		enc := zc.Reserve()
+		f.target = enc
+		_, stats, err := f.Fold(mode, roots)
+		f.target = nil
+		if err != nil {
+			// The fold aborted (and re-marked) already; the reservation must
+			// go back to the sink's free list or the buffer leaks.
+			zc.Recycle(enc)
+			return stats, err
+		}
+		if err := zc.Submit(mode, f.epoch, enc); err != nil {
+			// Submit reclaims the buffer on its own error path; only the
+			// epoch needs aborting here.
+			f.abortEpoch()
+			return stats, err
+		}
+		return stats, nil
+	}
 	body, stats, err := f.Fold(mode, roots)
 	if err != nil {
 		return stats, err
 	}
 	if err := sink.Append(mode, f.epoch, body); err != nil {
-		if f.session != nil {
-			f.session.Abort(f.epoch)
-		} else {
-			ckpt.Remark(f.lastClears)
-			f.lastClears = nil
-		}
+		f.abortEpoch()
 		return stats, err
 	}
 	return stats, nil
+}
+
+// abortEpoch aborts the epoch of the last successful fold after its body
+// failed to reach the sink: through the session when one is attached,
+// otherwise by re-marking the folder's retained clear-set.
+func (f *Folder) abortEpoch() {
+	if f.session != nil {
+		f.session.Abort(f.epoch)
+	} else {
+		ckpt.Remark(f.lastClears)
+		ckpt.PutClearSet(f.lastClears)
+		f.lastClears = nil
+	}
+}
+
+// retireClears recycles the retained clear-set of the previous fold, which
+// becomes unreachable for abortEpoch the moment a new fold starts. Retiring
+// it before the workers' StartShard/StartAt lets their emitters draw the
+// grown backing array back out of the pool, keeping the steady-state
+// incremental fold free of the per-epoch clear-set growth cascade (the
+// sessionless counterpart of Writer.Finish's putClears).
+func (f *Folder) retireClears() {
+	if f.lastClears != nil {
+		ckpt.PutClearSet(f.lastClears)
+		f.lastClears = nil
+	}
 }
 
 // FoldAt is Fold with an explicit epoch, for callers that interleave a
@@ -204,26 +270,56 @@ func (f *Folder) FoldTo(sink Sink, mode ckpt.Mode, roots []ckpt.Checkpointable) 
 // updates the folder's epoch, so a later Fold continues from epoch+1.
 func (f *Folder) FoldAt(mode ckpt.Mode, epoch uint64, roots []ckpt.Checkpointable) ([]byte, ckpt.Stats, error) {
 	f.epoch = epoch
+	nw, ns := f.geometry()
 
 	// Canonical order: ascending checkpoint id. The sequential reference is
-	// a fold over the roots in this order.
-	order := make([]int, len(roots))
-	for i := range order {
-		order[i] = i
+	// a fold over the roots in this order. Roots that arrive already sorted
+	// (ckpt.SortRoots, registration order) skip the sort — on the inline
+	// path that keeps the fold free of per-epoch O(n log n) overhead the
+	// sequential driver doesn't pay.
+	ascending := true
+	for i := 1; i < len(roots); i++ {
+		if roots[i-1].CheckpointInfo().ID() > roots[i].CheckpointInfo().ID() {
+			ascending = false
+			break
+		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return roots[order[a]].CheckpointInfo().ID() < roots[order[b]].CheckpointInfo().ID()
-	})
+	var order []int
+	if !ascending {
+		order = make([]int, len(roots))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return roots[order[a]].CheckpointInfo().ID() < roots[order[b]].CheckpointInfo().ID()
+		})
+	}
 
-	nw, ns := f.geometry()
+	if nw == 1 {
+		// One effective worker: encode the canonical sequence straight into
+		// the output encoder — no shard buffers, no merge copy.
+		return f.foldInline(mode, epoch, len(roots), func(w *worker, k int) error {
+			if order != nil {
+				k = order[k]
+			}
+			return w.fold(w.wr, roots[k])
+		})
+	}
 
 	// Stable shard assignment: root id mod shard count. Within a shard the
 	// canonical order is preserved, so a shard body is a contiguous run of
 	// chunks only when ns == 1; in general the chunk table re-orders.
 	shardItems := make([][]int, ns)
-	for _, p := range order {
-		s := int(roots[p].CheckpointInfo().ID() % uint64(ns))
-		shardItems[s] = append(shardItems[s], p)
+	if order != nil {
+		for _, p := range order {
+			s := int(roots[p].CheckpointInfo().ID() % uint64(ns))
+			shardItems[s] = append(shardItems[s], p)
+		}
+	} else {
+		for p := range roots {
+			s := int(roots[p].CheckpointInfo().ID() % uint64(ns))
+			shardItems[s] = append(shardItems[s], p)
+		}
 	}
 
 	return f.foldShards(mode, epoch, nw, ns, len(roots), shardItems, order,
@@ -251,20 +347,32 @@ func (f *Folder) FoldDirtyAt(epoch uint64, t *ckpt.Tracker, emit ckpt.EmitOne) (
 	f.epoch = epoch
 	objs := t.Take() // canonical ascending-id order already
 	nw, ns := f.geometry()
-	shardItems := make([][]int, ns)
-	for p, o := range objs {
-		s := int(o.CheckpointInfo().ID() % uint64(ns))
-		shardItems[s] = append(shardItems[s], p)
-	}
-	body, stats, err := f.foldShards(ckpt.Incremental, epoch, nw, ns, len(objs), shardItems, nil,
-		func(w *worker, p int) error {
+	var (
+		body  []byte
+		stats ckpt.Stats
+		err   error
+	)
+	if nw == 1 {
+		body, stats, err = f.foldInline(ckpt.Incremental, epoch, len(objs), func(w *worker, k int) error {
 			w.wr.Emitter().Visit()
-			return emit(w.wr.Emitter(), objs[p])
+			return emit(w.wr.Emitter(), objs[k])
 		})
+	} else {
+		shardItems := make([][]int, ns)
+		for p, o := range objs {
+			s := int(o.CheckpointInfo().ID() % uint64(ns))
+			shardItems[s] = append(shardItems[s], p)
+		}
+		body, stats, err = f.foldShards(ckpt.Incremental, epoch, nw, ns, len(objs), shardItems, nil,
+			func(w *worker, p int) error {
+				w.wr.Emitter().Visit()
+				return emit(w.wr.Emitter(), objs[p])
+			})
+	}
 	if err != nil {
 		// Re-enqueue the dirty objects the failed epoch never recorded; the
 		// recorded ones are re-marked (and re-enqueued) by the abort that
-		// foldShards already performed. Both are idempotent.
+		// the fold already performed. Both are idempotent.
 		t.Requeue(objs)
 	}
 	return body, stats, err
@@ -292,20 +400,86 @@ func (f *Folder) geometry() (nw, ns int) {
 	return nw, ns
 }
 
+// outFor returns the encoder the current fold's merged body lands in: the
+// FoldTo-reserved sink encoder when one is pending, the folder's own merge
+// buffer otherwise.
+func (f *Folder) outFor() *wire.Encoder {
+	if f.target != nil {
+		return f.target
+	}
+	return &f.out
+}
+
+// ensureWorkers grows the cached worker pool to at least n entries.
+func (f *Folder) ensureWorkers(n int) {
+	for len(f.pool) < n {
+		enc := wire.GetEncoder()
+		f.pool = append(f.pool, &worker{enc: enc, wr: ckpt.NewWriter(ckpt.WithEncoder(enc)), fold: f.newFold()})
+	}
+}
+
+// foldInline is the single-worker fold: it encodes the canonical item
+// sequence — header included, via Writer.StartAt — directly into the output
+// encoder, producing the same bytes as the sharded merge without per-worker
+// buffers, goroutines, or a merge copy. The worker's own pooled encoder is
+// swapped out for the duration and restored before returning.
+func (f *Folder) foldInline(mode ckpt.Mode, epoch uint64, nitems int, item func(*worker, int) error) ([]byte, ckpt.Stats, error) {
+	f.retireClears()
+	f.ensureWorkers(1)
+	w := f.pool[0]
+	out := f.outFor()
+	w.wr.SwapEncoder(out)
+	w.wr.StartAt(mode, epoch)
+	var itemErr error
+	for k := 0; k < nitems; k++ {
+		if err := item(w, k); err != nil {
+			itemErr = err
+			break
+		}
+	}
+	// Gather the clear-set before Finish consumes it: the worker writer has
+	// no session, so the folder must observe or abort the epoch itself, the
+	// same way the sharded path does at merge time.
+	clears := w.wr.Emitter().TakeClears()
+	_, stats, ferr := w.wr.Finish()
+	w.wr.SwapEncoder(w.enc)
+	if itemErr == nil && ferr != nil {
+		itemErr = ferr
+	}
+	if itemErr != nil {
+		f.lastClears = nil
+		if f.session != nil {
+			f.session.Observe(epoch, mode, clears)
+			f.session.Abort(epoch)
+		} else {
+			ckpt.Remark(clears)
+			ckpt.PutClearSet(clears)
+		}
+		return nil, ckpt.Stats{}, itemErr
+	}
+	stats.Bytes = out.Len()
+	f.lastLen = out.Len()
+	if f.session != nil {
+		f.session.Observe(epoch, mode, clears)
+		f.lastClears = nil
+	} else {
+		f.lastClears = clears
+	}
+	return out.Bytes(), stats, nil
+}
+
 // foldShards is the engine shared by FoldAt and FoldDirtyAt: claim shards,
 // fold each shard's items via item (recording spans), merge chunks in
 // canonical order under one body header, and observe-or-abort the epoch's
 // merged clear-set. mergeOrder gives the output order of item positions; nil
 // means ascending positions (items pre-sorted).
 func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, shardItems [][]int, mergeOrder []int, item func(*worker, int) error) ([]byte, ckpt.Stats, error) {
-	for len(f.pool) < nw {
-		enc := wire.GetEncoder()
-		f.pool = append(f.pool, &worker{enc: enc, wr: ckpt.NewWriter(ckpt.WithEncoder(enc)), fold: f.newFold()})
-	}
+	f.retireClears()
+	f.ensureWorkers(nw)
 	// Pre-size the shard buffers from the previous merged body: an even split
 	// is the steady-state expectation, and growing up front turns the first
 	// epochs' incremental reallocations into one.
-	if hint := f.out.Len() / nw; hint > 0 {
+	if hint := f.lastLen / nw; hint > 0 {
 		for _, w := range f.pool[:nw] {
 			w.enc.Grow(hint)
 		}
@@ -367,10 +541,14 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 
 	// Merge the per-worker clear-sets: on failure the whole epoch —
 	// including shards that folded cleanly — must be re-marked, because the
-	// merged body is discarded as a unit.
-	var clears []ckpt.ClearEntry
+	// merged body is discarded as a unit. The merge target comes from the
+	// clear-set pool and the per-worker sets go straight back into it, so
+	// the next epoch's emitters (and the next merge) reuse the grown arrays
+	// instead of re-paying the append cascade.
+	clears := ckpt.GetClearSet()
 	for _, w := range f.pool[:nw] {
 		clears = append(clears, w.clears...)
+		ckpt.PutClearSet(w.clears)
 		w.clears = nil
 	}
 
@@ -400,12 +578,14 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 			f.session.Abort(epoch)
 		} else {
 			ckpt.Remark(clears)
+			ckpt.PutClearSet(clears)
 		}
 		return nil, ckpt.Stats{}, foldErr
 	}
 
-	f.out.Reset()
-	ckpt.AppendBodyHeader(&f.out, mode, epoch)
+	out := f.outFor()
+	out.Reset()
+	ckpt.AppendBodyHeader(out, mode, epoch)
 	var stats ckpt.Stats
 	for _, w := range f.pool[:nw] {
 		st := w.wr.Emitter().Stats()
@@ -416,21 +596,22 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 	// 1:1 onto chunk-table slots via mergeOrder.
 	if mergeOrder != nil {
 		for _, p := range mergeOrder {
-			f.out.Raw(chunks[p])
+			out.Raw(chunks[p])
 		}
 	} else {
 		for _, c := range chunks {
-			f.out.Raw(c)
+			out.Raw(c)
 		}
 	}
-	stats.Bytes = f.out.Len()
+	stats.Bytes = out.Len()
+	f.lastLen = out.Len()
 	if f.session != nil {
 		f.session.Observe(epoch, mode, clears)
 		f.lastClears = nil
 	} else {
 		f.lastClears = clears
 	}
-	return f.out.Bytes(), stats, nil
+	return out.Bytes(), stats, nil
 }
 
 // Release returns the folder's pooled per-worker encoders to the wire pool
@@ -439,6 +620,7 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 // remains valid (it lives in the folder's own merge buffer, not in a worker
 // encoder).
 func (f *Folder) Release() {
+	f.retireClears()
 	for _, w := range f.pool {
 		wire.PutEncoder(w.enc)
 	}

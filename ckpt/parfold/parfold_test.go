@@ -354,26 +354,23 @@ func TestEpochsAndEmptyFold(t *testing.T) {
 	}
 }
 
-// TestNoClaimsAfterFailure pins the early-stop regression: once one shard's
-// fold has failed, the epoch is doomed and workers must stop claiming new
-// shards. A single worker makes the schedule deterministic: it folds the
-// first claimed shard cleanly, fails on the lowest id (which lives in the
-// second claimed shard), and must then stop instead of folding the ~30
-// remaining roots of an epoch whose body will be discarded.
+// TestNoClaimsAfterFailure pins the early-stop regression: once a fold has
+// failed, the epoch is doomed and no further roots may be folded. A single
+// worker makes the schedule deterministic — and runs the inline sequential
+// path, which folds roots in canonical ascending-id order: the failing call
+// on the lowest id comes first, and nothing after it may fold (an epoch
+// whose body will be discarded must not burn CPU on the remaining ~39
+// roots).
 func TestNoClaimsAfterFailure(t *testing.T) {
 	const nRoots, nShards = 40, 8
 	d := ckpt.NewDomain()
 	roots := make([]ckpt.Checkpointable, nRoots)
 	lowest := uint64(1<<63 - 1)
-	inFirstShard := 0
 	for i := range roots {
 		l := &leaf{Info: ckpt.NewInfo(d), V: int64(i)}
 		roots[i] = l
 		if id := l.Info.ID(); id < lowest {
 			lowest = id
-		}
-		if l.Info.ID()%nShards == 0 {
-			inFirstShard++
 		}
 	}
 
@@ -391,9 +388,10 @@ func TestNoClaimsAfterFailure(t *testing.T) {
 	if _, _, err := folder.Fold(ckpt.Full, roots); err == nil {
 		t.Fatal("fold succeeded, want error")
 	}
-	// Shard 0 folds cleanly, then the failing call on the lowest id; nothing
-	// after that. Before the fix the worker kept claiming all eight shards.
-	want := int32(inFirstShard + 1)
+	// The failing call on the lowest id is the first fold of the canonical
+	// sequence; nothing after that. Before the fix the worker kept going
+	// through all eight shards.
+	want := int32(1)
 	if got := calls.Load(); got != want {
 		t.Fatalf("fold calls after failure = %d, want %d (claiming must stop)", got, want)
 	}

@@ -67,6 +67,21 @@ func getClears() []ClearEntry {
 	return nil
 }
 
+// GetClearSet returns an empty clear-set backed by a recycled array when one
+// is available. It is the exported face of the epoch clear-set pool for fold
+// drivers outside this package (parfold's merge step) that accumulate and
+// hold clear-sets without a Session; pair it with PutClearSet, the way
+// wire.GetEncoder pairs with wire.PutEncoder. Emitters draw from the same
+// pool internally, so a driver that takes a clear-set (Emitter.TakeClears)
+// and never retires it starves the pool and re-pays the append growth
+// cascade every epoch.
+func GetClearSet() []ClearEntry { return getClears() }
+
+// PutClearSet retires a clear-set's backing array for reuse. The entries
+// must be dead: the caller has committed the epoch, or re-marked the set via
+// Remark. Safe on nil.
+func PutClearSet(c []ClearEntry) { putClears(c) }
+
 // putClears retires a clear-set's backing array for reuse. Safe on nil and
 // on slices that did not come from the pool.
 func putClears(c []ClearEntry) {

@@ -1,0 +1,49 @@
+// Package tenant is the multi-tenant checkpoint service: one Manager owns N
+// independent tenants — per-user session state at "millions of users" scale
+// — and checkpoints them concurrently onto one shared stable log.
+//
+// Each Tenant is a full single-domain stack in miniature: its own
+// ckpt.Domain (id space), ckpt.Tracker (O(dirty) mark queue), and
+// ckpt.Session (epoch commit/abort authority). What tenants share is the
+// expensive machinery: a bounded pool of fold workers and one
+// stablelog.AsyncWriter multiplexing every tenant's bodies onto a bounded
+// set of segment files. Epochs on the wire are composite —
+// tenantID<<32 | localEpoch (see WireEpoch/SplitEpoch) — so interleaved
+// segments from different tenants recover independently (Recover filters a
+// shared log down to one tenant's run).
+//
+// Scheduling is smallest-dirty-first: a tenant with three dirty objects
+// checkpoints before one with three thousand, minimizing mean epoch latency
+// across tenants, with an anti-starvation aging rule — a request passed over
+// too many times is taken next regardless of size — bounding the tail.
+//
+// Admission control bounds the pending-fold queue. Tenant.Request applies
+// backpressure (blocks until the pool drains); Tenant.TryRequest sheds
+// instead: the shed is accounted (Stats.Shed), no epoch is lost — the dirty
+// set keeps accumulating — and the tenant is degraded to a Full checkpoint
+// at its next admitted fold, restoring the bounded-incremental invariant
+// (and re-anchoring its recovery chain) after the unbounded gap.
+//
+// Folds run through the zero-copy path end to end: a worker reserves a
+// log-owned buffer (AsyncWriter.Reserve), encodes the tenant's dirty set
+// straight into it (Writer.SwapEncoder + StartAt), and submits it without a
+// copy (AsyncWriter.Submit). A failed fold recycles the reservation
+// (AsyncWriter.Recycle), aborts the epoch through the tenant's session —
+// re-marking the cleared flags — and triggers a retry fold that bypasses
+// the admission bound. The acknowledgement mux routes each durable-write
+// ack back to the owning tenant's session, which commits the epoch; an
+// error acknowledgement (only delivered once the shared writer's error has
+// gone sticky — transient I/O failures are absorbed by its retry policy)
+// aborts the epoch and degrades the tenant to Full, so the next healthy
+// writer's anchor recaptures the re-marked state instead of retrying
+// against a dead log.
+//
+// Locking contract: a tenant's domain, tracker, session, and roots are
+// guarded by the tenant lock. Folds and acknowledgements take it
+// internally; application code mutating tenant state must do so via
+// Tenant.Update, which serializes against in-flight folds of that tenant
+// (folds of other tenants proceed concurrently). Worker code never holds a
+// tenant lock across a Submit — backpressure can block while the
+// acknowledgements that would drain it need tenant locks — and never nests
+// the manager lock with a tenant lock, in either order.
+package tenant

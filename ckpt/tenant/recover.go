@@ -1,0 +1,112 @@
+package tenant
+
+import (
+	"fmt"
+
+	"ickpt/ckpt"
+	"ickpt/stablelog"
+)
+
+// TenantIDs scans a shared log and returns the distinct tenant ids with at
+// least one segment, in ascending order.
+func TenantIDs(l *stablelog.Log) []uint32 {
+	seen := make(map[uint32]bool)
+	var ids []uint32
+	for _, seg := range l.Segments() {
+		id, _ := SplitEpoch(seg.Epoch)
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// RecoveryRun filters a shared log down to one tenant's latest replay
+// chain: its most recent Full segment and every later segment of the same
+// tenant, in log order. Unlike stablelog.RecoveryRun the chain is not
+// contiguous in the log — other tenants' segments interleave — so sequence
+// numbers increase but need not be consecutive. Returns
+// stablelog.ErrNoFull when the tenant has no full checkpoint.
+func RecoveryRun(l *stablelog.Log, id uint32) ([]stablelog.SegmentInfo, error) {
+	var run []stablelog.SegmentInfo
+	for _, seg := range l.Segments() {
+		segID, _ := SplitEpoch(seg.Epoch)
+		if segID != id {
+			continue
+		}
+		if seg.Mode == ckpt.Full {
+			run = run[:0]
+		}
+		run = append(run, seg)
+	}
+	if len(run) == 0 || run[0].Mode != ckpt.Full {
+		return nil, fmt.Errorf("tenant %d: %w", id, stablelog.ErrNoFull)
+	}
+	return run, nil
+}
+
+// validateRun checks a filtered per-tenant run for coherence — anchored by
+// a Full, no second Full mid-run, sequence numbers and local epochs
+// strictly increasing. It is the per-tenant analogue of
+// stablelog.ValidateRun, minus the consecutive-sequence rule a shared log
+// cannot satisfy. Violations wrap stablelog.ErrIncoherent.
+func validateRun(id uint32, run []stablelog.SegmentInfo) error {
+	if len(run) == 0 {
+		return fmt.Errorf("%w: tenant %d: empty run", stablelog.ErrIncoherent, id)
+	}
+	if run[0].Mode != ckpt.Full {
+		return fmt.Errorf("%w: tenant %d: run starts with an incremental (seq %d)",
+			stablelog.ErrIncoherent, id, run[0].Seq)
+	}
+	for i := 1; i < len(run); i++ {
+		prev, cur := run[i-1], run[i]
+		if cur.Mode != ckpt.Incremental {
+			return fmt.Errorf("%w: tenant %d: full checkpoint mid-run (seq %d)",
+				stablelog.ErrIncoherent, id, cur.Seq)
+		}
+		if cur.Seq <= prev.Seq {
+			return fmt.Errorf("%w: tenant %d: seq not increasing (%d after %d)",
+				stablelog.ErrIncoherent, id, cur.Seq, prev.Seq)
+		}
+		_, pe := SplitEpoch(prev.Epoch)
+		_, ce := SplitEpoch(cur.Epoch)
+		if ce <= pe {
+			return fmt.Errorf("%w: tenant %d: local epoch not increasing at seq %d (%d after %d)",
+				stablelog.ErrIncoherent, id, cur.Seq, ce, pe)
+		}
+	}
+	return nil
+}
+
+// Recover replays one tenant's latest run out of a shared log into rb,
+// validating the filtered chain first and applying it atomically: on any
+// error — no full anchor, incoherent chain, read failure, corrupt body —
+// rb is unchanged. Other tenants' interleaved segments are untouched, so N
+// tenants recover independently from the same file.
+func Recover(l *stablelog.Log, id uint32, rb *ckpt.Rebuilder) error {
+	run, err := RecoveryRun(l, id)
+	if err != nil {
+		return err
+	}
+	if err := validateRun(id, run); err != nil {
+		return err
+	}
+	bodies := make([][]byte, len(run))
+	for i, seg := range run {
+		body, err := l.Read(seg.Seq)
+		if err != nil {
+			return fmt.Errorf("tenant %d: %w", id, err)
+		}
+		bodies[i] = body
+	}
+	if err := rb.ApplyRun(bodies); err != nil {
+		return fmt.Errorf("tenant %d: replay run at seq %d: %w", id, run[0].Seq, err)
+	}
+	return nil
+}

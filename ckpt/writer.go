@@ -124,6 +124,23 @@ func (w *Writer) Start(mode Mode) {
 	clear(w.onStack)
 }
 
+// StartAt is Start with an explicit epoch: the body header carries epoch and
+// the writer's own counter is pinned to it, so a later Start continues from
+// epoch+1. It exists for drivers that own the epoch sequence themselves — the
+// parallel folder's single-worker inline path encodes a complete body
+// (header included) with the folder's epoch, byte-identical to the
+// multi-worker merge of the same items.
+func (w *Writer) StartAt(mode Mode, epoch uint64) {
+	w.abandon()
+	w.epoch = epoch
+	w.enc.Reset()
+	w.emitter.Reset(w.enc, mode, epoch)
+	w.mode = mode
+	w.started = true
+	w.visitErr = nil
+	clear(w.onStack)
+}
+
 // StartShard begins a headerless shard body in the given mode: the writer
 // frames records exactly as Start does but emits no body header, and its
 // epoch is pinned to the merged checkpoint's epoch instead of advancing. A

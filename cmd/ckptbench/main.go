@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind|interp]
+//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind|interp|multitenant]
 //	          [-n STRUCTURES] [-scale N] [-reps R] [-warmup W] [-seed S]
 //	          [-csv DIR] [-parallel WORKERS] [-shards N] [-rewind]
 //
@@ -26,6 +26,13 @@
 // measures the zero-copy encode path (AsyncWriter.Reserve / Writer.SwapEncoder
 // / AsyncWriter.Submit) against the scratch-encoder baseline, for both the
 // O(dirty) and full checkpoint disciplines, writing BENCH_interp.json.
+//
+// The multitenant experiment measures the multi-tenant checkpoint service
+// (ckpt/tenant) across a tenant-count x churn-rate x worker-count grid:
+// N independent domains share one fold worker pool and one AsyncWriter log,
+// and each round mutates churn% of the tenants, requests their folds, and
+// flushes. It writes BENCH_multitenant.json, recording GOMAXPROCS and the
+// physical core count the numbers were taken on.
 //
 // Each experiment prints a table whose rows mirror the corresponding paper
 // result; with -csv the tables are also written as CSV files.
@@ -83,6 +90,16 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 		return err
 	}
 	exps := map[string][]experimentFn{
+		"multitenant": {func() (*harness.Table, error) {
+			tbl, rep, err := harness.MultiTenantSweep(opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeJSON("BENCH_multitenant.json", rep); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}},
 		"parallel": {func() (*harness.Table, error) {
 			tbl, rep, err := harness.ParallelScaling(opts, aw, scale, shards)
 			if err != nil {
@@ -139,7 +156,7 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			func() (*harness.Table, error) { return harness.AblationAsync(opts) },
 		},
 	}
-	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind", "interp"}
+	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind", "interp", "multitenant"}
 
 	var selected []experimentFn
 	if experiment == "all" {

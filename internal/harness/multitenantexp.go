@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ickpt/ckpt/tenant"
+	"ickpt/internal/synth"
+	"ickpt/stablelog"
+)
+
+// MultiTenantRow is one cell of the multi-tenant service sweep: a tenant
+// population and per-round churn rate, folded by a given worker count.
+type MultiTenantRow struct {
+	Tenants       int     `json:"tenants"`
+	ChurnPercent  float64 `json:"churn_percent"`
+	Workers       int     `json:"workers"`
+	NsPerRound    float64 `json:"ns_per_round"`
+	FoldsPerRound float64 `json:"folds_per_round"`
+	FoldsPerSec   float64 `json:"folds_per_sec"`
+	BytesPerFold  float64 `json:"bytes_per_fold"`
+	SpeedupVsW1   float64 `json:"speedup_vs_workers1"`
+}
+
+// MultiTenantReport is the machine-readable result of the multi-tenant
+// sweep (BENCH_multitenant.json). GOMAXPROCS and NumCPU record the hardware
+// the numbers were taken on: cross-tenant parallelism is bounded by the
+// physical core count, so worker columns from a single-core machine
+// legitimately show ~1x.
+type MultiTenantReport struct {
+	Experiment string           `json:"experiment"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Rounds     int              `json:"rounds"`
+	Rows       []MultiTenantRow `json:"rows"`
+}
+
+// multiTenantCounts is the tenant-population grid.
+var multiTenantCounts = []int{100, 1000, 10000}
+
+// multiTenantChurns is the per-round churn grid: the percentage of tenants
+// mutated (and requesting a checkpoint) each round.
+var multiTenantChurns = []float64{0.1, 1, 10}
+
+// multiTenantWorkers returns the worker grid {1, 2, 4, NumCPU},
+// deduplicated and ascending.
+func multiTenantWorkers() []int {
+	grid := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	for _, w := range grid {
+		if w == n {
+			return grid
+		}
+	}
+	if n > 4 {
+		return append(grid, n)
+	}
+	// NumCPU < 4 and not already on the grid (i.e. 3): keep the grid sorted.
+	return []int{1, 2, 3, 4}
+}
+
+// MultiTenantSweep measures tenant.Manager throughput across tenant count,
+// churn rate, and worker count: N tiny independent domains share one worker
+// pool and one AsyncWriter-backed log; each round mutates churn% of the
+// tenants, requests their folds, and flushes. Parallelism here is ACROSS
+// tenants — every per-tenant fold runs the inline sequential path — so this
+// is the service-level complement of the per-domain sharded fold that
+// BENCH_parallel.json measures.
+func MultiTenantSweep(opts Options) (*Table, *MultiTenantReport, error) {
+	opts = opts.withDefaults()
+	rep := &MultiTenantReport{
+		Experiment: "multitenant",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rounds:     opts.Repetitions,
+	}
+	t := &Table{
+		ID:      "multitenant",
+		Title:   "Multi-tenant checkpoint service: round latency and fold throughput",
+		Columns: []string{"tenants", "churn %", "workers", "round (ms)", "folds/round", "folds/sec", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d num_cpu=%d; speedup is vs workers=1 in the same cell",
+				rep.GOMAXPROCS, rep.NumCPU),
+			"per-tenant workloads: 2 structures, length 3, 1 int; smallest-dirty-first",
+			"scheduling with aging; one shared AsyncWriter log, sync every 64 bodies",
+		},
+	}
+
+	workers := multiTenantWorkers()
+	for _, nTenants := range multiTenantCounts {
+		for _, churn := range multiTenantChurns {
+			var w1 float64
+			for _, nw := range workers {
+				row, err := measureMultiTenant(nTenants, churn, nw, opts)
+				if err != nil {
+					return nil, nil, err
+				}
+				if nw == 1 {
+					w1 = row.NsPerRound
+				}
+				if w1 > 0 && row.NsPerRound > 0 {
+					row.SpeedupVsW1 = w1 / row.NsPerRound
+				}
+				rep.Rows = append(rep.Rows, *row)
+				t.AddRow(
+					fmt.Sprintf("%d", nTenants),
+					fmt.Sprintf("%.1f", churn),
+					fmt.Sprintf("%d", nw),
+					fmt.Sprintf("%.3f", row.NsPerRound/1e6),
+					fmt.Sprintf("%.0f", row.FoldsPerRound),
+					fmt.Sprintf("%.0f", row.FoldsPerSec),
+					fmt.Sprintf("%.2f", row.SpeedupVsW1),
+				)
+			}
+		}
+	}
+	return t, rep, nil
+}
+
+// measureMultiTenant runs one sweep cell: build nTenants tiny workloads,
+// anchor them all (warmup, unmeasured), then time opts.Repetitions rounds of
+// mutate-churn%-request-flush, reporting the median round.
+func measureMultiTenant(nTenants int, churnPercent float64, workers int, opts Options) (*MultiTenantRow, error) {
+	dir, err := os.MkdirTemp("", "ickpt-multitenant")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	lg, err := stablelog.Create(filepath.Join(dir, "tenants.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer lg.Close()
+
+	m := tenant.NewManager(lg,
+		tenant.WithWorkers(workers), tenant.WithSyncEvery(64))
+	loads := make([]*synth.Workload, nTenants)
+	shape := synth.Shape{Structures: 2, ListLen: 3, Kind: synth.Ints1}
+	for i := 0; i < nTenants; i++ {
+		w := synth.Build(shape)
+		if err := w.Drain(); err != nil {
+			return nil, err
+		}
+		tn := m.Tenant(uint32(i + 1))
+		if err := tn.Init(w.Domain, nil, w.Roots()...); err != nil {
+			return nil, err
+		}
+		loads[i] = w
+	}
+
+	// Warmup sweep: every tenant takes its Full anchor, so the measured
+	// rounds are pure steady-state incremental service.
+	for i := range loads {
+		if err := m.Tenant(uint32(i + 1)).Request(); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Flush(); err != nil {
+		return nil, err
+	}
+
+	churned := nTenants * int(churnPercent*10) / 1000
+	if churned < 1 {
+		churned = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pat := synth.ModPattern{Percent: 50, ModifiableLists: 2}
+
+	var times []float64
+	for round := 0; round < opts.Repetitions; round++ {
+		// Mutations are application work, not service work: keep them
+		// outside the measured window.
+		picked := rng.Perm(nTenants)[:churned]
+		for _, i := range picked {
+			w := loads[i]
+			m.Tenant(uint32(i + 1)).Update(func() { w.Mutate(rng, pat) })
+		}
+		t0 := time.Now()
+		for _, i := range picked {
+			if err := m.Tenant(uint32(i + 1)).Request(); err != nil {
+				return nil, err
+			}
+		}
+		if err := m.Flush(); err != nil {
+			return nil, err
+		}
+		times = append(times, float64(time.Since(t0).Nanoseconds()))
+	}
+	if err := m.Close(); err != nil {
+		return nil, err
+	}
+
+	var folds, bytes, acked, aborted uint64
+	for i := 0; i < nTenants; i++ {
+		st := m.Tenant(uint32(i + 1)).Stats()
+		folds += st.Folds
+		bytes += st.Bytes
+		acked += st.Acked
+		aborted += st.Aborted
+	}
+	if aborted != 0 || acked != folds {
+		return nil, fmt.Errorf("multitenant %d/%g/%d: folds=%d acked=%d aborted=%d",
+			nTenants, churnPercent, workers, folds, acked, aborted)
+	}
+
+	ns := median(times)
+	// Steady-state folds per measured round: total minus the warmup anchors.
+	foldsPerRound := float64(folds-uint64(nTenants)) / float64(opts.Repetitions)
+	row := &MultiTenantRow{
+		Tenants:       nTenants,
+		ChurnPercent:  churnPercent,
+		Workers:       workers,
+		NsPerRound:    ns,
+		FoldsPerRound: foldsPerRound,
+		BytesPerFold:  float64(bytes) / float64(folds),
+	}
+	if ns > 0 {
+		row.FoldsPerSec = foldsPerRound / (ns / 1e9)
+	}
+	return row, nil
+}

@@ -240,12 +240,34 @@ func (w *AsyncWriter) push(item asyncItem) error {
 	return nil
 }
 
+// Recycle returns a Reserve encoder the caller will never Submit — an epoch
+// whose fold aborted after reserving its buffer — to the free list, so a
+// failed checkpoint does not leak the reservation. Recycle accepts exactly
+// one of each Reserve: an encoder must not be recycled after Submit (Submit
+// already transfers ownership back, success or failure), and recycling the
+// same encoder twice would alias two future reservations onto one buffer.
+// Safe to call after Close. A nil enc is a no-op.
+func (w *AsyncWriter) Recycle(enc *wire.Encoder) {
+	w.mu.Lock()
+	w.recycleLocked(enc)
+	w.mu.Unlock()
+}
+
 // recycleLocked returns a Submit encoder to the free list. Caller holds w.mu.
+// Identity-deduped: an encoder already on the free list is left alone, so a
+// double-recycle (a Close racing an abort path, say) cannot hand the same
+// buffer to two reservations.
 func (w *AsyncWriter) recycleLocked(enc *wire.Encoder) {
-	if enc != nil && len(w.free) < maxFreeEncoders {
-		enc.Reset()
-		w.free = append(w.free, enc)
+	if enc == nil || len(w.free) >= maxFreeEncoders {
+		return
 	}
+	for _, e := range w.free {
+		if e == enc {
+			return
+		}
+	}
+	enc.Reset()
+	w.free = append(w.free, enc)
 }
 
 // Flush blocks until every enqueued body has been written (or a write has

@@ -144,3 +144,70 @@ func TestSubmitAfterErrorRecycles(t *testing.T) {
 		t.Fatal("dropped body not counted")
 	}
 }
+
+// TestCloseWithOutstandingReserve: closing the writer while a caller still
+// holds a Reserve'd-but-never-Submit'ted encoder must not strand the buffer
+// (a Submit after Close is rejected with ErrClosed but still takes
+// ownership and recycles) and must not double-recycle it (the free list is
+// identity-deduped, so a redundant Recycle cannot alias one buffer onto two
+// future reservations).
+func TestCloseWithOutstandingReserve(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("cl.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l, stablelog.WithSyncEvery(1))
+	enc := aw.Reserve()
+	enc.String("outstanding at close")
+	if err := aw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Late Submit: rejected, but ownership transfers — the buffer lands on
+	// the free list instead of being stranded with the caller.
+	if err := aw.Submit(ckpt.Incremental, 1, enc); !errors.Is(err, stablelog.ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	if got := aw.Reserve(); got != enc {
+		t.Fatal("buffer outstanding at close was stranded, not recycled")
+	}
+
+	// Double-recycle: a second Recycle of the same encoder (an abort path
+	// racing a shutdown path, say) must be a no-op, not a second free-list
+	// entry handing the same buffer to two reservations.
+	aw.Recycle(enc)
+	aw.Recycle(enc)
+	a, b := aw.Reserve(), aw.Reserve()
+	if a == b {
+		t.Fatal("double-recycled encoder aliased onto two reservations")
+	}
+}
+
+// TestRecycleUnsubmittedReservation: an epoch whose fold aborts after
+// reserving its buffer hands it back with Recycle; the next Reserve reuses
+// it, so aborted epochs do not leak body storage.
+func TestRecycleUnsubmittedReservation(t *testing.T) {
+	m := faultfs.NewMem()
+	l, err := stablelog.Create("ab.log", stablelog.WithFS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	aw := stablelog.NewAsyncWriter(l)
+	defer aw.Close()
+
+	enc := aw.Reserve()
+	enc.String("aborted epoch body")
+	aw.Recycle(enc)
+	got := aw.Reserve()
+	if got != enc {
+		t.Fatal("recycled reservation not reused by the next Reserve")
+	}
+	if got.Len() != 0 {
+		t.Fatal("recycled reservation handed out non-reset")
+	}
+}
