@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race cover bench bench-short bench-dirty bench-interp bench-multitenant race-interp race-tenant generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
+.PHONY: all build test lint race cover bench bench-short bench-dirty bench-interp bench-multitenant bench-delta race-interp race-tenant generate check-generated infer infer-check faultcheck difftest rewind-check fuzz-smoke experiments examples clean
 
 all: build test lint
 
@@ -45,6 +45,14 @@ bench-dirty:
 bench-interp:
 	$(GO) test -count=1 -run 'TestMutationStepAllocsZero|TestInterpDirtyEpochAllocsZero' ./internal/interp/
 	$(GO) run ./cmd/ckptbench -experiment interp -reps 7 -warmup 2
+
+# Sub-object delta sweep: payload size x mutated byte fraction x encode path,
+# delta-encoding writer vs plain writer on twin populations, written as
+# BENCH_delta.json (records GOMAXPROCS and the physical core count), gated by
+# the delta round-trip, shadow-commit coherence, and apply-buffer-reuse tests.
+bench-delta:
+	$(GO) test -count=1 -run 'TestDelta|TestShadow|TestRebuilderDelta|TestCheckDeltaCoherence' ./ckpt/ ./wire/
+	$(GO) run ./cmd/ckptbench -experiment delta -reps 45 -warmup 20
 
 # Race leg over the interpreter workload and the zero-copy encode substrate.
 race-interp:
@@ -111,6 +119,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./wire/
 	$(GO) test -run '^$$' -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./wire/
+	$(GO) test -run '^$$' -fuzz FuzzDeltaRoundTrip -fuzztime $(FUZZTIME) ./wire/
 	$(GO) test -run '^$$' -fuzz FuzzInspectBody -fuzztime $(FUZZTIME) ./ckpt/
 	$(GO) test -run '^$$' -fuzz FuzzRebuilderApply -fuzztime $(FUZZTIME) ./ckpt/
 	$(GO) test -run '^$$' -fuzz FuzzInterpEval -fuzztime $(FUZZTIME) ./internal/interp/

@@ -1,0 +1,435 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ickpt/ckpt"
+	"ickpt/wire"
+)
+
+// Delta-encoding fixture: an object whose payload is a sizeable byte buffer,
+// the shape sub-object delta encoding exists for.
+
+var typeBlob = ckpt.TypeIDOf("ckpttest.blob")
+
+type blob struct {
+	info ckpt.Info
+	data []byte
+}
+
+var _ ckpt.Restorable = (*blob)(nil)
+
+func newBlob(d *ckpt.Domain, n int, seed int64) *blob {
+	b := &blob{info: ckpt.NewInfo(d), data: make([]byte, n)}
+	rand.New(rand.NewSource(seed)).Read(b.data)
+	return b
+}
+
+func (b *blob) CheckpointInfo() *ckpt.Info    { return &b.info }
+func (b *blob) CheckpointTypeID() ckpt.TypeID { return typeBlob }
+func (b *blob) Record(e *wire.Encoder)        { e.BytesField(b.data) }
+func (b *blob) Fold(*ckpt.Writer) error       { return nil }
+func (b *blob) Restore(d *wire.Decoder, _ *ckpt.Resolver) error {
+	b.data = append(b.data[:0], d.BytesField()...)
+	return nil
+}
+
+// poke flips one byte and marks the blob modified.
+func (b *blob) poke(i int) {
+	b.data[i%len(b.data)] ^= 0x5a
+	b.info.Mark()
+}
+
+func blobRegistry(t *testing.T) *ckpt.Registry {
+	t.Helper()
+	reg := ckpt.NewRegistry()
+	reg.MustRegister("ckpttest.blob", func(id uint64) ckpt.Restorable {
+		return &blob{info: ckpt.RestoredInfo(id)}
+	})
+	return reg
+}
+
+type blobTrace struct {
+	bodies [][]byte
+	final  map[uint64][]byte // id -> data after the last epoch
+}
+
+// runBlobTrace checkpoints a fixed mutation schedule over 8 blobs — one full
+// epoch, five incrementals with two small mutations each — and returns the
+// bodies plus the final object state. The schedule is deterministic, so two
+// runs with equivalent writer configurations produce comparable streams.
+func runBlobTrace(t *testing.T, opts ...ckpt.WriterOption) blobTrace {
+	t.Helper()
+	d := ckpt.NewDomain()
+	blobs := make([]*blob, 8)
+	for i := range blobs {
+		blobs[i] = newBlob(d, 1024, int64(i))
+	}
+	w := ckpt.NewWriter(opts...)
+	var tr blobTrace
+	take := func(mode ckpt.Mode) {
+		w.Start(mode)
+		for _, b := range blobs {
+			if err := w.Checkpoint(b); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+		body, _, err := w.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		tr.bodies = append(tr.bodies, append([]byte(nil), body...))
+	}
+	take(ckpt.Full)
+	for e := 0; e < 5; e++ {
+		blobs[e%len(blobs)].poke(37 * (e + 1))
+		blobs[(e+3)%len(blobs)].poke(91*e + 5)
+		take(ckpt.Incremental)
+	}
+	tr.final = make(map[uint64][]byte, len(blobs))
+	for _, b := range blobs {
+		tr.final[b.info.ID()] = append([]byte(nil), b.data...)
+	}
+	return tr
+}
+
+func rebuildBlobs(t *testing.T, bodies [][]byte) map[uint64]ckpt.Restorable {
+	t.Helper()
+	rb := ckpt.NewRebuilder(blobRegistry(t))
+	for i, body := range bodies {
+		if err := rb.Apply(body); err != nil {
+			t.Fatalf("Apply body %d: %v", i, err)
+		}
+	}
+	objs, err := rb.Build(nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return objs
+}
+
+func checkBlobs(t *testing.T, objs map[uint64]ckpt.Restorable, want map[uint64][]byte) {
+	t.Helper()
+	if len(objs) != len(want) {
+		t.Fatalf("rebuilt %d objects, want %d", len(objs), len(want))
+	}
+	for id, data := range want {
+		got, ok := objs[id].(*blob)
+		if !ok {
+			t.Fatalf("object %d missing or wrong type", id)
+		}
+		if !bytes.Equal(got.data, data) {
+			t.Fatalf("object %d: rebuilt data differs from live state", id)
+		}
+	}
+}
+
+// TestDeltaWriterRoundTrip: a delta-encoding writer produces version-2 bodies
+// that carry deltas for lightly-mutated payloads, shrink the incremental
+// stream, and rebuild to exactly the state a plain writer's stream rebuilds
+// to.
+func TestDeltaWriterRoundTrip(t *testing.T) {
+	delta := runBlobTrace(t, ckpt.WithDeltaEncoding(64))
+	plain := runBlobTrace(t)
+
+	deltaRecs, deltaBytes, plainBytes := 0, 0, 0
+	for i, body := range delta.bodies {
+		info, err := ckpt.InspectBodyKinds(body, nil)
+		if err != nil {
+			t.Fatalf("InspectBodyKinds body %d: %v", i, err)
+		}
+		if i == 0 {
+			if info.Version != 2 || info.Deltas != 0 {
+				t.Fatalf("full body: version=%d deltas=%d, want 2/0", info.Version, info.Deltas)
+			}
+			continue
+		}
+		if info.Deltas != info.Records {
+			t.Errorf("incremental body %d: %d of %d records are deltas, want all", i, info.Deltas, info.Records)
+		}
+		deltaRecs += info.Deltas
+		deltaBytes += len(body)
+		plainBytes += len(plain.bodies[i])
+	}
+	if deltaRecs == 0 {
+		t.Fatal("no delta records in the incremental stream")
+	}
+	if deltaBytes*4 > plainBytes {
+		t.Fatalf("deltas saved too little: %d delta bytes vs %d plain bytes", deltaBytes, plainBytes)
+	}
+
+	checkBlobs(t, rebuildBlobs(t, delta.bodies), delta.final)
+	checkBlobs(t, rebuildBlobs(t, plain.bodies), plain.final)
+	for id := range delta.final {
+		if !bytes.Equal(delta.final[id], plain.final[id]) {
+			t.Fatalf("traces diverged at object %d", id)
+		}
+	}
+}
+
+// TestDeltaScratchMatchesZeroCopy: the scratch-copy and zero-copy encode
+// paths make the same delta decisions from the same bytes, so their bodies
+// are byte-identical.
+func TestDeltaScratchMatchesZeroCopy(t *testing.T) {
+	zc := runBlobTrace(t, ckpt.WithDeltaEncoding(64))
+	sc := runBlobTrace(t, ckpt.WithDeltaEncoding(64), ckpt.WithScratchEncode())
+	if len(zc.bodies) != len(sc.bodies) {
+		t.Fatalf("body counts differ: %d vs %d", len(zc.bodies), len(sc.bodies))
+	}
+	for i := range zc.bodies {
+		if !bytes.Equal(zc.bodies[i], sc.bodies[i]) {
+			t.Fatalf("body %d differs between zero-copy and scratch encode", i)
+		}
+	}
+}
+
+// TestDeltaAbortKeepsCommittedBase: aborting an epoch leaves the shadow at
+// the last committed payload, the next emit of the aborted object ships a
+// full record, and the surviving bodies rebuild to the live state.
+func TestDeltaAbortKeepsCommittedBase(t *testing.T) {
+	d := ckpt.NewDomain()
+	b := newBlob(d, 2048, 1)
+	s := ckpt.NewSession()
+	w := ckpt.NewWriter(ckpt.WithSession(s), ckpt.WithDeltaEncoding(64))
+	cache := w.Shadow()
+	if cache == nil {
+		t.Fatal("WithDeltaEncoding left Shadow nil")
+	}
+
+	take := func(mode ckpt.Mode) []byte {
+		t.Helper()
+		w.Start(mode)
+		if err := w.Checkpoint(b); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		body, _, err := w.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		return append([]byte(nil), body...)
+	}
+	deltas := func(body []byte) int {
+		t.Helper()
+		info, err := ckpt.InspectBodyKinds(body, nil)
+		if err != nil {
+			t.Fatalf("InspectBodyKinds: %v", err)
+		}
+		return info.Deltas
+	}
+
+	body1 := take(ckpt.Full)
+	s.Commit(1)
+	b.poke(10)
+	body2 := take(ckpt.Incremental)
+	s.Commit(2)
+	if deltas(body2) != 1 {
+		t.Fatal("epoch 2 did not delta against the committed full payload")
+	}
+	committed := cache.CommittedBase(b.info.ID())
+	if committed == nil {
+		t.Fatal("no committed base after epoch 2")
+	}
+
+	b.poke(20)
+	body3 := take(ckpt.Incremental)
+	if deltas(body3) != 1 {
+		t.Fatal("epoch 3 did not delta")
+	}
+	s.Abort(3) // the sink lost the body; the session re-marks and the cache rolls back
+	if got := cache.CommittedBase(b.info.ID()); got != nil {
+		t.Fatalf("CommittedBase after abort = %d bytes, want nil (stale until restaged)", len(got))
+	}
+	if !b.info.Modified() {
+		t.Fatal("abort did not re-mark the blob")
+	}
+
+	body4 := take(ckpt.Incremental)
+	s.Commit(4)
+	if deltas(body4) != 0 {
+		t.Fatal("post-abort emit must ship a full record, not a delta against lost state")
+	}
+	if got := cache.CommittedBase(b.info.ID()); !bytes.Equal(got, committedAfter(b)) {
+		t.Fatal("epoch 4 did not re-establish the shadow")
+	}
+
+	b.poke(30)
+	body5 := take(ckpt.Incremental)
+	s.Commit(5)
+	if deltas(body5) != 1 {
+		t.Fatal("epoch 5 did not resume delta encoding")
+	}
+
+	objs := rebuildBlobs(t, [][]byte{body1, body2, body4, body5})
+	got := objs[b.info.ID()].(*blob)
+	if !bytes.Equal(got.data, b.data) {
+		t.Fatal("rebuilt state differs from live state after abort")
+	}
+}
+
+// committedAfter returns the payload bytes a committed record of b carries.
+func committedAfter(b *blob) []byte {
+	var e wire.Encoder
+	b.Record(&e)
+	return e.Bytes()
+}
+
+// rawRec frames one version-2 record.
+func rawRec(e *wire.Encoder, id uint64, kind byte, payload []byte) {
+	e.Uvarint(id)
+	e.Uvarint(uint64(typeBlob))
+	e.Byte(kind)
+	e.Uvarint(uint64(len(payload)))
+	e.Raw(payload)
+}
+
+func rawBody(mode ckpt.Mode, epoch uint64, recs func(*wire.Encoder)) []byte {
+	var e wire.Encoder
+	ckpt.AppendDeltaBodyHeader(&e, mode, epoch)
+	recs(&e)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// TestRebuilderDeltaBase: Apply rejects deltas with no in-stream base, with a
+// mismatched base, and deltas inside full bodies — all as ErrDeltaBase, and
+// atomically (the rebuilder state is untouched).
+func TestRebuilderDeltaBase(t *testing.T) {
+	reg := blobRegistry(t)
+	payA := make([]byte, 256)
+	rand.New(rand.NewSource(2)).Read(payA)
+	payB := append([]byte(nil), payA...)
+	payB[7] ^= 0xff
+	var de wire.Encoder
+	if !wire.AppendDelta(&de, payA, payB, len(payB)) {
+		t.Fatal("delta encode")
+	}
+	deltaAB := de.Bytes()
+
+	full := rawBody(ckpt.Full, 1, func(e *wire.Encoder) { rawRec(e, 1, wire.KindFull, payA) })
+
+	t.Run("no-base", func(t *testing.T) {
+		rb := ckpt.NewRebuilder(reg)
+		if err := rb.Apply(full); err != nil {
+			t.Fatal(err)
+		}
+		bad := rawBody(ckpt.Incremental, 2, func(e *wire.Encoder) { rawRec(e, 2, wire.KindDelta, deltaAB) })
+		if err := rb.Apply(bad); !errors.Is(err, ckpt.ErrDeltaBase) {
+			t.Fatalf("Apply = %v, want ErrDeltaBase", err)
+		}
+		if rb.Objects() != 1 {
+			t.Fatalf("failed Apply mutated state: %d objects", rb.Objects())
+		}
+	})
+
+	t.Run("base-mismatch", func(t *testing.T) {
+		rb := ckpt.NewRebuilder(reg)
+		wrong := append([]byte(nil), payA...)
+		wrong[0] ^= 1
+		start := rawBody(ckpt.Full, 1, func(e *wire.Encoder) { rawRec(e, 1, wire.KindFull, wrong) })
+		if err := rb.Apply(start); err != nil {
+			t.Fatal(err)
+		}
+		inc := rawBody(ckpt.Incremental, 2, func(e *wire.Encoder) { rawRec(e, 1, wire.KindDelta, deltaAB) })
+		if err := rb.Apply(inc); !errors.Is(err, ckpt.ErrDeltaBase) {
+			t.Fatalf("Apply = %v, want ErrDeltaBase", err)
+		}
+	})
+
+	t.Run("delta-in-full", func(t *testing.T) {
+		rb := ckpt.NewRebuilder(reg)
+		if err := rb.Apply(full); err != nil {
+			t.Fatal(err)
+		}
+		bad := rawBody(ckpt.Full, 2, func(e *wire.Encoder) { rawRec(e, 1, wire.KindDelta, deltaAB) })
+		if err := rb.Apply(bad); !errors.Is(err, ckpt.ErrDeltaBase) {
+			t.Fatalf("Apply = %v, want ErrDeltaBase", err)
+		}
+	})
+
+	t.Run("same-body-base", func(t *testing.T) {
+		// A delta may base on a full record earlier in the same body.
+		rb := ckpt.NewRebuilder(reg)
+		if err := rb.Apply(full); err != nil {
+			t.Fatal(err)
+		}
+		inc := rawBody(ckpt.Incremental, 2, func(e *wire.Encoder) {
+			rawRec(e, 2, wire.KindFull, payA)
+			rawRec(e, 2, wire.KindDelta, deltaAB)
+		})
+		if err := rb.Apply(inc); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	})
+}
+
+// TestCheckDeltaCoherence mirrors the Apply-level rules at the run level,
+// where stablelog replay and ckptinspect -verify run them without
+// materializing anything.
+func TestCheckDeltaCoherence(t *testing.T) {
+	pay := make([]byte, 128)
+	rand.New(rand.NewSource(3)).Read(pay)
+	next := append([]byte(nil), pay...)
+	next[5] ^= 2
+	var de wire.Encoder
+	if !wire.AppendDelta(&de, pay, next, len(next)) {
+		t.Fatal("delta encode")
+	}
+	delta := de.Bytes()
+
+	full := rawBody(ckpt.Full, 1, func(e *wire.Encoder) { rawRec(e, 1, wire.KindFull, pay) })
+	good := rawBody(ckpt.Incremental, 2, func(e *wire.Encoder) { rawRec(e, 1, wire.KindDelta, delta) })
+	orphan := rawBody(ckpt.Incremental, 2, func(e *wire.Encoder) { rawRec(e, 9, wire.KindDelta, delta) })
+
+	if err := ckpt.CheckDeltaCoherence([][]byte{full, good}); err != nil {
+		t.Fatalf("coherent run: %v", err)
+	}
+	if err := ckpt.CheckDeltaCoherence([][]byte{full, orphan}); !errors.Is(err, ckpt.ErrDeltaBase) {
+		t.Fatalf("orphan delta: %v, want ErrDeltaBase", err)
+	}
+	// A second full checkpoint resets the known set: deltas across it are
+	// incoherent even though the id appeared before it.
+	if err := ckpt.CheckDeltaCoherence([][]byte{full, full, good}); err != nil {
+		t.Fatalf("full reset keeps same-id base: %v", err)
+	}
+	refull := rawBody(ckpt.Full, 3, func(e *wire.Encoder) { rawRec(e, 2, wire.KindFull, pay) })
+	if err := ckpt.CheckDeltaCoherence([][]byte{full, refull, good}); !errors.Is(err, ckpt.ErrDeltaBase) {
+		t.Fatalf("delta across full reset: %v, want ErrDeltaBase", err)
+	}
+}
+
+// TestRebuilderDeltaReapplyAllocs gates the steady-state replica loop: a
+// same-size delta re-apply reuses the owned latest-payload buffer and the
+// staged scratch map, allocating nothing per epoch.
+func TestRebuilderDeltaReapplyAllocs(t *testing.T) {
+	payA := make([]byte, 4096)
+	rand.New(rand.NewSource(4)).Read(payA)
+	payB := append([]byte(nil), payA...)
+	for i := 0; i < 8; i++ {
+		payB[i*500] ^= 0x3c
+	}
+	var eAB, eBA wire.Encoder
+	if !wire.AppendDelta(&eAB, payA, payB, len(payB)) || !wire.AppendDelta(&eBA, payB, payA, len(payA)) {
+		t.Fatal("delta encode")
+	}
+	full := rawBody(ckpt.Full, 1, func(e *wire.Encoder) { rawRec(e, 1, wire.KindFull, payA) })
+	fwd := rawBody(ckpt.Incremental, 2, func(e *wire.Encoder) { rawRec(e, 1, wire.KindDelta, eAB.Bytes()) })
+	back := rawBody(ckpt.Incremental, 3, func(e *wire.Encoder) { rawRec(e, 1, wire.KindDelta, eBA.Bytes()) })
+
+	rb := ckpt.NewRebuilder(blobRegistry(t))
+	if err := rb.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := rb.Apply(fwd); err != nil {
+			t.Fatal(err)
+		}
+		if err := rb.Apply(back); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state delta re-apply allocates %.1f per epoch pair, want 0", avg)
+	}
+}

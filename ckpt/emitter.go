@@ -8,7 +8,20 @@ import "ickpt/wire"
 //	records: (id uvarint, typeID uvarint, payloadLen uvarint, payload)*
 //
 // The payload of a record is exactly what the object's Record method wrote.
-const bodyVersion = 1
+//
+// Version 2 — written only by delta-enabled emitters (WithDeltaEncoding /
+// WithShadowCache) — inserts a kind byte between the type and the length:
+//
+//	records: (id uvarint, typeID uvarint, kind byte, payloadLen uvarint, payload)*
+//
+// kind wire.KindFull payloads are Record output as in version 1; kind
+// wire.KindDelta payloads are a copy/patch opcode stream (wire.AppendDelta)
+// against the object's previous payload in the stream. Writers without a
+// shadow cache keep producing version 1, byte-identical to before.
+const (
+	bodyVersion  = 1
+	bodyVersion2 = 2
+)
 
 // Stats accumulates counters for one checkpoint.
 type Stats struct {
@@ -19,6 +32,9 @@ type Stats struct {
 	// Skipped counts objects whose modified flag was tested and found
 	// clear.
 	Skipped int
+	// Deltas counts recorded objects shipped as payload deltas
+	// (wire.KindDelta) rather than full payloads.
+	Deltas int
 	// Bytes is the total body size, including header and framing.
 	Bytes int
 }
@@ -30,6 +46,7 @@ func (s *Stats) Add(o Stats) {
 	s.Visited += o.Visited
 	s.Recorded += o.Recorded
 	s.Skipped += o.Skipped
+	s.Deltas += o.Deltas
 	s.Bytes += o.Bytes
 }
 
@@ -39,6 +56,16 @@ func (s *Stats) Add(o Stats) {
 // ResetShard under a single header.
 func AppendBodyHeader(dst *wire.Encoder, mode Mode, epoch uint64) {
 	dst.Byte(bodyVersion)
+	dst.Byte(byte(mode))
+	dst.Uvarint(epoch)
+}
+
+// AppendDeltaBodyHeader writes the version-2 body header that frames
+// kind-carrying records. Delta-enabled emitters use it in Reset, and the
+// parfold merge uses it when its workers' shard writers carry a shadow
+// cache.
+func AppendDeltaBodyHeader(dst *wire.Encoder, mode Mode, epoch uint64) {
+	dst.Byte(bodyVersion2)
 	dst.Byte(byte(mode))
 	dst.Uvarint(epoch)
 }
@@ -63,10 +90,28 @@ type Emitter struct {
 	clears  []ClearEntry
 
 	curID       uint64
+	curInfo     *Info
 	curType     TypeID
 	lenPos      int
 	scratchMode bool
 	open        bool
+
+	// Delta encoding state. When shadow is non-nil the emitter frames
+	// version-2 records (with a kind byte) and diffs each payload larger
+	// than the cache's threshold against the object's shadow, shipping the
+	// delta when it wins (see ShadowCache). mode gates the diff: Full
+	// bodies never carry deltas. shadowPends accumulates the epoch's
+	// payload copies; the driver stages them at Finish and the cache
+	// promotes them only when the epoch commits.
+	shadow      *ShadowCache
+	mode        Mode
+	deltaBuf    wire.Encoder
+	shadowPends []ShadowStage
+	kindPos     int
+	// shadowSkips counts emits the churn backoff left undiffed (consumed
+	// from Info.shadowSkip without touching the cache); TakeShadowStages
+	// flushes it into the cache's stats once per epoch.
+	shadowSkips int
 }
 
 // SetScratchEncode switches the emitter between the zero-copy encode path
@@ -77,11 +122,37 @@ type Emitter struct {
 // called between Begin and End.
 func (em *Emitter) SetScratchEncode(on bool) { em.scratchMode = on }
 
+// SetShadow attaches (or detaches, with nil) the shadow cache that switches
+// the emitter into delta-enabled version-2 framing. Must not be called
+// between Begin and End; Writer options (WithDeltaEncoding, WithShadowCache)
+// are the usual entry point.
+func (em *Emitter) SetShadow(c *ShadowCache) { em.shadow = c }
+
+// TakeShadowStages returns the payload copies accumulated for the epoch in
+// progress and detaches them, transferring ownership to the caller: a Writer
+// finishing an epoch stages them (ShadowCache.Stage), a parallel fold
+// gathers per-worker batches and stages the merged epoch as one, and a
+// failed epoch's driver discards them (ShadowCache.Discard).
+func (em *Emitter) TakeShadowStages() []ShadowStage {
+	if em.shadowSkips > 0 && em.shadow != nil {
+		em.shadow.addSkipped(em.shadowSkips)
+		em.shadowSkips = 0
+	}
+	p := em.shadowPends
+	em.shadowPends = nil
+	return p
+}
+
 // Reset points the emitter at dst, writes the body header, and clears the
 // statistics.
 func (em *Emitter) Reset(dst *wire.Encoder, mode Mode, epoch uint64) {
 	em.ResetShard(dst)
-	AppendBodyHeader(dst, mode, epoch)
+	em.mode = mode
+	if em.shadow != nil {
+		AppendDeltaBodyHeader(dst, mode, epoch)
+	} else {
+		AppendBodyHeader(dst, mode, epoch)
+	}
 }
 
 // ResetShard points the emitter at dst and clears the statistics without
@@ -99,6 +170,15 @@ func (em *Emitter) ResetShard(dst *wire.Encoder) {
 		em.clears = em.clears[:0]
 	} else {
 		em.clears = getClears()
+	}
+	// Stage copies never taken by a driver (an epoch discarded without
+	// abandon's bookkeeping) go back to the cache's buffer pool: they were
+	// never published, so recycling them is safe.
+	if len(em.shadowPends) > 0 {
+		if em.shadow != nil {
+			em.shadow.Discard(em.shadowPends)
+		}
+		em.shadowPends = em.shadowPends[:0]
 	}
 	em.open = false
 }
@@ -118,14 +198,19 @@ func (em *Emitter) Begin(info *Info, t TypeID) *wire.Encoder {
 		em.clears = append(em.clears, ClearEntry{ID: info.ID(), Info: info})
 	}
 	em.open = true
+	em.curID = info.ID()
+	em.curInfo = info
 	if em.scratchMode {
-		em.curID = info.ID()
 		em.curType = t
 		em.scratch.Reset()
 		return &em.scratch
 	}
 	em.dst.Uvarint(info.ID())
 	em.dst.Uvarint(uint64(t))
+	if em.shadow != nil {
+		em.kindPos = em.dst.Len()
+		em.dst.Byte(wire.KindFull)
+	}
 	em.lenPos = em.dst.ReserveUvarint()
 	return em.dst
 }
@@ -133,7 +218,20 @@ func (em *Emitter) Begin(info *Info, t TypeID) *wire.Encoder {
 // End frames the payload started by Begin into the destination stream: on
 // the zero-copy path it patches the reserved length prefix in place; on the
 // scratch path it copies the scratch payload behind a computed prefix.
+//
+// With a shadow cache attached, End is also where the delta decision runs:
+// the completed payload is diffed against the object's shadow, the delta
+// replaces the payload when it comes in under the size limit (on the
+// zero-copy path by truncating back to the reserved prefix and patching the
+// kind byte), and the payload is copied into the epoch's pending shadows so
+// the next epoch diffs against it once this one commits.
 func (em *Emitter) End() {
+	if em.shadow != nil {
+		em.endShadowed()
+		em.stats.Recorded++
+		em.open = false
+		return
+	}
 	if em.scratchMode {
 		em.dst.Uvarint(em.curID)
 		em.dst.Uvarint(uint64(em.curType))
@@ -144,6 +242,88 @@ func (em *Emitter) End() {
 	}
 	em.stats.Recorded++
 	em.open = false
+}
+
+// endShadowed frames the record begun by Begin with a kind byte, shipping a
+// delta payload when the diff against the object's shadow wins. Both encode
+// paths make the same decision from the same bytes, so scratch and
+// zero-copy delta bodies stay byte-identical.
+func (em *Emitter) endShadowed() {
+	if em.scratchMode {
+		payload := em.scratch.Bytes()
+		kind := em.deltaOrFull(payload)
+		em.dst.Uvarint(em.curID)
+		em.dst.Uvarint(uint64(em.curType))
+		em.dst.Byte(kind)
+		if kind == wire.KindDelta {
+			em.dst.Uvarint(uint64(em.deltaBuf.Len()))
+			em.dst.Raw(em.deltaBuf.Bytes())
+		} else {
+			em.dst.Uvarint(uint64(len(payload)))
+			em.dst.Raw(payload)
+		}
+		return
+	}
+	payload := em.dst.Bytes()[em.lenPos+1:]
+	if em.deltaOrFull(payload) == wire.KindDelta {
+		// The payload was staged into the shadow copy above and the delta
+		// encoded into deltaBuf; rewind to the reserved length prefix and
+		// frame the delta in its place.
+		em.dst.Truncate(em.lenPos + 1)
+		em.dst.Raw(em.deltaBuf.Bytes())
+		em.dst.PatchByte(em.kindPos, wire.KindDelta)
+	}
+	em.dst.PatchUvarint(em.lenPos)
+}
+
+// deltaOrFull consults the shadow cache for the record's diff base, attempts
+// the delta, stages the payload copy when the cache asks for one, and
+// returns the record kind to frame. The delta bytes, when it returns
+// wire.KindDelta, are in em.deltaBuf.
+//
+// The churn backoff's skip window is consumed here, from the object's own
+// Info, before the cache is ever consulted: a fully-churned object in its
+// backed-off steady state costs one load and a decrement per emit — no lock,
+// no map — which is what keeps the delta writer within noise of a plain
+// writer when deltas never win. The report that armed the window staled the
+// cache entry, so the full payloads shipped during the window cannot leave a
+// poisoned diff base behind.
+func (em *Emitter) deltaOrFull(payload []byte) byte {
+	if s := em.curInfo.shadowSkip; s > 0 {
+		if em.mode != Full {
+			em.curInfo.shadowSkip = s - 1
+			em.shadowSkips++
+			return wire.KindFull
+		}
+		// A Full emit refreshes the shadow (decide stages below), giving the
+		// object a fresh base; the rest of the window would only waste it.
+		em.curInfo.shadowSkip = 0
+	}
+	base, hash, stage, window := em.shadow.decide(em.curID, len(payload), em.mode)
+	kind := wire.KindFull
+	if base != nil {
+		em.deltaBuf.Reset()
+		win := wire.AppendDeltaHashed(&em.deltaBuf, base, hash, payload,
+			len(payload)*deltaLimitNum/deltaLimitDen)
+		if w := em.shadow.report(em.curID, win); w > 0 {
+			// The loss armed the churn backoff: the coming emits skip the
+			// cache entirely and the entry is already stale, so the staged
+			// copy could never serve as a base — save the copy.
+			window = w
+			stage = false
+		}
+		if win {
+			kind = wire.KindDelta
+			em.stats.Deltas++
+		}
+	}
+	if window > 0 {
+		em.curInfo.shadowSkip = uint16(window)
+	}
+	if stage {
+		em.shadowPends = append(em.shadowPends, em.shadow.copyPayload(em.curID, payload))
+	}
+	return kind
 }
 
 // Emit records o unconditionally: Begin, o.Record, End, and clears the
@@ -211,10 +391,12 @@ type bodyHeader struct {
 }
 
 // record is one framed object record within a body. The payload aliases the
-// body buffer.
+// body buffer. kind is wire.KindFull for version-1 bodies, whose records
+// carry no kind byte.
 type record struct {
 	id      uint64
 	typeID  TypeID
+	kind    byte
 	payload []byte
 }
 
@@ -228,7 +410,7 @@ func parseBodyHeader(d *wire.Decoder) (bodyHeader, error) {
 	if err := d.Err(); err != nil {
 		return h, err
 	}
-	if h.version != bodyVersion {
+	if h.version != bodyVersion && h.version != bodyVersion2 {
 		return h, ErrBadBody
 	}
 	if h.mode != Full && h.mode != Incremental {
@@ -237,14 +419,24 @@ func parseBodyHeader(d *wire.Decoder) (bodyHeader, error) {
 	return h, nil
 }
 
-// nextRecord reads one framed record. It returns ok=false at a clean end of
-// body.
-func nextRecord(d *wire.Decoder) (rec record, ok bool, err error) {
+// nextRecord reads one framed record; hasKind selects the version-2 framing
+// with a kind byte between type and length. It returns ok=false at a clean
+// end of body.
+func nextRecord(d *wire.Decoder, hasKind bool) (rec record, ok bool, err error) {
 	if d.Len() == 0 {
 		return record{}, false, nil
 	}
 	rec.id = d.Uvarint()
 	rec.typeID = TypeID(d.Uvarint())
+	if hasKind {
+		rec.kind = d.Byte()
+		if rec.kind != wire.KindFull && rec.kind != wire.KindDelta {
+			if err := d.Err(); err != nil {
+				return record{}, false, err
+			}
+			return record{}, false, ErrBadBody
+		}
+	}
 	n := d.Uvarint()
 	if err := d.Err(); err != nil {
 		return record{}, false, err

@@ -16,6 +16,18 @@ type Info struct {
 	id       uint64
 	modified bool
 
+	// shadowSkip is the remaining length of a shadow-cache churn backoff
+	// window (see ShadowCache): while nonzero, a delta-enabled emitter
+	// ships this object's payload whole without consulting the cache,
+	// decrementing per emit. The report that arms the window stales the
+	// cache entry up front, so the window's full-payload emits cannot
+	// leave a poisoned diff base behind. The counter lives here rather
+	// than in the cache so the backed-off steady state costs one load and
+	// one store per emit instead of the cache's lock and map lookup; like
+	// the modified flag, it is only ever touched by the one writer (or
+	// parallel-fold shard) that owns the object's records.
+	shadowSkip uint16
+
 	// queued reports whether this object is already in its tracker's
 	// mark-queue, so repeated Marks between two checkpoints enqueue once.
 	queued bool

@@ -115,6 +115,17 @@ func WithSession(s *ckpt.Session) Option {
 	return optionFunc(func(fo *Folder) { fo.session = s })
 }
 
+// WithShadowCache enables sub-object delta records across the fold (see
+// ckpt.WithDeltaEncoding): every worker writer shares c, so an object's
+// payload is diffed against its previous epoch's shadow no matter which
+// worker encodes it, and merged bodies stay byte-identical to a sequential
+// delta-encoding fold. The folder stages the workers' shadow updates as one
+// epoch batch and resolves it with the epoch — through the session when one
+// is attached, at the next fold otherwise. A nil cache leaves deltas off.
+func WithShadowCache(c *ckpt.ShadowCache) Option {
+	return optionFunc(func(fo *Folder) { fo.shadow = c })
+}
+
 // Folder is a reusable parallel fold driver. Like ckpt.Writer it keeps an
 // epoch counter and recycles its buffers; unlike the writer it may be handed
 // roots in any order — chunks are merged in canonical (ascending id) order
@@ -149,6 +160,15 @@ type Folder struct {
 	// lastClears is the previous fold's merged clear-set when no session
 	// holds it, kept so FoldTo can re-mark after a sink failure.
 	lastClears []ckpt.ClearEntry
+
+	// shadow, when non-nil, is the delta shadow cache shared by every worker
+	// writer. shadowPend/shadowEpoch/shadowMode mirror lastClears for the
+	// sessionless case: the staged batch stays pending until the next fold
+	// implicitly commits it or a FoldTo sink failure aborts it.
+	shadow      *ckpt.ShadowCache
+	shadowPend  bool
+	shadowEpoch uint64
+	shadowMode  ckpt.Mode
 }
 
 // worker is the per-goroutine state, cached across folds so engines with
@@ -161,6 +181,7 @@ type worker struct {
 	fold   FoldFunc
 	spans  []span
 	clears []ckpt.ClearEntry
+	stages []ckpt.ShadowStage
 	err    error
 }
 
@@ -244,10 +265,14 @@ func (f *Folder) FoldTo(sink Sink, mode ckpt.Mode, roots []ckpt.Checkpointable) 
 func (f *Folder) abortEpoch() {
 	if f.session != nil {
 		f.session.Abort(f.epoch)
-	} else {
-		ckpt.Remark(f.lastClears)
-		ckpt.PutClearSet(f.lastClears)
-		f.lastClears = nil
+		return
+	}
+	ckpt.Remark(f.lastClears)
+	ckpt.PutClearSet(f.lastClears)
+	f.lastClears = nil
+	if f.shadowPend {
+		f.shadow.AbortEpoch(f.shadowEpoch)
+		f.shadowPend = false
 	}
 }
 
@@ -261,6 +286,13 @@ func (f *Folder) retireClears() {
 	if f.lastClears != nil {
 		ckpt.PutClearSet(f.lastClears)
 		f.lastClears = nil
+	}
+	if f.shadowPend {
+		// The previous fold's body survived to the start of this one: with
+		// no session to say otherwise, it is treated as durable — the same
+		// implicit commit the clear-set retirement above performs.
+		f.shadow.CommitEpoch(f.shadowEpoch, f.shadowMode)
+		f.shadowPend = false
 	}
 }
 
@@ -414,7 +446,8 @@ func (f *Folder) outFor() *wire.Encoder {
 func (f *Folder) ensureWorkers(n int) {
 	for len(f.pool) < n {
 		enc := wire.GetEncoder()
-		f.pool = append(f.pool, &worker{enc: enc, wr: ckpt.NewWriter(ckpt.WithEncoder(enc)), fold: f.newFold()})
+		wr := ckpt.NewWriter(ckpt.WithEncoder(enc), ckpt.WithShadowCache(f.shadow))
+		f.pool = append(f.pool, &worker{enc: enc, wr: wr, fold: f.newFold()})
 	}
 }
 
@@ -437,10 +470,11 @@ func (f *Folder) foldInline(mode ckpt.Mode, epoch uint64, nitems int, item func(
 			break
 		}
 	}
-	// Gather the clear-set before Finish consumes it: the worker writer has
-	// no session, so the folder must observe or abort the epoch itself, the
-	// same way the sharded path does at merge time.
+	// Gather the clear-set (and staged shadows) before Finish consumes them:
+	// the worker writer has no session, so the folder must observe or abort
+	// the epoch itself, the same way the sharded path does at merge time.
 	clears := w.wr.Emitter().TakeClears()
+	stages := w.wr.Emitter().TakeShadowStages()
 	_, stats, ferr := w.wr.Finish()
 	w.wr.SwapEncoder(w.enc)
 	if itemErr == nil && ferr != nil {
@@ -448,6 +482,9 @@ func (f *Folder) foldInline(mode ckpt.Mode, epoch uint64, nitems int, item func(
 	}
 	if itemErr != nil {
 		f.lastClears = nil
+		if f.shadow != nil {
+			f.shadow.Discard(stages)
+		}
 		if f.session != nil {
 			f.session.Observe(epoch, mode, clears)
 			f.session.Abort(epoch)
@@ -459,11 +496,20 @@ func (f *Folder) foldInline(mode ckpt.Mode, epoch uint64, nitems int, item func(
 	}
 	stats.Bytes = out.Len()
 	f.lastLen = out.Len()
+	if f.shadow != nil {
+		f.shadow.Stage(epoch, stages)
+	}
 	if f.session != nil {
 		f.session.Observe(epoch, mode, clears)
+		if f.shadow != nil {
+			f.session.AttachShadow(epoch, f.shadow)
+		}
 		f.lastClears = nil
 	} else {
 		f.lastClears = clears
+		if f.shadow != nil {
+			f.shadowPend, f.shadowEpoch, f.shadowMode = true, epoch, mode
+		}
 	}
 	return out.Bytes(), stats, nil
 }
@@ -511,9 +557,11 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 				w.spans = append(w.spans, span{pos: p, start: start, end: w.wr.BodyLen()})
 			}
 		}
-		// Gather the shard's clear-set before Finish consumes it: the
-		// folder aborts or observes the whole epoch's set at merge time.
+		// Gather the shard's clear-set and staged shadows before Finish
+		// consumes them: the folder aborts or observes the whole epoch's
+		// set, as one batch, at merge time.
 		w.clears = w.wr.Emitter().TakeClears()
+		w.stages = w.wr.Emitter().TakeShadowStages()
 		body, _, err := w.wr.Finish()
 		if err != nil {
 			w.err = err
@@ -546,10 +594,13 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 	// the next epoch's emitters (and the next merge) reuse the grown arrays
 	// instead of re-paying the append cascade.
 	clears := ckpt.GetClearSet()
+	var stages []ckpt.ShadowStage
 	for _, w := range f.pool[:nw] {
 		clears = append(clears, w.clears...)
 		ckpt.PutClearSet(w.clears)
 		w.clears = nil
+		stages = append(stages, w.stages...)
+		w.stages = nil
 	}
 
 	// Error selection prefers the failure in the lowest shard among those
@@ -573,6 +624,9 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 	}
 	if foldErr != nil {
 		f.lastClears = nil
+		if f.shadow != nil {
+			f.shadow.Discard(stages)
+		}
 		if f.session != nil {
 			f.session.Observe(epoch, mode, clears)
 			f.session.Abort(epoch)
@@ -585,7 +639,14 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 
 	out := f.outFor()
 	out.Reset()
-	ckpt.AppendBodyHeader(out, mode, epoch)
+	if f.shadow != nil {
+		// Shard writers framed records with kind bytes, so the merged body
+		// must carry the version-2 header — byte-identical to a sequential
+		// delta-encoding fold.
+		ckpt.AppendDeltaBodyHeader(out, mode, epoch)
+	} else {
+		ckpt.AppendBodyHeader(out, mode, epoch)
+	}
 	var stats ckpt.Stats
 	for _, w := range f.pool[:nw] {
 		st := w.wr.Emitter().Stats()
@@ -605,11 +666,20 @@ func (f *Folder) foldShards(mode ckpt.Mode, epoch uint64, nw, ns, nitems int, sh
 	}
 	stats.Bytes = out.Len()
 	f.lastLen = out.Len()
+	if f.shadow != nil {
+		f.shadow.Stage(epoch, stages)
+	}
 	if f.session != nil {
 		f.session.Observe(epoch, mode, clears)
+		if f.shadow != nil {
+			f.session.AttachShadow(epoch, f.shadow)
+		}
 		f.lastClears = nil
 	} else {
 		f.lastClears = clears
+		if f.shadow != nil {
+			f.shadowPend, f.shadowEpoch, f.shadowMode = true, epoch, mode
+		}
 	}
 	return out.Bytes(), stats, nil
 }

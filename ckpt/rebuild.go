@@ -1,40 +1,74 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
 	"ickpt/wire"
 )
 
+// latestRec is the most recent payload known for one object id. owned marks
+// a rebuilder-owned buffer (version-2 records are materialized into owned
+// storage rather than aliasing the body), which a later same-size record may
+// reuse in place instead of allocating.
+type latestRec struct {
+	typeID  TypeID
+	payload []byte
+	owned   bool
+}
+
+// stagedRec is one record staged during Apply's validation pass. payload
+// aliases the body (the delta bytes, for kind wire.KindDelta) unless mat is
+// set; base is the resolved diff base a delta was validated against.
+type stagedRec struct {
+	typeID  TypeID
+	kind    byte
+	payload []byte
+	base    []byte
+	mat     bool // payload is an already-materialized owned buffer
+}
+
 // Rebuilder reconstructs object state from a sequence of checkpoint bodies:
 // one base full checkpoint followed by any number of incremental bodies, in
 // the order they were taken. It keeps, per object id, the most recent record
-// payload; Build then materializes the object graph through a Registry.
+// payload — materializing delta records (wire.KindDelta) against it as they
+// arrive; Build then materializes the object graph through a Registry.
 //
 // Rebuilder is not safe for concurrent use.
 type Rebuilder struct {
 	reg    *Registry
-	latest map[uint64]record
-	bodies [][]byte // retained so record payloads stay valid
+	latest map[uint64]latestRec
+	bodies [][]byte // retained so version-1 record payloads stay valid
 	maxID  uint64
 	seen   int // bodies applied
+
+	// staged is Apply's validation-pass scratch, retained across calls so
+	// the steady-state re-apply loop (a replica following a stream) stays
+	// allocation-free.
+	staged map[uint64]stagedRec
 }
 
 // NewRebuilder returns a Rebuilder resolving types through reg.
 func NewRebuilder(reg *Registry) *Rebuilder {
 	return &Rebuilder{
 		reg:    reg,
-		latest: make(map[uint64]record),
+		latest: make(map[uint64]latestRec),
 	}
 }
 
-// Apply folds one checkpoint body into the rebuilder. The body is retained
-// (not copied); it must not be mutated afterwards.
+// Apply folds one checkpoint body into the rebuilder. A version-1 body is
+// retained (not copied) — its record payloads are aliased and it must not be
+// mutated afterwards. Version-2 (delta-enabled) bodies are not retained:
+// every record, full or delta, is materialized into rebuilder-owned storage,
+// reusing the object's previous buffer when the new payload fits.
 //
 // A Full body resets the state: objects absent from a full checkpoint are
 // dead and must not resurface from older incrementals. The first body
-// applied must be Full.
+// applied must be Full. A delta record must follow an earlier payload for
+// the same object — in this body or a previous one — or Apply fails with
+// ErrDeltaBase; a delta whose base hash disagrees with that payload fails
+// the same way rather than materializing corrupt state.
 //
 // Apply is atomic: a body that fails to parse or validate leaves the
 // rebuilder exactly as it was, so recovery can skip a corrupt body (or a
@@ -48,10 +82,19 @@ func (rb *Rebuilder) Apply(body []byte) error {
 	if rb.seen == 0 && h.mode != Full {
 		return fmt.Errorf("%w: first body must be a full checkpoint", ErrBadBody)
 	}
-	// Decode and validate every record before touching any state.
-	staged := make(map[uint64]record)
+	hasKind := h.version == bodyVersion2
+	// Decode and validate every record before touching any state. Deltas
+	// are fully validated here — structure, base length, base hash — so the
+	// commit loop below cannot fail, which is what makes its in-place
+	// materialization safe.
+	if rb.staged == nil {
+		rb.staged = make(map[uint64]stagedRec)
+	}
+	staged := rb.staged
+	clear(staged)
+	defer clear(staged) // drop body aliases either way
 	for {
-		rec, ok, err := nextRecord(d)
+		rec, ok, err := nextRecord(d, hasKind)
 		if err != nil {
 			return fmt.Errorf("apply body: %w", err)
 		}
@@ -62,16 +105,51 @@ func (rb *Rebuilder) Apply(body []byte) error {
 			return fmt.Errorf("%w: record with nil id", ErrBadBody)
 		}
 		prev, found := staged[rec.id]
+		prevType, haveType := prev.typeID, found
 		if !found && h.mode != Full {
 			// A full body resets the state, so conflicts against the old
 			// generation do not apply.
-			prev, found = rb.latest[rec.id]
+			if cur, ok := rb.latest[rec.id]; ok {
+				prevType, haveType = cur.typeID, true
+			}
 		}
-		if found && prev.typeID != rec.typeID {
+		if haveType && prevType != rec.typeID {
 			return fmt.Errorf("%w: object %d recorded as %q then %q",
-				ErrTypeConflict, rec.id, rb.reg.Name(prev.typeID), rb.reg.Name(rec.typeID))
+				ErrTypeConflict, rec.id, rb.reg.Name(prevType), rb.reg.Name(rec.typeID))
 		}
-		staged[rec.id] = rec
+		st := stagedRec{typeID: rec.typeID, kind: rec.kind, payload: rec.payload}
+		if rec.kind == wire.KindDelta {
+			if h.mode == Full {
+				return fmt.Errorf("%w: object %d: delta record in a full checkpoint", ErrDeltaBase, rec.id)
+			}
+			var base []byte
+			switch {
+			case found:
+				if prev.kind == wire.KindDelta && !prev.mat {
+					// Two deltas for one object in one body: materialize
+					// the first so the second has bytes to validate
+					// against.
+					buf := make([]byte, len(prev.base))
+					wire.ApplyValidatedDelta(buf, prev.base, prev.payload)
+					prev = stagedRec{typeID: prev.typeID, kind: wire.KindFull, payload: buf, mat: true}
+				}
+				base = prev.payload
+			default:
+				cur, ok := rb.latest[rec.id]
+				if !ok {
+					return fmt.Errorf("%w: object %d has no earlier payload in the stream", ErrDeltaBase, rec.id)
+				}
+				base = cur.payload
+			}
+			if _, err := wire.ValidateDelta(rec.payload, len(base), wire.DeltaBaseHash(base)); err != nil {
+				if errors.Is(err, wire.ErrBaseMismatch) {
+					return fmt.Errorf("%w: object %d: %v", ErrDeltaBase, rec.id, err)
+				}
+				return fmt.Errorf("%w: object %d: %v", ErrBadBody, rec.id, err)
+			}
+			st.base = base
+		}
+		staged[rec.id] = st
 	}
 	// Commit.
 	if h.mode == Full {
@@ -79,15 +157,57 @@ func (rb *Rebuilder) Apply(body []byte) error {
 		rb.bodies = rb.bodies[:0]
 		rb.maxID = 0
 	}
-	rb.bodies = append(rb.bodies, body)
-	for id, rec := range staged {
-		rb.latest[id] = rec
+	if !hasKind {
+		rb.bodies = append(rb.bodies, body)
+	}
+	for id, st := range staged {
+		rb.latest[id] = rb.commitRecord(id, st, hasKind)
 		if id > rb.maxID {
 			rb.maxID = id
 		}
 	}
 	rb.seen++
 	return nil
+}
+
+// commitRecord turns a validated staged record into the object's latest
+// payload. Version-1 records alias the retained body; version-2 records are
+// materialized into owned storage, reusing the object's existing owned
+// buffer whenever the new payload fits its capacity — the steady-state
+// same-size re-apply allocates nothing.
+func (rb *Rebuilder) commitRecord(id uint64, st stagedRec, hasKind bool) latestRec {
+	if !hasKind {
+		return latestRec{typeID: st.typeID, payload: st.payload}
+	}
+	if st.mat {
+		return latestRec{typeID: st.typeID, payload: st.payload, owned: true}
+	}
+	cur, exists := rb.latest[id]
+	if st.kind == wire.KindDelta {
+		n := len(st.base)
+		var dst []byte
+		if exists && cur.owned && cap(cur.payload) >= n {
+			dst = cur.payload[:n]
+		} else {
+			dst = make([]byte, n)
+		}
+		if n > 0 {
+			// dst may be st.base itself (the common consecutive-epoch
+			// case); in-place application is safe because aligned deltas
+			// only overwrite literal runs.
+			wire.ApplyValidatedDelta(dst, st.base, st.payload)
+		}
+		return latestRec{typeID: st.typeID, payload: dst, owned: true}
+	}
+	n := len(st.payload)
+	var dst []byte
+	if exists && cur.owned && cap(cur.payload) >= n {
+		dst = cur.payload[:n]
+	} else {
+		dst = make([]byte, n)
+	}
+	copy(dst, st.payload)
+	return latestRec{typeID: st.typeID, payload: dst, owned: true}
 }
 
 // ApplyRun folds a sequence of checkpoint bodies into the rebuilder as one
@@ -103,11 +223,14 @@ func (rb *Rebuilder) ApplyRun(bodies [][]byte) error {
 	if len(bodies) == 0 {
 		return nil
 	}
-	scratch := &Rebuilder{reg: rb.reg, latest: make(map[uint64]record)}
+	scratch := &Rebuilder{reg: rb.reg, latest: make(map[uint64]latestRec)}
 	if h, err := parseBodyHeader(wire.NewDecoder(bodies[0])); err != nil || h.mode != Full {
 		// The run extends the current state rather than replacing it: stage
-		// onto a copy so partial failure cannot leak into rb.
+		// onto a copy so partial failure cannot leak into rb. The copies are
+		// marked un-owned: scratch must never materialize a delta in place
+		// over a buffer rb still references.
 		for id, rec := range rb.latest {
+			rec.owned = false
 			scratch.latest[id] = rec
 		}
 		scratch.bodies = append([][]byte(nil), rb.bodies...)
@@ -220,12 +343,27 @@ type BodyInfo struct {
 	Mode    Mode
 	Epoch   uint64
 	Records int
+	Deltas  int // records of kind wire.KindDelta (version-2 bodies only)
 	Bytes   int
 }
 
 // InspectBody parses a body and returns its header information and a
-// callback-driven record walk. fn may be nil to collect counts only.
+// callback-driven record walk. fn may be nil to collect counts only. For a
+// delta record the callback receives the raw delta bytes, not the
+// materialized payload; use InspectBodyKinds to tell the two apart.
 func InspectBody(body []byte, fn func(id uint64, t TypeID, payload []byte) error) (BodyInfo, error) {
+	if fn == nil {
+		return InspectBodyKinds(body, nil)
+	}
+	return InspectBodyKinds(body, func(id uint64, t TypeID, _ byte, payload []byte) error {
+		return fn(id, t, payload)
+	})
+}
+
+// InspectBodyKinds is InspectBody with the record kind (wire.KindFull or
+// wire.KindDelta) exposed to the callback. For kind wire.KindDelta, payload
+// is the delta op stream; wire.DeltaLen recovers the materialized size.
+func InspectBodyKinds(body []byte, fn func(id uint64, t TypeID, kind byte, payload []byte) error) (BodyInfo, error) {
 	d := wire.NewDecoder(body)
 	h, err := parseBodyHeader(d)
 	if err != nil {
@@ -233,7 +371,7 @@ func InspectBody(body []byte, fn func(id uint64, t TypeID, payload []byte) error
 	}
 	info := BodyInfo{Version: h.version, Mode: h.mode, Epoch: h.epoch, Bytes: len(body)}
 	for {
-		rec, ok, err := nextRecord(d)
+		rec, ok, err := nextRecord(d, h.version == bodyVersion2)
 		if err != nil {
 			return info, err
 		}
@@ -241,10 +379,66 @@ func InspectBody(body []byte, fn func(id uint64, t TypeID, payload []byte) error
 			return info, nil
 		}
 		info.Records++
+		if rec.kind == wire.KindDelta {
+			info.Deltas++
+		}
 		if fn != nil {
-			if err := fn(rec.id, rec.typeID, rec.payload); err != nil {
+			if err := fn(rec.id, rec.typeID, rec.kind, rec.payload); err != nil {
 				return info, err
 			}
 		}
 	}
+}
+
+// CheckDeltaCoherence verifies that every delta record in a run of bodies
+// has an in-run base: an earlier record for the same object, with nothing
+// but incrementals between them. Full bodies reset the known set (and may
+// not carry deltas at all). It is cheap — structure only, no hash checks or
+// materialization — and is run by stablelog replay and ckptinspect -verify
+// before Rebuilder.Apply commits to a chain, so a truncated or mis-anchored
+// run fails with ErrDeltaBase up front instead of mid-rebuild.
+//
+// Runs with no version-2 body are vacuously coherent and return nil without
+// decoding records.
+func CheckDeltaCoherence(bodies [][]byte) error {
+	hasV2 := false
+	for _, b := range bodies {
+		if len(b) > 0 && b[0] == bodyVersion2 {
+			hasV2 = true
+			break
+		}
+	}
+	if !hasV2 {
+		return nil
+	}
+	have := make(map[uint64]struct{})
+	for i, body := range bodies {
+		d := wire.NewDecoder(body)
+		h, err := parseBodyHeader(d)
+		if err != nil {
+			return fmt.Errorf("body %d: %w", i+1, err)
+		}
+		if h.mode == Full {
+			clear(have)
+		}
+		for {
+			rec, ok, err := nextRecord(d, h.version == bodyVersion2)
+			if err != nil {
+				return fmt.Errorf("body %d: %w", i+1, err)
+			}
+			if !ok {
+				break
+			}
+			if rec.kind == wire.KindDelta {
+				if h.mode == Full {
+					return fmt.Errorf("body %d: %w: object %d: delta record in a full checkpoint", i+1, ErrDeltaBase, rec.id)
+				}
+				if _, ok := have[rec.id]; !ok {
+					return fmt.Errorf("body %d: %w: object %d has no earlier payload in the run", i+1, ErrDeltaBase, rec.id)
+				}
+			}
+			have[rec.id] = struct{}{}
+		}
+	}
+	return nil
 }

@@ -110,6 +110,8 @@ func getEpochClears(mode Mode, clears []ClearEntry) *epochClears {
 func putEpochClears(ec *epochClears) {
 	putClears(ec.clears)
 	ec.clears = nil
+	ec.shadow = nil
+	ec.epoch = 0
 	clearsPool.mu.Lock()
 	clearsPool.ecs = append(clearsPool.ecs, ec)
 	clearsPool.mu.Unlock()
@@ -170,10 +172,14 @@ type Session struct {
 	stats    SessionStats
 }
 
-// epochClears is one in-flight epoch's clear-set.
+// epochClears is one in-flight epoch's clear-set, plus the delta shadow
+// cache (if the writer has delta encoding enabled) whose staged payloads
+// resolve in lockstep with it.
 type epochClears struct {
+	epoch  uint64
 	mode   Mode
 	clears []ClearEntry
+	shadow *ShadowCache
 }
 
 // SessionOption configures a Session.
@@ -229,8 +235,31 @@ func (s *Session) Observe(epoch uint64, mode Mode, clears []ClearEntry) {
 		putClears(clears)
 		return
 	}
-	s.pending[epoch] = getEpochClears(mode, clears)
+	ec := getEpochClears(mode, clears)
+	ec.epoch = epoch
+	s.pending[epoch] = ec
 	s.stats.Epochs++
+}
+
+// AttachShadow ties a delta shadow cache to a pending epoch: the payloads
+// the cache staged for that epoch are promoted when the epoch commits and
+// dropped when it aborts, in lockstep with the clear-set. Writers with delta
+// encoding enabled call it from Finish, right after Observe. If the epoch is
+// not pending it has already resolved — as an abort, since no body was ever
+// handed out — so the staged shadows are dropped immediately.
+func (s *Session) AttachShadow(epoch uint64, c *ShadowCache) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	ec, ok := s.pending[epoch]
+	if ok {
+		ec.shadow = c
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.AbortEpoch(epoch)
+	}
 }
 
 // Commit resolves epoch as durable: its clear-set is dropped, and a
@@ -248,6 +277,9 @@ func (s *Session) Commit(epoch uint64) bool {
 	s.stats.Commits++
 	if ec.mode == Full {
 		s.degraded = false
+	}
+	if ec.shadow != nil {
+		ec.shadow.CommitEpoch(ec.epoch, ec.mode)
 	}
 	putEpochClears(ec)
 	return true
@@ -289,6 +321,9 @@ func (s *Session) AbortAll() int {
 // epoch's dirty set is recaptured by the next dirty fold. Callers hold s.mu.
 func (s *Session) abortLocked(ec *epochClears) int {
 	s.stats.Aborts++
+	if ec.shadow != nil {
+		ec.shadow.AbortEpoch(ec.epoch)
+	}
 	n := 0
 	for _, c := range ec.clears {
 		info := c.Info

@@ -89,4 +89,8 @@ var (
 	// ErrTypeConflict reports two registrations whose names collide, or a
 	// resolved object with an unexpected type.
 	ErrTypeConflict = errors.New("ckpt: type conflict")
+	// ErrDeltaBase reports a delta record that cannot be materialized: no
+	// earlier payload for its object exists in the stream, or the payload
+	// that does is not the base the delta was encoded against.
+	ErrDeltaBase = errors.New("ckpt: delta base missing or mismatched")
 )

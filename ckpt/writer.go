@@ -40,6 +40,12 @@ type Writer struct {
 	// cannot protect bodies lost after a successful Finish.
 	session *Session
 
+	// shadow, when set, enables sub-object delta records: the emitter diffs
+	// large payloads against the cache and bodies carry per-record kinds
+	// (body version 2). Staged shadow updates resolve with the epoch —
+	// through the session when one is attached, immediately otherwise.
+	shadow *ShadowCache
+
 	// collect, when non-nil, switches visit into traversal-only mode:
 	// reachable objects are indexed by id and nothing is emitted or cleared.
 	// Used by IndexRoots (and through it by Tracker.Watch).
@@ -93,11 +99,33 @@ func WithScratchEncode() WriterOption {
 	return writerOptionFunc(func(w *Writer) { w.emitter.SetScratchEncode(true) })
 }
 
+// WithDeltaEncoding enables sub-object delta records: each payload larger
+// than minSize bytes is remembered in a shadow cache across epochs, and an
+// object whose payload changed a little is shipped as a copy/patch delta
+// against its previous payload (wire.KindDelta) instead of in full. Bodies
+// gain a per-record kind byte (body version 2); Rebuilder and stablelog
+// replay materialize deltas transparently. Payloads that churn heavily fall
+// back to full records adaptively. minSize <= 0 shadows every payload.
+func WithDeltaEncoding(minSize int) WriterOption {
+	return writerOptionFunc(func(w *Writer) { w.shadow = NewShadowCache(minSize) })
+}
+
+// WithShadowCache is WithDeltaEncoding with an existing cache: drivers that
+// rotate several writers over one logical stream (parfold's workers, a
+// dirty fold and its Full-mode fallback writer) share the shadow state. A
+// nil cache leaves delta encoding off.
+func WithShadowCache(c *ShadowCache) WriterOption {
+	return writerOptionFunc(func(w *Writer) { w.shadow = c })
+}
+
 // NewWriter returns a Writer.
 func NewWriter(opts ...WriterOption) *Writer {
 	w := &Writer{}
 	for _, o := range opts {
 		o.apply(w)
+	}
+	if w.shadow != nil {
+		w.emitter.SetShadow(w.shadow)
 	}
 	if w.enc == nil {
 		w.enc = wire.NewEncoder(0)
@@ -153,6 +181,7 @@ func (w *Writer) StartShard(mode Mode, epoch uint64) {
 	w.epoch = epoch
 	w.enc.Reset()
 	w.emitter.ResetShard(w.enc)
+	w.emitter.mode = mode // ResetShard writes no header, so set the mode for delta policy
 	w.mode = mode
 	w.started = true
 	w.visitErr = nil
@@ -168,6 +197,10 @@ func (w *Writer) abandon() {
 	}
 	w.started = false
 	clears := w.emitter.TakeClears()
+	if w.shadow != nil {
+		// The staged payload copies were never published; recycle them.
+		w.shadow.Discard(w.emitter.TakeShadowStages())
+	}
 	if w.session != nil {
 		// Observe+Abort even when no flag was cleared: the session's abort
 		// count tracks failed epochs, not just non-empty clear-sets.
@@ -314,6 +347,9 @@ func (w *Writer) Finish() ([]byte, Stats, error) {
 	if w.visitErr != nil {
 		err := w.visitErr
 		w.visitErr = nil
+		if w.shadow != nil {
+			w.shadow.Discard(w.emitter.TakeShadowStages())
+		}
 		if w.session != nil {
 			w.session.Observe(w.epoch, w.mode, clears)
 			w.session.Abort(w.epoch)
@@ -323,8 +359,24 @@ func (w *Writer) Finish() ([]byte, Stats, error) {
 		}
 		return nil, w.emitter.Stats(), fmt.Errorf("ckpt: epoch %d aborted, body discarded: %w", w.epoch, err)
 	}
+	if w.shadow != nil {
+		// Publish the epoch's shadow updates. A driver that already drained
+		// the emitter (parfold takes the stages before worker Finish) leaves
+		// nothing here, and owns staging itself.
+		if stages := w.emitter.TakeShadowStages(); w.session != nil {
+			w.shadow.Stage(w.epoch, stages)
+		} else if len(stages) > 0 {
+			// No commit authority: the body is handed to the caller as
+			// durable, mirroring how the sessionless path drops clear-sets.
+			w.shadow.Stage(w.epoch, stages)
+			w.shadow.CommitEpoch(w.epoch, w.mode)
+		}
+	}
 	if w.session != nil {
 		w.session.Observe(w.epoch, w.mode, clears)
+		if w.shadow != nil {
+			w.session.AttachShadow(w.epoch, w.shadow)
+		}
 	} else {
 		putClears(clears)
 	}
@@ -338,6 +390,12 @@ func (w *Writer) Epoch() uint64 { return w.epoch }
 // Mode returns the mode of the checkpoint in progress (or the last completed
 // one).
 func (w *Writer) Mode() Mode { return w.mode }
+
+// Shadow returns the writer's delta shadow cache, nil when delta encoding is
+// off — drivers hand it to other writers of the same stream
+// (WithShadowCache, parfold.WithShadowCache) and tests assert the
+// commit/abort contract through it.
+func (w *Writer) Shadow() *ShadowCache { return w.shadow }
 
 // Emitter exposes the writer's low-level sink. It is used by compiled
 // specialization plans and generated specialized functions so that they

@@ -95,8 +95,12 @@ func runRecordFold(pass *Pass) []Diagnostic {
 		// A Fold that drives the commit/abort protocol (Session.Abort /
 		// Commit / ckpt.Remark) wraps its child traversal in failure
 		// control flow — retries and rollbacks — that the linear child
-		// extraction cannot model; skip it rather than guess.
-		if pm.fold != nil && !usesSessionProtocol(pkg, pm.fold) {
+		// extraction cannot model; skip it rather than guess. The same
+		// goes for a Fold that consults the writer's delta layer
+		// (Writer.Shadow): its branches traverse per shadow state, and
+		// the full-vs-delta decision itself lives in the emitter, so the
+		// fold is sound regardless of which branch runs.
+		if pm.fold != nil && !usesSessionProtocol(pkg, pm.fold) && !usesDeltaShadow(pkg, pm.fold) {
 			out = append(out, checkFoldSymmetry(pkg, name, recOps, pm.fold)...)
 		}
 		if pm.restore != nil {
@@ -121,6 +125,37 @@ func recvTypeName(fd *ast.FuncDecl) string {
 		}
 	}
 	return ""
+}
+
+// usesDeltaShadow reports whether fd consults the writer's shadow cache
+// (Writer.Shadow). A delta-aware fold adapts its traversal to the delta
+// layer — re-anchoring a patch chain, forcing an eager re-emit so a shadow
+// stays warm — by branching on shadow state, which puts the same child
+// behind several exclusive branches the linear extraction would count as
+// repeat visits. Such folds are skipped: the emitter makes the
+// full-vs-delta decision per record, so whichever branch runs, the record
+// convention holds.
+func usesDeltaShadow(pkg *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Shadow" || len(call.Args) != 0 {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[sel.X]; ok && isCkptNamed(tv.Type, "Writer") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // checkFoldSymmetry compares Record's child-id order against Fold's

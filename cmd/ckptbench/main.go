@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind|interp|multitenant]
+//	ckptbench [-experiment all|table1|table2|fig7|fig8|fig9|fig10|fig11|ablations|parallel|dirtyset|rewind|interp|multitenant|delta]
 //	          [-n STRUCTURES] [-scale N] [-reps R] [-warmup W] [-seed S]
 //	          [-csv DIR] [-parallel WORKERS] [-shards N] [-rewind]
 //
@@ -33,6 +33,11 @@
 // and each round mutates churn% of the tenants, requests their folds, and
 // flushes. It writes BENCH_multitenant.json, recording GOMAXPROCS and the
 // physical core count the numbers were taken on.
+//
+// The delta experiment sweeps payload size x mutated byte fraction x encode
+// path (zero-copy vs scratch) and measures the sub-object delta encoding
+// (ckpt.WithDeltaEncoding) — bytes/epoch and ns/checkpoint against a plain
+// writer on a twin population — writing BENCH_delta.json.
 //
 // Each experiment prints a table whose rows mirror the corresponding paper
 // result; with -csv the tables are also written as CSV files.
@@ -130,6 +135,16 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			}
 			return tbl, nil
 		}},
+		"delta": {func() (*harness.Table, error) {
+			tbl, rep, err := harness.DeltaSweep(opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeJSON("BENCH_delta.json", rep); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}},
 		"interp": {func() (*harness.Table, error) {
 			tbl, rep, err := harness.InterpSweep(opts)
 			if err != nil {
@@ -156,7 +171,7 @@ func run(experiment string, opts harness.Options, scale int, workload, csvDir st
 			func() (*harness.Table, error) { return harness.AblationAsync(opts) },
 		},
 	}
-	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind", "interp", "multitenant"}
+	order := []string{"table1", "table1-profile", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "ablations", "parallel", "dirtyset", "rewind", "interp", "multitenant", "delta"}
 
 	var selected []experimentFn
 	if experiment == "all" {

@@ -2,19 +2,26 @@
 //
 // Usage:
 //
-//	ckptinspect [-records] [-types] [-diff A,B] [-verify] LOGFILE
+//	ckptinspect [-records] [-types] [-stats] [-diff A,B] [-verify] LOGFILE
 //
 // It lists every segment (sequence number, mode, epoch, size, CRC status)
 // and the recovery run. With -records it dumps each object record; with
 // -types it prints a per-type size breakdown using the registered workload
 // type names; with -diff it compares the object records of two segments.
 //
+// With -stats it prints delta-encoding accounting instead: per segment, how
+// many records shipped full payloads vs delta op streams, and how the
+// encoded payload bytes compare to the raw (materialized) bytes the same
+// records would have carried as full payloads — the on-disk saving the
+// sub-object delta layer bought.
+//
 // With -verify it instead checks the log end-to-end — framing, checksums,
 // body structure, chain coherence (strictly increasing epochs and
-// full-anchored runs, over the whole retained chain), and that the recovery
-// run applies cleanly — distinguishes a torn tail from mid-log corruption,
-// flags a stale compaction temp file, and prints the rewindable epoch
-// catalog. It exits non-zero if the log is not fully intact.
+// full-anchored runs, over the whole retained chain; delta records must
+// have an in-run base), and that the recovery run applies cleanly —
+// distinguishes a torn tail from mid-log corruption, flags a stale
+// compaction temp file, and prints the rewindable epoch catalog. It exits
+// non-zero if the log is not fully intact.
 package main
 
 import (
@@ -31,22 +38,27 @@ import (
 	"ickpt/internal/analysis"
 	"ickpt/internal/synth"
 	"ickpt/stablelog"
+	"ickpt/wire"
 )
 
 func main() {
 	records := flag.Bool("records", false, "dump every object record")
 	types := flag.Bool("types", false, "print per-type size breakdown")
+	stats := flag.Bool("stats", false, "print full-vs-delta record and raw-vs-encoded byte accounting")
 	diff := flag.String("diff", "", "compare two segments by sequence number, e.g. -diff 1,3")
 	verify := flag.Bool("verify", false, "verify the log end-to-end and exit non-zero on any problem")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ckptinspect [-records] [-types] [-diff A,B] [-verify] LOGFILE")
+		fmt.Fprintln(os.Stderr, "usage: ckptinspect [-records] [-types] [-stats] [-diff A,B] [-verify] LOGFILE")
 		os.Exit(2)
 	}
 	var err error
-	if *verify {
+	switch {
+	case *verify:
 		err = verifyLog(flag.Arg(0))
-	} else {
+	case *stats:
+		err = statsLog(flag.Arg(0))
+	default:
 		err = run(flag.Arg(0), *records, *types, *diff)
 	}
 	if err != nil {
@@ -140,6 +152,62 @@ func printTypeBreakdown(typeBytes map[ckpt.TypeID]int, typeCount map[ckpt.TypeID
 	}
 }
 
+// statsLog reports the delta encoding's footprint on a log: per segment, how
+// many records shipped full payloads vs delta op streams, and how the encoded
+// payload bytes compare to the raw (materialized) bytes the same records
+// declare. On a log written without delta encoding the two columns are equal
+// and the ratio is 1.000.
+func statsLog(path string) error {
+	log, err := stablelog.Open(path)
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+
+	segs := log.Segments()
+	fmt.Printf("%s: %d segments\n", path, len(segs))
+	var tFull, tDelta, tRaw, tEnc int
+	for _, seg := range segs {
+		body, err := log.Read(seg.Seq)
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", seg.Seq, err)
+		}
+		var full, delta, raw, enc int
+		if _, err := ckpt.InspectBodyKinds(body, func(id uint64, _ ckpt.TypeID, kind byte, payload []byte) error {
+			enc += len(payload)
+			if kind == wire.KindDelta {
+				delta++
+				n, err := wire.DeltaLen(payload)
+				if err != nil {
+					return fmt.Errorf("obj %d: %w", id, err)
+				}
+				raw += n
+				return nil
+			}
+			full++
+			raw += len(payload)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("segment %d: %w", seg.Seq, err)
+		}
+		ratio := 1.0
+		if raw > 0 {
+			ratio = float64(enc) / float64(raw)
+		}
+		fmt.Printf("  seq %-4d %-11s epoch %-4d %5d full %5d delta  raw %9d B  encoded %9d B  ratio %.3f\n",
+			seg.Seq, seg.Mode, seg.Epoch, full, delta, raw, enc, ratio)
+		tFull += full
+		tDelta += delta
+		tRaw += raw
+		tEnc += enc
+	}
+	if tRaw > 0 {
+		fmt.Printf("total: %d full + %d delta records; raw %d B, encoded %d B — %.1f%% saved\n",
+			tFull, tDelta, tRaw, tEnc, 100*(1-float64(tEnc)/float64(tRaw)))
+	}
+	return nil
+}
+
 // verifyLog checks a log end-to-end: the file opens under the strict
 // (no-truncation) scan, every segment's checksum and body framing hold,
 // and the recovery run applies cleanly through a Rebuilder. A torn tail
@@ -199,6 +267,19 @@ func verifyLog(path string) error {
 	}
 	if err := stablelog.ValidateRun(run); err != nil {
 		return fmt.Errorf("incoherent recovery run: %w", err)
+	}
+	// Delta records add a cross-body dependency the segment framing cannot
+	// see: every patch needs an earlier payload for the same object in the
+	// same run. Reject a baseless delta here by name, rather than letting
+	// replay surface it as a generic recovery failure.
+	bodies := make([][]byte, len(run))
+	for i, seg := range run {
+		if bodies[i], err = log.Read(seg.Seq); err != nil {
+			return fmt.Errorf("segment %d: %w", seg.Seq, err)
+		}
+	}
+	if err := ckpt.CheckDeltaCoherence(bodies); err != nil {
+		return fmt.Errorf("baseless delta in recovery run: %w", err)
 	}
 	// The epoch index validates the whole retained chain (strictly
 	// increasing epochs, full-anchored runs), not just the latest run — an

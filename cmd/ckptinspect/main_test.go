@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,6 +10,7 @@ import (
 	"ickpt/ckpt"
 	"ickpt/internal/synth"
 	"ickpt/stablelog"
+	"ickpt/wire"
 )
 
 func silence(t *testing.T) {
@@ -54,6 +57,122 @@ func buildLog(t *testing.T) string {
 	add(ckpt.Incremental)
 	add(ckpt.Incremental) // quiescent: zero records
 	return path
+}
+
+// statBlob is a flat fixed-width payload for exercising the delta paths.
+type statBlob struct {
+	info ckpt.Info
+	data []byte
+}
+
+var statBlobType = ckpt.TypeIDOf("ckptinspect.statBlob")
+
+func (b *statBlob) CheckpointInfo() *ckpt.Info    { return &b.info }
+func (b *statBlob) CheckpointTypeID() ckpt.TypeID { return statBlobType }
+func (b *statBlob) Record(e *wire.Encoder)        { e.BytesField(b.data) }
+func (b *statBlob) Fold(*ckpt.Writer) error       { return nil }
+
+// deltaBodies returns a full body and a delta-bearing incremental body for
+// one mutated blob, written by a delta-encoding writer.
+func deltaBodies(t *testing.T) (full, incr []byte, epochs [2]uint64) {
+	t.Helper()
+	blob := &statBlob{info: ckpt.NewInfo(ckpt.NewDomain()), data: bytes.Repeat([]byte{0xAB}, 2048)}
+	wr := ckpt.NewWriter(ckpt.WithDeltaEncoding(0))
+	take := func(mode ckpt.Mode) ([]byte, uint64) {
+		wr.Start(mode)
+		if err := wr.Checkpoint(blob); err != nil {
+			t.Fatal(err)
+		}
+		body, _, err := wr.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Finish returns a view into the writer's buffer; the next Start
+		// overwrites it, so keep a copy.
+		return append([]byte(nil), body...), wr.Epoch()
+	}
+	full, epochs[0] = take(ckpt.Full)
+	blob.data[100] ^= 0xFF
+	blob.info.Mark()
+	incr, epochs[1] = take(ckpt.Incremental)
+	info, err := ckpt.InspectBodyKinds(incr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Deltas == 0 {
+		t.Fatal("incremental body carries no delta records; fixture broken")
+	}
+	return full, incr, epochs
+}
+
+// buildDeltaLog writes a coherent full + delta-incremental log.
+func buildDeltaLog(t *testing.T) string {
+	t.Helper()
+	full, incr, epochs := deltaBodies(t)
+	path := filepath.Join(t.TempDir(), "delta.log")
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	if _, err := lg.Append(ckpt.Full, epochs[0], full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Append(ckpt.Incremental, epochs[1], incr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStatsLog runs the -stats accounting over a delta-bearing log (encoded
+// bytes must undercut raw) and over a plain log (the two must be equal).
+func TestStatsLog(t *testing.T) {
+	silence(t)
+	if err := statsLog(buildDeltaLog(t)); err != nil {
+		t.Errorf("stats on delta log: %v", err)
+	}
+	if err := statsLog(buildLog(t)); err != nil {
+		t.Errorf("stats on plain log: %v", err)
+	}
+}
+
+// TestVerifyDeltaLog checks -verify accepts a coherent delta chain and
+// rejects — by name — a delta whose base never made it into the run.
+func TestVerifyDeltaLog(t *testing.T) {
+	silence(t)
+	if err := verifyLog(buildDeltaLog(t)); err != nil {
+		t.Errorf("verify coherent delta log: %v", err)
+	}
+
+	// Anchor the same delta incremental to a full that lacks the object:
+	// framing, checksums and the segment chain are all fine, but the patch
+	// has no base.
+	_, incr, epochs := deltaBodies(t)
+	empty := ckpt.NewWriter()
+	empty.Start(ckpt.Full)
+	emptyBody, _, err := empty.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseless.log")
+	lg, err := stablelog.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Append(ckpt.Full, epochs[0], emptyBody); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Append(ckpt.Incremental, epochs[1], incr); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+	err = verifyLog(path)
+	if err == nil {
+		t.Fatal("verify accepted a baseless delta")
+	}
+	if !errors.Is(err, ckpt.ErrDeltaBase) {
+		t.Errorf("baseless delta rejected as %v, want ErrDeltaBase", err)
+	}
 }
 
 func TestInspectBasicAndOptions(t *testing.T) {

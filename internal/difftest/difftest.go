@@ -93,7 +93,19 @@ type Strategy struct {
 	// reference rather than the traversal reference; rebuild-level
 	// equivalence holds across both classes.
 	Dirty bool
+	// Delta enables payload-delta encoding: a ckpt.ShadowCache shared across
+	// the replay's takes (writer- or folder-attached) diffs each payload
+	// against the previous committed one and ships patch records. Delta
+	// bodies differ byte-wise from plain ones (v2 framing, patch payloads),
+	// so each (Dirty, Delta) class has its own sequential byte reference;
+	// rebuild-level equivalence against the live graph ties every class to
+	// the same ground truth.
+	Delta bool
 }
+
+// deltaMin is the ShadowCache size floor for delta strategies: zero, so every
+// payload is shadowed and the matrix exercises the delta path maximally.
+const deltaMin = 0
 
 // Strategies is the standard strategy axis: the sequential reference, a
 // parallel configuration with enough workers and a shard count that is
@@ -104,6 +116,10 @@ var Strategies = []Strategy{
 	{Name: "parallel", Workers: 4, Shards: 7},
 	{Name: "dirty", Dirty: true},
 	{Name: "dirty-parallel", Dirty: true, Workers: 4, Shards: 7},
+	{Name: "delta", Delta: true},
+	{Name: "delta-parallel", Delta: true, Workers: 4, Shards: 7},
+	{Name: "dirty-delta", Dirty: true, Delta: true},
+	{Name: "dirty-delta-parallel", Dirty: true, Delta: true, Workers: 4, Shards: 7},
 }
 
 // factory resolves the fold factory for one checkpoint, falling back to the
@@ -185,7 +201,11 @@ func newTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Checkpo
 		return dirtyTake(pop, eng, st, roots, epoch, bodies)
 	}
 	if st.Workers <= 0 {
-		wr := ckpt.NewWriter()
+		var wopts []ckpt.WriterOption
+		if st.Delta {
+			wopts = append(wopts, ckpt.WithDeltaEncoding(deltaMin))
+		}
+		wr := ckpt.NewWriter(wopts...)
 		return func(mode ckpt.Mode, phase string) error {
 			*epoch++
 			fold := eng.factory(mode, phase)()
@@ -203,11 +223,20 @@ func newTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Checkpo
 			return nil
 		}
 	}
+	// The per-take folders share one replay-scoped shadow cache; Release after
+	// each take retires the sessionless epoch, committing the staged shadows
+	// before the next take diffs against them.
+	var cache *ckpt.ShadowCache
+	if st.Delta {
+		cache = ckpt.NewShadowCache(deltaMin)
+	}
 	return func(mode ckpt.Mode, phase string) error {
 		*epoch++
 		folder := parfold.New(eng.factory(mode, phase),
-			parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+			parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards),
+			parfold.WithShadowCache(cache))
 		body, _, err := folder.FoldAt(mode, *epoch, roots)
+		folder.Release()
 		if err != nil {
 			return err
 		}
@@ -228,7 +257,16 @@ func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Check
 		pop.Domain.AttachTracker(trk)
 	}
 	watched := false
-	wr := ckpt.NewWriter()
+	// Delta strategies rotate full fallbacks and dirty drains over one body
+	// stream, so the sequential writer and any parallel folders must share the
+	// same replay-scoped shadow cache.
+	var cache *ckpt.ShadowCache
+	var wopts []ckpt.WriterOption
+	if st.Delta {
+		cache = ckpt.NewShadowCache(deltaMin)
+		wopts = append(wopts, ckpt.WithShadowCache(cache))
+	}
+	wr := ckpt.NewWriter(wopts...)
 	take := func(mode ckpt.Mode, phase string) error {
 		*epoch++
 		if !watched {
@@ -260,7 +298,8 @@ func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Check
 			}
 		case mode == ckpt.Full:
 			folder := parfold.New(eng.factory(mode, phase),
-				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards),
+				parfold.WithShadowCache(cache))
 			b, _, err := folder.FoldAt(mode, *epoch, roots)
 			folder.Release()
 			if err != nil {
@@ -282,7 +321,8 @@ func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Check
 			body = b
 		default:
 			folder := parfold.New(eng.factory(mode, phase),
-				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards))
+				parfold.WithWorkers(st.Workers), parfold.WithShards(st.Shards),
+				parfold.WithShadowCache(cache))
 			b, _, err := folder.FoldDirtyAt(*epoch, trk, eng.emit(phase))
 			folder.Release()
 			if err != nil {
@@ -298,10 +338,12 @@ func dirtyTake(pop *Population, eng *EngineSpec, st Strategy, roots []ckpt.Check
 
 // RunDiff replays tr through every engine x strategy combination and asserts
 // byte- and rebuild-equivalence. The byte-level reference is per strategy
-// class: traversal strategies compare against the virtual engine folding
-// sequentially, dirty strategies against the virtual engine draining the
-// mark-queue sequentially (dirty bodies order records by ascending id, so
-// the two classes legitimately differ byte-wise). Rebuild-level equivalence
+// class (Dirty, Delta): traversal strategies compare against the virtual
+// engine folding sequentially, dirty strategies against the virtual engine
+// draining the mark-queue sequentially (dirty bodies order records by
+// ascending id, so the two classes legitimately differ byte-wise), and delta
+// strategies against the matching class's sequential delta replay (delta
+// bodies carry v2 framing and patch payloads). Rebuild-level equivalence
 // ties the classes together: every stream's rebuild must match the live
 // graph, which must match the traversal reference's. The trace's population
 // must list a "virtual" engine.
@@ -318,23 +360,28 @@ func RunDiff(t *testing.T, tr Trace) {
 	if err != nil {
 		t.Fatalf("live dump: %v", err)
 	}
-	var dirtyRef [][]byte
+	// One sequential virtual replay per (Dirty, Delta) class present on the
+	// strategy axis serves as that class's byte reference.
+	type class struct{ dirty, delta bool }
+	classRefs := map[class][][]byte{{}: refBodies}
 	for _, st := range Strategies {
-		if st.Dirty && st.Workers <= 0 {
-			dirtyRef, _, err = Replay(tr, "virtual", st)
-			if err != nil {
-				t.Fatalf("dirty reference replay: %v", err)
-			}
-			break
+		key := class{st.Dirty, st.Delta}
+		if _, ok := classRefs[key]; ok || st.Workers > 0 {
+			continue
 		}
+		ref, _, err := Replay(tr, "virtual", st)
+		if err != nil {
+			t.Fatalf("%s reference replay: %v", st.Name, err)
+		}
+		classRefs[key] = ref
 	}
 
 	for _, eng := range refPop.Engines {
 		for _, st := range Strategies {
 			t.Run(eng.Name+"/"+st.Name, func(t *testing.T) {
-				byteRef := refBodies
-				if st.Dirty {
-					byteRef = dirtyRef
+				byteRef := classRefs[class{st.Dirty, st.Delta}]
+				if byteRef == nil {
+					t.Fatalf("no sequential reference strategy for class dirty=%v delta=%v", st.Dirty, st.Delta)
 				}
 				bodies, pop, err := Replay(tr, eng.Name, st)
 				if err != nil {

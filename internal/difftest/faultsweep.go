@@ -59,6 +59,9 @@ type FaultResult struct {
 	Pop *Population
 	// Session is the session that governed the replay.
 	Session *ckpt.Session
+	// Shadow is the delta shadow cache (delta strategies only, else nil):
+	// the sweep asserts the abort path resolved its staged payloads.
+	Shadow *ckpt.ShadowCache
 	// DroppedRecords counts the records of the discarded body (sink faults
 	// only): 0 means the injected drop lost nothing.
 	DroppedRecords int
@@ -97,7 +100,14 @@ func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault)
 	res := &FaultResult{Pop: pop, Session: sess}
 
 	var epoch uint64
-	wr := ckpt.NewWriter(ckpt.WithSession(sess))
+	wopts := []ckpt.WriterOption{ckpt.WithSession(sess)}
+	var cache *ckpt.ShadowCache
+	if st.Delta {
+		cache = ckpt.NewShadowCache(deltaMin)
+		wopts = append(wopts, ckpt.WithShadowCache(cache))
+		res.Shadow = cache
+	}
+	wr := ckpt.NewWriter(wopts...)
 	var trk *ckpt.Tracker
 	if st.Dirty {
 		trk = ckpt.NewTracker()
@@ -164,7 +174,8 @@ func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault)
 				return append([]byte(nil), body...), wr.Epoch(), nil
 			}
 			folder := parfold.New(eng.factory(mode, phase), parfold.WithWorkers(st.Workers),
-				parfold.WithShards(st.Shards), parfold.WithSession(sess))
+				parfold.WithShards(st.Shards), parfold.WithSession(sess),
+				parfold.WithShadowCache(cache))
 			body, _, err := folder.FoldDirtyAt(epoch, trk, emit)
 			folder.Release()
 			if err != nil {
@@ -212,7 +223,8 @@ func FaultReplay(tr Trace, engine string, st Strategy, failStep int, kind Fault)
 			body, ep = append([]byte(nil), b...), wr.Epoch()
 		} else {
 			folder := parfold.New(nf, parfold.WithWorkers(st.Workers),
-				parfold.WithShards(st.Shards), parfold.WithSession(sess))
+				parfold.WithShards(st.Shards), parfold.WithSession(sess),
+				parfold.WithShadowCache(cache))
 			b, _, err := folder.FoldAt(mode, epoch, roots)
 			if err != nil {
 				// The folder has already aborted the epoch through the session.

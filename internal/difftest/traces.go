@@ -26,15 +26,19 @@ func Traces() []Trace {
 
 // SeedBodies replays every standard trace with the reference engine and
 // returns all checkpoint bodies produced, in order — a corpus of valid
-// bodies for fuzz targets over the body decoder and the rebuilder.
+// bodies for fuzz targets over the body decoder and the rebuilder. Each
+// trace is replayed plain and delta-encoded, so the corpus seeds both the
+// v1 framing and v2 delta records.
 func SeedBodies() ([][]byte, error) {
 	var out [][]byte
 	for _, tr := range Traces() {
-		bodies, _, err := Replay(tr, "virtual", Strategies[0])
-		if err != nil {
-			return nil, err
+		for _, st := range []Strategy{{Name: "sequential"}, {Name: "delta", Delta: true}} {
+			bodies, _, err := Replay(tr, "virtual", st)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bodies...)
 		}
-		out = append(out, bodies...)
 	}
 	return out, nil
 }

@@ -209,3 +209,59 @@ func (g *Guarded) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
 	g.Next = next
 	return nil
 }
+
+var typeDeltaPage = ckpt.TypeIDOf("lintfixtures.DeltaPage")
+
+// DeltaPage is a correct trio whose Fold adapts its traversal to the
+// writer's delta layer: with a shadow cache attached it checkpoints the
+// tail every epoch so the tail's patch chain always diffs against a fresh
+// base; without one it only descends when the tail is modified. Both
+// branches visit the same child, but linear extraction would count two
+// visits against Record's single id — the analyzer must recognize the
+// Writer.Shadow consultation and stay silent.
+type DeltaPage struct {
+	Info ckpt.Info
+	Data []byte
+	Tail *DeltaPage
+}
+
+// CheckpointInfo returns the page's checkpoint metadata.
+func (p *DeltaPage) CheckpointInfo() *ckpt.Info { return &p.Info }
+
+// CheckpointTypeID returns the page's stable type id.
+func (p *DeltaPage) CheckpointTypeID() ckpt.TypeID { return typeDeltaPage }
+
+// Record writes the fixed-width payload, then the Tail id.
+func (p *DeltaPage) Record(e *wire.Encoder) {
+	e.BytesField(p.Data)
+	if p.Tail != nil {
+		e.Uvarint(p.Tail.Info.ID())
+	} else {
+		e.Uvarint(ckpt.NilID)
+	}
+}
+
+// Fold checkpoints the tail on both the delta-enabled and the plain path.
+func (p *DeltaPage) Fold(w *ckpt.Writer) error {
+	if p.Tail == nil {
+		return nil
+	}
+	if w.Shadow() != nil {
+		return w.Checkpoint(p.Tail)
+	}
+	if p.Tail.Info.Modified() {
+		return w.Checkpoint(p.Tail)
+	}
+	return nil
+}
+
+// Restore reads the payload and tail id Record wrote.
+func (p *DeltaPage) Restore(d *wire.Decoder, res *ckpt.Resolver) error {
+	p.Data = d.BytesField()
+	tail, err := ckpt.ResolveAs[*DeltaPage](res, d.Uvarint())
+	if err != nil {
+		return err
+	}
+	p.Tail = tail
+	return nil
+}

@@ -440,6 +440,13 @@ func (l *Log) replayRun(rb *ckpt.Rebuilder, run []SegmentInfo) error {
 		}
 		bodies[i] = body
 	}
+	// Delta-bearing bodies add a cross-body dependency segment framing knows
+	// nothing about: every delta record needs an earlier payload in the same
+	// chain. Check it up front so a mis-anchored chain fails as incoherent
+	// here rather than partway through materialization.
+	if err := ckpt.CheckDeltaCoherence(bodies); err != nil {
+		return fmt.Errorf("%w: replay run at seq %d: %v", ErrIncoherent, run[0].Seq, err)
+	}
 	if err := rb.ApplyRun(bodies); err != nil {
 		return fmt.Errorf("replay run at seq %d: %w", run[0].Seq, err)
 	}

@@ -59,6 +59,21 @@ func (e *Encoder) Grow(n int) {
 	e.buf = slices.Grow(e.buf, n)
 }
 
+// Truncate discards everything encoded after offset n, retaining capacity.
+// It is the undo behind speculative encodes: AppendDelta restores the
+// encoder to its starting length when a delta stops paying for itself.
+func (e *Encoder) Truncate(n int) {
+	e.buf = e.buf[:n]
+}
+
+// PatchByte overwrites the byte at pos, previously appended by Byte. It is
+// the single-byte analogue of PatchUvarint: the delta-aware record framing
+// reserves a kind byte before the payload is encoded in place and patches it
+// to KindDelta only if the speculative delta encode wins.
+func (e *Encoder) PatchByte(pos int, v byte) {
+	e.buf[pos] = v
+}
+
 // encoderPool recycles Encoders — and, through them, their grown buffers —
 // across short-lived users: parallel fold workers, one-shot writers. Pooling
 // the *Encoder rather than the byte slice keeps Put allocation-free (a slice
