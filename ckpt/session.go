@@ -247,6 +247,16 @@ func (s *Session) Observe(epoch uint64, mode Mode, clears []ClearEntry) {
 // encoding enabled call it from Finish, right after Observe. If the epoch is
 // not pending it has already resolved — as an abort, since no body was ever
 // handed out — so the staged shadows are dropped immediately.
+//
+// Sticky-failure requirement: a sink driving a shadow-attached session must
+// not commit an epoch after aborting an earlier one — once epoch E is lost,
+// every later in-flight epoch must abort too. Later epochs may carry deltas
+// encoded against E's payloads; committing one would put a delta in the
+// durable stream whose base body never entered it, making recovery fail
+// with ErrDeltaBase. stablelog.AsyncWriter satisfies this by construction
+// (its first unrecovered error is sticky and fails all subsequent appends);
+// a custom sink that can drop one body and persist the next must instead
+// abort all in-flight epochs on the first failure (Session.AbortAll).
 func (s *Session) AttachShadow(epoch uint64, c *ShadowCache) {
 	if c == nil {
 		return

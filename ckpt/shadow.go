@@ -179,9 +179,14 @@ func (c *ShadowCache) decide(id uint64, n int, mode Mode) (base []byte, hash uin
 		// so the incremental epochs that follow can diff immediately.
 		return nil, 0, true, 0
 	}
-	if k := len(e.pend); k > 0 {
+	if k := len(e.pend); k > 0 && !e.stale {
 		// The newest pending shadow is the base: its epoch's body precedes
 		// this one in the stream, so the rebuilder materializes it first.
+		// A stale entry disqualifies pendings too — staling paths that ship
+		// unstaged full payloads (a shrink below the floor, a churn-window
+		// arming) leave older pends behind, and the object's latest payload
+		// in the stream is the unstaged full body, not the pend. Stage
+		// resets the flag once a copy that matches the stream is restaged.
 		base, hash = e.pend[k-1].buf, e.pend[k-1].hash
 	} else if !e.stale && e.committed != nil {
 		base, hash = e.committed, e.hash
@@ -380,14 +385,18 @@ func (c *ShadowCache) CommitEpoch(epoch uint64, mode Mode) {
 			delete(c.entries, id)
 		}
 	}
+	c.count.Store(int64(len(c.entries)))
 }
 
 // AbortEpoch drops epoch's pending shadows — its body never became part of
 // the stream — and stales every touched entry, conservatively covering
-// pendings of later epochs encoded against the lost payloads (a sticky sink
-// failure aborts those epochs too). The surviving committed shadow is
-// exactly the last committed payload; the entry serves diffs again once a
-// re-marked emit restages it.
+// pendings of later epochs encoded against the lost payloads. That cover
+// depends on the sticky-failure requirement documented on
+// Session.AttachShadow: a sink must abort every epoch in flight after the
+// first lost one, never commit a later epoch whose delta bases died with an
+// earlier body. The surviving committed shadow is exactly the last
+// committed payload; the entry serves diffs again once a re-marked emit
+// restages it.
 func (c *ShadowCache) AbortEpoch(epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -93,6 +93,53 @@ func TestShadowAbortDropsLaterPends(t *testing.T) {
 	c.CommitEpoch(3, Incremental)
 }
 
+// TestShadowStalePendNotServed: a pending shadow whose epoch is still
+// unacked must stop serving as a diff base once the entry is staled by an
+// unstaged superseding emit (a shrink below the floor, or a churn-window
+// arming). The pend's bytes are no longer the object's latest payload in the
+// durable stream — the unstaged full body is — so a delta against the pend
+// would commit a record whose embedded base hash disagrees at recovery.
+func TestShadowStalePendNotServed(t *testing.T) {
+	t.Run("shrink", func(t *testing.T) {
+		c := NewShadowCache(8)
+		pay := bytes.Repeat([]byte{0xcd}, 64)
+		stage1(c, 1, 3, pay) // epoch 1 stays in flight (unacked)
+
+		// A sub-floor emit ships an unstaged full payload and stales the entry.
+		if base, _, stage, _ := c.decide(3, 4, Incremental); base != nil || stage {
+			t.Fatalf("shrink emit: base=%v stage=%v, want nil/false", base, stage)
+		}
+		if e := c.entries[3]; !e.stale || len(e.pend) != 1 {
+			t.Fatalf("after shrink: stale=%v pends=%d, want true/1", e.stale, len(e.pend))
+		}
+		// The regrown emit must not diff against the outdated pend: full
+		// payload, restage (which makes the entry serve again).
+		base, _, stage, _ := c.decide(3, len(pay), Incremental)
+		if base != nil || !stage {
+			t.Fatalf("regrown emit served stale pend: base=%v stage=%v, want nil/true", base, stage)
+		}
+		stage1(c, 2, 3, pay)
+		if base, _, _, _ := c.decide(3, len(pay), Incremental); !bytes.Equal(base, pay) {
+			t.Fatalf("restaged pend not served: base=%v", base)
+		}
+	})
+	t.Run("window", func(t *testing.T) {
+		c := NewShadowCache(0)
+		pay := bytes.Repeat([]byte{0xef}, 64)
+		stage1(c, 1, 3, pay) // epoch 1 stays in flight (unacked)
+
+		// Two losses arm the churn window, staling the entry while the pend's
+		// epoch is unacked.
+		c.report(3, false)
+		if w := c.report(3, false); w == 0 {
+			t.Fatal("two losses did not arm the skip window")
+		}
+		if base, _, stage, _ := c.decide(3, len(pay), Incremental); base != nil || !stage {
+			t.Fatalf("probe emit served stale pend: base=%v stage=%v, want nil/true", base, stage)
+		}
+	})
+}
+
 func TestShadowChurnBackoff(t *testing.T) {
 	c := NewShadowCache(0)
 	pay := bytes.Repeat([]byte{7}, 64)
@@ -155,6 +202,16 @@ func TestShadowFullCommitPrunes(t *testing.T) {
 	c.CommitEpoch(2, Full)
 	if c.Len() != 1 || c.entries[11] != nil {
 		t.Fatalf("full commit did not prune dead entry: Len=%d", c.Len())
+	}
+	if got := c.count.Load(); got != 1 {
+		t.Fatalf("count after prune = %d, want 1", got)
+	}
+	// An empty full checkpoint prunes everything; count must follow so
+	// decide's lock-free sub-floor fast path re-engages.
+	c.Stage(3, nil)
+	c.CommitEpoch(3, Full)
+	if c.Len() != 0 || c.count.Load() != 0 {
+		t.Fatalf("empty full commit: Len=%d count=%d, want 0/0", c.Len(), c.count.Load())
 	}
 }
 
